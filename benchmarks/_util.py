@@ -1,0 +1,42 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one experiment from DESIGN.md's index (the
+paper has no empirical tables, so the experiments instantiate its
+quantitative theorems and Section 1.1.4 corollaries).  Tables are
+printed (visible with ``pytest -s``) *and* written to
+``benchmarks/results/<experiment>.txt`` so the artifacts survive capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.tables import format_table
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(
+    experiment_id: str,
+    headers: list[str],
+    rows: list[list],
+    title: str,
+) -> str:
+    """Format, print, and persist one experiment table."""
+    table = format_table(headers, rows, title=f"[{experiment_id}] {title}")
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{experiment_id}.txt")
+    mode = "a" if os.path.exists(path) else "w"
+    with open(path, mode, encoding="utf-8") as handle:
+        handle.write(table + "\n\n")
+    print()
+    print(table)
+    return table
+
+
+def reset_results(experiment_id: str) -> None:
+    """Truncate a previous run's artifact for this experiment."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{experiment_id}.txt")
+    with open(path, "w", encoding="utf-8"):
+        pass

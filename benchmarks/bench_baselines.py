@@ -1,0 +1,136 @@
+"""E9 — Motivation (Sections 1 and 1.2): the paper's algorithm vs baselines.
+
+Who wins where:
+
+* **edge-DP Laplace** — the weak-privacy reference point with Θ(1/ε)
+  error;
+* **naive node-DP Laplace** — noise scaled to the worst-case global
+  sensitivity (≈ n), the strawman that makes node privacy look
+  impossible;
+* **the paper's algorithm** — node privacy with instance-based error.
+
+The shape claim to reproduce: the paper's estimator beats the naive
+node-DP baseline by orders of magnitude on structured graphs (factor
+roughly n/Δ*), while paying only a modest premium over edge privacy.
+A crossover row is included: on a dense hub graph (Δ* ≈ n) the
+advantage over naive noise disappears, matching the lower-bound
+discussion in the introduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithm import PrivateConnectedComponents
+from repro.core.baselines import (
+    EdgeDPConnectedComponents,
+    NaiveNodeDPConnectedComponents,
+)
+from repro.graphs.components import number_of_connected_components
+from repro.graphs.generators import (
+    grid_graph,
+    planted_components,
+    random_forest,
+    random_geometric_graph,
+    star_graph,
+    with_hub,
+)
+
+from ._util import emit_table, reset_results
+
+_TRIALS = 25
+_EPSILON = 1.0
+
+
+def _median_error(mechanism, graph, truth, rng, trials=_TRIALS):
+    errors = [abs(mechanism.release(graph, rng) - truth) for _ in range(trials)]
+    return float(np.median(errors))
+
+
+def _run_comparison(rng):
+    reset_results("E9")
+    cases = [
+        ("forest 100/25", random_forest(100, 25, rng)),
+        ("planted 6x15", planted_components([15] * 6, 0.3, rng)),
+        ("grid 8x8", grid_graph(8, 8)),
+        ("geometric 120", random_geometric_graph(120, 0.08, rng)),
+        ("hub graph (worst case)", with_hub(star_graph(60))),
+    ]
+    rows = []
+    for name, graph in cases:
+        n = graph.number_of_vertices()
+        truth = number_of_connected_components(graph)
+        paper = PrivateConnectedComponents(epsilon=_EPSILON)
+        paper_errors = [
+            abs(paper.release(graph, rng).value - truth) for _ in range(_TRIALS)
+        ]
+        paper_median = float(np.median(paper_errors))
+        naive_median = _median_error(
+            NaiveNodeDPConnectedComponents(epsilon=_EPSILON, n_max=n),
+            graph, truth, rng,
+        )
+        edge_median = _median_error(
+            EdgeDPConnectedComponents(epsilon=_EPSILON), graph, truth, rng
+        )
+        rows.append(
+            [
+                name,
+                n,
+                truth,
+                edge_median,
+                paper_median,
+                naive_median,
+                naive_median / max(paper_median, 1e-9),
+            ]
+        )
+    emit_table(
+        "E9",
+        ["family", "n", "true f_cc", "edge-DP", "paper (node-DP)",
+         "naive node-DP", "naive/paper"],
+        rows,
+        f"median |error| over {_TRIALS} trials, eps={_EPSILON}: "
+        "node privacy at near edge-privacy accuracy",
+    )
+    return rows
+
+
+def test_baseline_comparison(benchmark, rng):
+    rows = benchmark.pedantic(_run_comparison, args=(rng,), rounds=1, iterations=1)
+    structured = [r for r in rows if "hub" not in r[0]]
+    # On every structured family the paper's algorithm beats naive
+    # node-DP noise by at least 2x (typically much more).
+    assert all(row[6] >= 2.0 for row in structured)
+    # Edge-DP is (unsurprisingly) the most accurate: weaker privacy.
+    assert all(row[3] <= row[4] + 1.0 for row in rows)
+
+
+def _run_epsilon_sweep(rng):
+    graph = random_forest(100, 25, rng)
+    truth = number_of_connected_components(graph)
+    rows = []
+    paper = {}
+    for epsilon in (0.25, 0.5, 1.0, 2.0, 4.0):
+        estimator = PrivateConnectedComponents(epsilon=epsilon)
+        errors = [
+            abs(estimator.release(graph, rng).value - truth) for _ in range(_TRIALS)
+        ]
+        paper[epsilon] = float(np.median(errors))
+        naive = _median_error(
+            NaiveNodeDPConnectedComponents(epsilon=epsilon, n_max=100),
+            graph, truth, rng,
+        )
+        rows.append([epsilon, paper[epsilon], naive])
+    emit_table(
+        "E9",
+        ["epsilon", "paper median|err|", "naive median|err|"],
+        rows,
+        "epsilon sweep on forest 100/25",
+    )
+    return rows
+
+
+def test_epsilon_sweep(benchmark, rng):
+    rows = benchmark.pedantic(_run_epsilon_sweep, args=(rng,), rounds=1, iterations=1)
+    # Error decreases with epsilon (compare extremes, noise-tolerant).
+    assert rows[0][1] > rows[-1][1]
+    assert all(row[2] > row[1] for row in rows)

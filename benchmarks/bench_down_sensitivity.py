@@ -1,0 +1,135 @@
+"""E4 — Lemma 1.7: down-sensitivity of f_sf equals the star number.
+
+Regenerates the lemma as a table: for an exhaustive sweep of tiny graphs
+plus named families, compare the brute-force down-sensitivity (maximum
+change of f_sf over node-neighboring induced-subgraph pairs) with the
+induced-star number s(G); Lemma 1.6's ``Δ* ≤ DS + 1`` is checked on the
+same instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.down_sensitivity import (
+    down_sensitivity_brute_force,
+    down_sensitivity_spanning_forest,
+)
+from repro.graphs.components import spanning_forest_size
+from repro.graphs.forests import min_spanning_forest_degree_exact
+from repro.graphs.generators import (
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    star_graph,
+    star_of_stars,
+)
+from repro.graphs.graph import Graph
+
+from ._util import emit_table, reset_results
+
+
+def _exhaustive_graphs(n: int):
+    """Every labelled graph on n vertices (used for n <= 5)."""
+    pairs = list(combinations(range(n), 2))
+    for mask in range(2 ** len(pairs)):
+        edges = [pairs[i] for i in range(len(pairs)) if mask >> i & 1]
+        yield Graph(vertices=range(n), edges=edges)
+
+
+def _run_exhaustive():
+    reset_results("E4")
+    rows = []
+    for n in (2, 3, 4):
+        total = 0
+        agree = 0
+        lemma16 = 0
+        for g in _exhaustive_graphs(n):
+            total += 1
+            ds = down_sensitivity_brute_force(g, spanning_forest_size)
+            s = down_sensitivity_spanning_forest(g)
+            if ds == s:
+                agree += 1
+            if g.is_empty() or min_spanning_forest_degree_exact(g) <= ds + 1:
+                lemma16 += 1
+        rows.append([n, total, agree, lemma16])
+    emit_table(
+        "E4",
+        ["n", "graphs", "DS == s(G)", "Δ* <= DS+1"],
+        rows,
+        "Lemma 1.7 and Lemma 1.6 verified exhaustively on all labelled graphs",
+    )
+    return rows
+
+
+def test_lemma_1_7_exhaustive(benchmark):
+    rows = benchmark.pedantic(_run_exhaustive, rounds=1, iterations=1)
+    for n, total, agree, lemma16 in rows:
+        assert agree == total, f"Lemma 1.7 failed for some n={n} graph"
+        assert lemma16 == total, f"Lemma 1.6 failed for some n={n} graph"
+
+
+def _run_families(rng):
+    families = [
+        ("path_8", path_graph(8)),
+        ("cycle_8", cycle_graph(8)),
+        ("star_7", star_graph(7)),
+        ("K6", complete_graph(6)),
+        ("K_{2,4}", complete_bipartite_graph(2, 4)),
+        ("grid_3x3", grid_graph(3, 3)),
+        ("caterpillar_3x2", caterpillar_graph(3, 2)),
+        ("star_of_stars_3x2", star_of_stars(3, 2)),
+        ("G(9,.3)", erdos_renyi(9, 0.3, rng)),
+        ("G(9,.6)", erdos_renyi(9, 0.6, rng)),
+    ]
+    rows = []
+    for name, g in families:
+        ds_brute = down_sensitivity_brute_force(g, spanning_forest_size)
+        s = down_sensitivity_spanning_forest(g)
+        rows.append([name, g.number_of_vertices(), g.number_of_edges(),
+                     ds_brute, s, ds_brute == s])
+    emit_table(
+        "E4",
+        ["family", "n", "m", "DS (brute force)", "s(G)", "equal"],
+        rows,
+        "Lemma 1.7 on named families",
+    )
+    return rows
+
+
+def test_lemma_1_7_families(benchmark, rng):
+    rows = benchmark.pedantic(_run_families, args=(rng,), rounds=1, iterations=1)
+    assert all(row[-1] for row in rows)
+
+
+def _run_random_sweep(rng):
+    checked = 0
+    agreements = 0
+    for _ in range(120):
+        n = int(rng.integers(3, 9))
+        p = float(rng.random())
+        g = erdos_renyi(n, p, rng)
+        ds = down_sensitivity_brute_force(g, spanning_forest_size)
+        s = down_sensitivity_spanning_forest(g)
+        checked += 1
+        agreements += int(ds == s)
+    emit_table(
+        "E4",
+        ["random graphs checked", "DS == s(G)"],
+        [[checked, agreements]],
+        "Lemma 1.7 on random G(n, p), n in [3, 8], p uniform",
+    )
+    return checked, agreements
+
+
+def test_lemma_1_7_random(benchmark, rng):
+    checked, agreements = benchmark.pedantic(
+        _run_random_sweep, args=(rng,), rounds=1, iterations=1
+    )
+    assert agreements == checked

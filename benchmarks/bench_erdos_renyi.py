@@ -1,0 +1,71 @@
+"""E2 — Section 1.1.4: Erdős–Rényi G(n, c/n) accuracy.
+
+Paper claim: in the sparse regime ``np = c`` the graph has ``Ω(n)``
+components and ``O(log n)`` maximum degree w.h.p., so the private
+estimate of f_cc has additive error ``Õ(log n / ε)`` and relative error
+``Õ(log² n / (εn))`` — in particular the *relative* error vanishes as n
+grows.  We sweep n and c and verify both shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithm import PrivateConnectedComponents
+from repro.core.bounds import erdos_renyi_error_bound
+from repro.graphs.components import number_of_connected_components
+from repro.graphs.generators import erdos_renyi
+
+from ._util import emit_table, reset_results
+
+_TRIALS = 12
+_EPSILON = 1.0
+
+
+def _run_experiment(rng):
+    reset_results("E2")
+    rows = []
+    for c in (0.5, 1.0, 2.0):
+        for n in (100, 200, 400, 800):
+            graph = erdos_renyi(n, c / n, rng)
+            truth = number_of_connected_components(graph)
+            estimator = PrivateConnectedComponents(epsilon=_EPSILON)
+            errors = np.abs(
+                [estimator.release(graph, rng).value - truth for _ in range(_TRIALS)]
+            )
+            median = float(np.median(errors))
+            rows.append(
+                [
+                    c,
+                    n,
+                    graph.max_degree(),
+                    truth,
+                    median,
+                    median / truth,
+                    erdos_renyi_error_bound(n, _EPSILON),
+                ]
+            )
+    emit_table(
+        "E2",
+        ["c", "n", "maxdeg", "true f_cc", "median|err|", "rel err",
+         "ref bound"],
+        rows,
+        f"G(n, c/n): additive error ~ log n / eps, relative error -> 0 "
+        f"(eps={_EPSILON}, {_TRIALS} trials)",
+    )
+    return rows
+
+
+def test_erdos_renyi_scaling(benchmark, rng):
+    rows = benchmark.pedantic(_run_experiment, args=(rng,), rounds=1, iterations=1)
+    # f_cc = Omega(n): the count grows with n for each c.
+    for c in (0.5, 1.0, 2.0):
+        counts = [row[3] for row in rows if row[0] == c]
+        assert counts[-1] > counts[0]
+    # Relative error at n=800 is far below relative error at n=100 on
+    # average across c (the paper's vanishing-relative-error claim).
+    small = np.mean([row[5] for row in rows if row[1] == 100])
+    large = np.mean([row[5] for row in rows if row[1] == 800])
+    assert large < small
+    # Additive error stays within the log-n reference curve.
+    assert all(row[4] <= row[6] for row in rows)

@@ -1,0 +1,78 @@
+"""E3 — Section 1.1.4: random geometric graphs.
+
+Paper claims: (i) a geometric graph has no induced 6-star, hence
+``s(G) ≤ 5`` and a spanning 6-forest exists (alternative proof via
+Lemma 1.8); (ii) the private estimate of f_cc therefore has additive
+error ``Õ(ln ln n / ε)`` — essentially flat in n and in density.
+
+We verify the structural bound on every sampled instance, run the
+Algorithm-3 construction with Δ = 6 (it must succeed), and sweep n and
+the radius to show the flat error profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithm import PrivateConnectedComponents
+from repro.core.bounds import geometric_error_bound
+from repro.graphs.components import number_of_connected_components
+from repro.graphs.forests import forest_max_degree, repair_spanning_forest
+from repro.graphs.generators import random_geometric_graph
+from repro.graphs.stars import star_number
+
+from ._util import emit_table, reset_results
+
+_TRIALS = 12
+_EPSILON = 1.0
+
+
+def _run_experiment(rng):
+    reset_results("E3")
+    rows = []
+    for n in (100, 200, 400):
+        for radius in (0.05, 0.1):
+            graph = random_geometric_graph(n, radius, rng)
+            s = star_number(graph)
+            repaired = repair_spanning_forest(graph, 6)
+            truth = number_of_connected_components(graph)
+            estimator = PrivateConnectedComponents(epsilon=_EPSILON)
+            errors = np.abs(
+                [estimator.release(graph, rng).value - truth for _ in range(_TRIALS)]
+            )
+            rows.append(
+                [
+                    n,
+                    radius,
+                    graph.max_degree(),
+                    s,
+                    repaired.forest is not None
+                    and forest_max_degree(repaired.forest) <= 6,
+                    truth,
+                    float(np.median(errors)),
+                    geometric_error_bound(n, _EPSILON),
+                ]
+            )
+    emit_table(
+        "E3",
+        ["n", "radius", "maxdeg", "s(G)", "6-forest", "true f_cc",
+         "median|err|", "ref bound"],
+        rows,
+        f"random geometric graphs: s(G) <= 5, flat Õ(ln ln n) error "
+        f"(eps={_EPSILON}, {_TRIALS} trials)",
+    )
+    return rows
+
+
+def test_geometric_graphs(benchmark, rng):
+    rows = benchmark.pedantic(_run_experiment, args=(rng,), rounds=1, iterations=1)
+    # Structural claims hold on every instance.
+    assert all(row[3] <= 5 for row in rows)          # no induced 6-star
+    assert all(row[4] for row in rows)               # spanning 6-forest found
+    # Error within the fixed Δ*=6 reference bound everywhere.
+    assert all(row[6] <= row[7] for row in rows)
+    # Flatness: quadrupling n does not even double the median error
+    # envelope (compare the same radius).
+    for radius in (0.05, 0.1):
+        errs = [row[6] for row in rows if row[1] == radius]
+        assert max(errs) <= 2 * max(min(errs), 2.0)

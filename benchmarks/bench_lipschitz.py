@@ -1,0 +1,72 @@
+"""E8 — Remark 3.4: tightness of the Lipschitz constant of f_Δ.
+
+The pair (G = Δ isolated vertices, G' = G + all-adjacent hub) realizes
+|f_Δ(G') − f_Δ(G)| = Δ exactly.  The table sweeps Δ and also verifies
+the Lipschitz *upper* bound on random node-neighbor pairs (both
+directions of Lemma 3.3's Lipschitzness proof).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extension import evaluate_lipschitz_extension
+from repro.graphs.generators import empty_graph, erdos_renyi, with_hub
+
+from ._util import emit_table, reset_results
+
+
+def _run_tightness():
+    reset_results("E8")
+    rows = []
+    for delta in (1, 2, 3, 5, 8):
+        g = empty_graph(delta)
+        g_hub = with_hub(g)
+        low = evaluate_lipschitz_extension(g, delta)
+        high = evaluate_lipschitz_extension(g_hub, delta)
+        rows.append([delta, low, high, high - low, abs(high - low - delta) < 1e-6])
+    emit_table(
+        "E8",
+        ["Δ", "f_Δ(Δ·K1)", "f_Δ(star)", "jump", "jump == Δ"],
+        rows,
+        "Remark 3.4: the Lipschitz constant Δ is achieved exactly",
+    )
+    return rows
+
+
+def test_remark_3_4_tightness(benchmark):
+    rows = benchmark.pedantic(_run_tightness, rounds=1, iterations=1)
+    assert all(row[-1] for row in rows)
+
+
+def _run_random_pairs(rng):
+    violations = 0
+    checked = 0
+    worst_ratio = 0.0
+    for _ in range(60):
+        n = int(rng.integers(2, 8))
+        g = erdos_renyi(n, float(rng.uniform(0.2, 0.8)), rng)
+        delta = int(rng.integers(1, 4))
+        value = evaluate_lipschitz_extension(g, delta)
+        for v in g.vertex_list():
+            smaller = evaluate_lipschitz_extension(g.without_vertex(v), delta)
+            jump = abs(value - smaller)
+            checked += 1
+            worst_ratio = max(worst_ratio, jump / delta)
+            if jump > delta + 1e-6:
+                violations += 1
+    emit_table(
+        "E8",
+        ["neighbor pairs checked", "Lipschitz violations", "worst jump/Δ"],
+        [[checked, violations, worst_ratio]],
+        "Lipschitz property on random node-neighbor pairs",
+    )
+    return checked, violations, worst_ratio
+
+
+def test_lipschitz_random_pairs(benchmark, rng):
+    checked, violations, worst = benchmark.pedantic(
+        _run_random_pairs, args=(rng,), rounds=1, iterations=1
+    )
+    assert violations == 0
+    assert worst <= 1.0 + 1e-9

@@ -1,0 +1,82 @@
+"""E11 — Lemma 3.3(2): polynomial-time evaluability of f_Δ.
+
+Uses pytest-benchmark's actual timing machinery (several rounds) to
+measure the evaluator across sizes, solver methods, and the fast-path
+ablation called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi, grid_graph, random_geometric_graph
+from repro.lp.forest_lp import forest_polytope_value
+
+from ._util import emit_table, reset_results
+
+
+@pytest.mark.parametrize("n", [30, 60, 120])
+def test_er_scaling(benchmark, n):
+    """Evaluation time vs n on sparse ER graphs (Δ = 2)."""
+    graph = erdos_renyi(n, 2.0 / n, np.random.default_rng(n))
+    result = benchmark(lambda: forest_polytope_value(graph, 2))
+    assert result.value >= 0
+
+
+@pytest.mark.parametrize("method", ["auto", "cutting_plane", "column_generation"])
+def test_method_comparison(benchmark, method):
+    """The three solvers on one moderate instance (they agree; timing
+    differs)."""
+    graph = erdos_renyi(24, 0.12, np.random.default_rng(3))
+    value = benchmark(
+        lambda: forest_polytope_value(
+            graph, 2, method=method, use_fast_paths=False, max_rounds=200
+        ).value
+    )
+    reference = forest_polytope_value(graph, 2, method="auto").value
+    assert value == pytest.approx(reference, abs=1e-4)
+
+
+def test_fast_path_ablation(benchmark):
+    """Fast paths vs forced LP on a grid where repair certifies Δ = 3."""
+    graph = grid_graph(8, 8)
+
+    def both():
+        fast = forest_polytope_value(graph, 3, use_fast_paths=True)
+        return fast
+
+    result = benchmark(both)
+    assert result.fast_path_components == 1
+    slow = forest_polytope_value(graph, 3, use_fast_paths=False)
+    assert slow.value == pytest.approx(result.value, abs=1e-4)
+
+
+def test_geometric_summary_table(benchmark, rng):
+    """One summary table for the record: values, gaps, statuses across Δ
+    on a mid-size geometric graph."""
+    reset_results("E11")
+    graph = random_geometric_graph(150, 0.08, rng)
+
+    def run():
+        rows = []
+        for delta in (1, 2, 4, 8, 16):
+            result = forest_polytope_value(graph, delta)
+            rows.append(
+                [delta, result.value, result.gap, result.lp_rounds,
+                 result.status[:40]]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "E11",
+        ["Δ", "f_Δ", "certified gap", "solver rounds", "status"],
+        rows,
+        "evaluator summary on RGG(150, 0.08)",
+    )
+    values = [row[1] for row in rows]
+    gaps = [row[2] for row in rows]
+    # Monotone in delta up to certified gaps.
+    for (a, ga), (b, _gb) in zip(zip(values, gaps), list(zip(values, gaps))[1:]):
+        assert a <= b + ga + 1e-6

@@ -1,0 +1,12 @@
+"""Shared fixtures for the benchmark/experiment suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG so every experiment table is reproducible."""
+    return np.random.default_rng(20230413)

@@ -1,0 +1,83 @@
+"""Scenario: counting unique entities among duplicated records.
+
+The paper's introduction cites estimating the number of documented
+deaths in the Syrian war [CSS18]: multiple organizations document the
+same casualty, so records form a *duplicate graph* whose connected
+components are unique individuals.  Publishing the component count from
+such sensitive linkage data calls for differential privacy, and each
+record (with all its cross-source links) is exactly what node privacy
+protects.
+
+We simulate: true entities appear in 1–4 overlapping source lists;
+records of the same entity are linked with high probability (imperfect
+matching), and a small rate of spurious cross-entity links is added.
+The node-private estimate of the number of components is compared to
+the true number of unique entities.
+
+Run:  python examples/casualty_record_linkage.py
+"""
+
+import numpy as np
+
+from repro import PrivateConnectedComponents, number_of_connected_components
+from repro.graphs.graph import Graph
+
+
+def simulate_duplicate_graph(
+    n_entities: int,
+    rng: np.random.Generator,
+    match_probability: float = 0.85,
+    spurious_rate: float = 0.001,
+) -> tuple[Graph, int]:
+    """Build a record-linkage graph; returns (graph, number of entities)."""
+    graph = Graph()
+    record_id = 0
+    entity_records: list[list[int]] = []
+    for _ in range(n_entities):
+        copies = int(rng.integers(1, 5))  # appears in 1..4 source lists
+        records = list(range(record_id, record_id + copies))
+        record_id += copies
+        for r in records:
+            graph.add_vertex(r)
+        # Pairwise matching succeeds with probability match_probability.
+        for i, a in enumerate(records):
+            for b in records[i + 1 :]:
+                if rng.random() < match_probability:
+                    graph.add_edge(a, b)
+        entity_records.append(records)
+    # Spurious links between records of different entities.
+    n_records = record_id
+    n_spurious = rng.binomial(n_records, spurious_rate)
+    for _ in range(int(n_spurious)):
+        a, b = rng.integers(0, n_records, size=2)
+        if a != b:
+            graph.add_edge(int(a), int(b))
+    return graph, n_entities
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    graph, n_entities = simulate_duplicate_graph(400, rng)
+    observed = number_of_connected_components(graph)
+    print(f"records: {graph.number_of_vertices()}, "
+          f"links: {graph.number_of_edges()}")
+    print(f"true entities: {n_entities}; components in linkage graph: "
+          f"{observed} (matching noise makes these differ slightly)")
+
+    estimator = PrivateConnectedComponents(epsilon=1.0)
+    estimates = [estimator.release(graph, rng).value for _ in range(15)]
+    mean_estimate = float(np.mean(estimates))
+    print(f"\nnode-private estimates (epsilon=1), 15 runs:")
+    print(f"  mean:   {mean_estimate:8.1f}")
+    print(f"  spread: {np.std(estimates):8.1f}")
+    print(f"  true:   {observed:8d}")
+    relative = abs(mean_estimate - observed) / observed
+    print(f"  mean relative error: {relative:.1%}")
+    print("\nDuplicate clusters are tiny (<= 4 records), so the linkage")
+    print("graph has a very low-degree spanning forest: exactly the regime")
+    print("where Theorem 1.3's instance-based bound makes node privacy")
+    print("nearly free for entity counting.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Scenario: outbreak clusters in proximity (contact-tracing) data.
+
+Proximity networks are modelled by random geometric graphs: devices in
+the unit square, an edge when two came within Bluetooth range r
+(Section 1.1.4 of the paper and its mobile-network references).  Health
+authorities want the number of contact clusters (connected components)
+without revealing anyone's co-location history.
+
+Geometric graphs are the paper's showcase family: they contain no
+induced 6-star, so they always have a spanning 6-forest and the
+node-private error is Õ(ln ln n / ε) -- essentially independent of how
+dense the contact graph gets.  The script verifies the structural claim
+(s(G) ≤ 5) on the sampled instance and sweeps the radius.
+
+Run:  python examples/contact_tracing_clusters.py
+"""
+
+import numpy as np
+
+from repro import PrivateConnectedComponents, number_of_connected_components
+from repro.analysis import print_table
+from repro.core.bounds import geometric_error_bound
+from repro.graphs.generators import random_geometric_graph
+from repro.graphs.stars import star_number
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    n = 220
+    epsilon = 1.0
+    rows = []
+    for radius in (0.02, 0.04, 0.06, 0.08):
+        graph = random_geometric_graph(n, radius, rng)
+        truth = number_of_connected_components(graph)
+        s = star_number(graph)
+        assert s <= 5, "geometric graphs never contain an induced 6-star"
+        estimator = PrivateConnectedComponents(epsilon=epsilon)
+        errors = [
+            abs(estimator.release(graph, rng).value - truth) for _ in range(10)
+        ]
+        rows.append(
+            [
+                radius,
+                graph.number_of_edges(),
+                truth,
+                s,
+                float(np.median(errors)),
+                geometric_error_bound(n, epsilon),
+            ]
+        )
+    print_table(
+        ["radius", "edges", "true clusters", "s(G)", "median |err|", "thm bound"],
+        rows,
+        title=f"contact clusters, n={n}, epsilon={epsilon}",
+    )
+    print("Across a 5x range of contact radii the induced-star number stays")
+    print("<= 5, so the privacy error budget is flat even as the graph")
+    print("densifies -- the instance-based guarantee at work.")
+
+
+if __name__ == "__main__":
+    main()

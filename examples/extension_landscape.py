@@ -1,0 +1,74 @@
+"""Exploring the Lipschitz-extension landscape of a graph.
+
+For practitioners choosing privacy parameters, the interesting object is
+the trade-off curve behind Algorithm 1: as Δ grows, the extension
+`f_Δ(G)` climbs toward the true `f_sf(G)` (less bias) while the Laplace
+noise `Δ/ε` grows (more variance).  GEM privately picks the sweet spot.
+
+This script prints, for three structurally different graphs:
+
+* the curve Δ ↦ f_Δ(G) with the approximation gap,
+* the error proxy q(Δ) = gap + Δ/ε_noise from Equation (7),
+* the exact GEM selection distribution over the power-of-two grid,
+* the impossibility frontier for context (no worst-case algorithm can
+  beat it — our instance-based bound can, on easy instances).
+
+Run:  python examples/extension_landscape.py
+"""
+
+import numpy as np
+
+from repro import PrivateSpanningForestSize, spanning_forest_size
+from repro.analysis import print_table
+from repro.core.lower_bounds import worst_case_error_lower_bound
+from repro.graphs.generators import (
+    caterpillar_graph,
+    random_geometric_graph,
+    star_plus_isolated,
+)
+
+
+def describe(name, graph, epsilon, rng):
+    n = graph.number_of_vertices()
+    truth = spanning_forest_size(graph)
+    estimator = PrivateSpanningForestSize(epsilon=epsilon)
+    release = estimator.release(graph, rng)
+    gem = release.gem
+
+    rows = []
+    for delta, q, score, probability in zip(
+        gem.candidates, gem.q_values, gem.scores, gem.probabilities
+    ):
+        gap = q - delta / release.epsilon_noise
+        rows.append([int(delta), truth - gap, gap, q, probability])
+    print_table(
+        ["Δ", "f_Δ(G)", "gap f_sf−f_Δ", "q(Δ)=gap+Δ/ε_n", "GEM prob"],
+        rows,
+        title=(
+            f"{name}: n={n}, f_sf={truth}, eps={epsilon} "
+            f"(selected Δ̂={release.delta_hat:g}, released {release.value:.1f})"
+        ),
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    epsilon = 1.0
+    graphs = [
+        ("caterpillar 10x3", caterpillar_graph(10, 3)),
+        ("geometric n=120 r=.1", random_geometric_graph(120, 0.1, rng)),
+        ("star30 + 50 isolated", star_plus_isolated(30, 50)),
+    ]
+    for name, graph in graphs:
+        describe(name, graph, epsilon, rng)
+    n, strict_epsilon = 120, 0.05
+    print(
+        "Worst-case context: over ALL graphs on "
+        f"n={n} vertices, no eps={strict_epsilon} node-private algorithm can "
+        f"guarantee error below {worst_case_error_lower_bound(n, strict_epsilon):.1f} "
+        "-- the instance-based guarantee above is how the paper escapes this."
+    )
+
+
+if __name__ == "__main__":
+    main()

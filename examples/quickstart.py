@@ -1,0 +1,50 @@
+"""Quickstart: privately count connected components of a synthetic graph.
+
+Demonstrates the minimal public-API flow:
+
+1. build or load a graph,
+2. construct a :class:`PrivateConnectedComponents` estimator with a
+   privacy budget ε,
+3. call ``release`` with an explicit RNG,
+4. inspect the release and its diagnostics.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PrivateConnectedComponents, number_of_connected_components
+from repro.graphs.generators import planted_components
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # A population with 8 hidden classes of varying size: the classic
+    # "number of classes" workload (Goodman 1949) the paper motivates.
+    class_sizes = [5, 8, 12, 20, 3, 30, 9, 13]
+    graph = planted_components(class_sizes, internal_p=0.3, rng=rng)
+    print(f"graph: {graph.number_of_vertices()} vertices, "
+          f"{graph.number_of_edges()} edges")
+    print(f"true number of components (sensitive!): "
+          f"{number_of_connected_components(graph)}")
+
+    for epsilon in (0.5, 1.0, 2.0, 4.0):
+        estimator = PrivateConnectedComponents(epsilon=epsilon)
+        release = estimator.release(graph, rng)
+        print(
+            f"epsilon={epsilon:4.1f}  private estimate={release.value:8.2f}  "
+            f"rounded={release.rounded_value:3d}  "
+            f"selected delta={release.spanning_forest.delta_hat:g}  "
+            f"|error|={abs(release.error):.2f}"
+        )
+
+    print()
+    print("The selected Lipschitz parameter adapts to the graph: these")
+    print("planted components are internally dense but sparse overall, so")
+    print("a small delta already makes the extension exact and the added")
+    print("noise stays proportional to that small delta (Theorem 1.3).")
+
+
+if __name__ == "__main__":
+    main()

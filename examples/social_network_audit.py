@@ -1,0 +1,83 @@
+"""Scenario: auditing fragmentation of a private social network.
+
+A platform wants to publish how fragmented its friendship graph is (the
+number of connected components) without exposing any individual's
+friendships.  Node privacy is the right notion here: it hides each user
+*and all of their edges* (Section 1 of the paper).
+
+The script compares, on a stochastic-block-model friendship graph:
+
+* the paper's node-private estimator (adaptive Lipschitz extension),
+* a naive node-private Laplace release (noise scale n/ε), and
+* an edge-private Laplace release (much weaker privacy),
+
+showing that the paper's algorithm gets node privacy at close to
+edge-privacy accuracy on this workload.
+
+Run:  python examples/social_network_audit.py
+"""
+
+import numpy as np
+
+from repro import PrivateConnectedComponents, number_of_connected_components
+from repro.analysis import print_table, run_trials, summarize_errors
+from repro.core.baselines import (
+    EdgeDPConnectedComponents,
+    NaiveNodeDPConnectedComponents,
+)
+from repro.graphs.generators import disjoint_union, stochastic_block_model
+
+
+def build_friendship_graph(rng: np.random.Generator):
+    """Several regional communities plus a long tail of isolated users."""
+    communities = stochastic_block_model(
+        sizes=[40, 30, 25, 20],
+        p_matrix=[
+            [0.25, 0.01, 0.00, 0.00],
+            [0.01, 0.30, 0.01, 0.00],
+            [0.00, 0.01, 0.35, 0.00],
+            [0.00, 0.00, 0.00, 0.40],
+        ],
+        rng=rng,
+    )
+    # 25 users who joined but never connected.
+    from repro.graphs.generators import empty_graph
+
+    graph = disjoint_union([communities, empty_graph(25)])
+    return graph
+
+
+def main() -> None:
+    rng = np.random.default_rng(2023)
+    graph = build_friendship_graph(rng)
+    n = graph.number_of_vertices()
+    truth = number_of_connected_components(graph)
+    print(f"friendship graph: n={n}, m={graph.number_of_edges()}, "
+          f"true components={truth}")
+
+    epsilon = 1.0
+    trials = 30
+    mechanisms = [
+        ("paper (node-DP)", PrivateConnectedComponents(epsilon=epsilon)),
+        ("naive node-DP", NaiveNodeDPConnectedComponents(epsilon=epsilon, n_max=n)),
+        ("edge-DP Laplace", EdgeDPConnectedComponents(epsilon=epsilon)),
+    ]
+    rows = []
+    for name, mechanism in mechanisms:
+        errors = run_trials(mechanism, graph, trials, rng)
+        summary = summarize_errors(errors, truth)
+        rows.append([name, summary.mean_abs_error, summary.q90_abs_error])
+
+    print_table(
+        ["mechanism", "mean |error|", "q90 |error|"],
+        rows,
+        title=f"epsilon={epsilon}, {trials} trials",
+    )
+    print("Node privacy protects each user and all their friendships;")
+    print("the paper's estimator pays only a small accuracy premium over")
+    print("the much weaker edge-privacy baseline, while the naive")
+    print("node-private release is unusable (noise on the order of n).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — Node-differentially private estimation of connected components.
+
+A full reproduction of *"Node-Differentially Private Estimation of the
+Number of Connected Components"* (Kalemaj, Raskhodnikova, Smith,
+Tsourakakis; PODS 2023).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import PrivateConnectedComponents
+>>> from repro.graphs.generators import planted_components
+>>> rng = np.random.default_rng(0)
+>>> graph = planted_components([30] * 5, internal_p=0.2, rng=rng)
+>>> estimator = PrivateConnectedComponents(epsilon=1.0)
+>>> release = estimator.release(graph, rng)
+>>> release.true_value
+5
+
+Public surface: the :class:`Graph` substrate and statistics
+(``repro.graphs``), the Lipschitz-extension family and Algorithm 1
+(``repro.core``), DP mechanisms (``repro.mechanisms``), the flow/LP
+machinery (``repro.flow``, ``repro.lp``), and the experiment harness
+(``repro.analysis``).
+"""
+
+from .graphs import (
+    Graph,
+    connected_components,
+    number_of_connected_components,
+    spanning_forest_size,
+    f_cc,
+    f_sf,
+    spanning_forest,
+    spanning_forest_with_max_degree,
+    star_number,
+    read_edge_list,
+    write_edge_list,
+)
+from .core import (
+    SpanningForestExtension,
+    evaluate_lipschitz_extension,
+    PrivateSpanningForestSize,
+    PrivateConnectedComponents,
+    SpanningForestRelease,
+    ConnectedComponentsRelease,
+    down_sensitivity_spanning_forest,
+    theorem_1_3_bound,
+    EdgeDPConnectedComponents,
+    NaiveNodeDPConnectedComponents,
+    NonPrivateBaseline,
+)
+from .mechanisms import (
+    LaplaceMechanism,
+    exponential_mechanism,
+    generalized_exponential_mechanism,
+    PrivacyAccountant,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "connected_components",
+    "number_of_connected_components",
+    "spanning_forest_size",
+    "f_cc",
+    "f_sf",
+    "spanning_forest",
+    "spanning_forest_with_max_degree",
+    "star_number",
+    "read_edge_list",
+    "write_edge_list",
+    "SpanningForestExtension",
+    "evaluate_lipschitz_extension",
+    "PrivateSpanningForestSize",
+    "PrivateConnectedComponents",
+    "SpanningForestRelease",
+    "ConnectedComponentsRelease",
+    "down_sensitivity_spanning_forest",
+    "theorem_1_3_bound",
+    "EdgeDPConnectedComponents",
+    "NaiveNodeDPConnectedComponents",
+    "NonPrivateBaseline",
+    "LaplaceMechanism",
+    "exponential_mechanism",
+    "generalized_exponential_mechanism",
+    "PrivacyAccountant",
+    "__version__",
+]

@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+``count``     Release a node-private estimate of the number of connected
+              components of a graph stored as an edge list.
+``stats``     Print exact (non-private) structural statistics of a graph.
+``generate``  Sample a graph from a built-in family and write it out.
+
+Examples
+--------
+    python -m repro generate --family geometric --n 200 --radius 0.08 \
+        --seed 7 --output contacts.edges
+    python -m repro count --input contacts.edges --epsilon 1.0 --seed 1
+    python -m repro stats --input contacts.edges
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.algorithm import PrivateConnectedComponents
+from .graphs import generators
+from .graphs.components import number_of_connected_components, spanning_forest_size
+from .graphs.forests import approx_min_degree_spanning_forest
+from .graphs.io import read_edge_list, write_edge_list
+from .graphs.stars import star_number_lower_bound, star_number_upper_bound
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Node-differentially private connected-component counts "
+        "(PODS 2023 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    count = subparsers.add_parser(
+        "count", help="node-private estimate of the number of components"
+    )
+    count.add_argument("--input", required=True, help="edge-list file")
+    count.add_argument("--epsilon", type=float, default=1.0, help="privacy budget")
+    count.add_argument("--seed", type=int, default=None, help="RNG seed")
+    count.add_argument(
+        "--show-true",
+        action="store_true",
+        help="also print the exact count (breaks privacy; debugging only)",
+    )
+
+    stats = subparsers.add_parser("stats", help="exact, non-private statistics")
+    stats.add_argument("--input", required=True, help="edge-list file")
+
+    generate = subparsers.add_parser("generate", help="sample a graph family")
+    generate.add_argument(
+        "--family",
+        required=True,
+        choices=["er", "geometric", "tree", "forest", "grid", "star", "planted"],
+    )
+    generate.add_argument("--n", type=int, required=True)
+    generate.add_argument("--p", type=float, default=0.1, help="edge probability (er)")
+    generate.add_argument("--radius", type=float, default=0.1, help="radius (geometric)")
+    generate.add_argument("--trees", type=int, default=5, help="tree count (forest)")
+    generate.add_argument(
+        "--components", type=int, default=5, help="planted component count"
+    )
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--output", required=True)
+    return parser
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.input)
+    if graph.number_of_vertices() == 0:
+        print("error: graph has no vertices", file=sys.stderr)
+        return 1
+    rng = np.random.default_rng(args.seed)
+    estimator = PrivateConnectedComponents(epsilon=args.epsilon)
+    release = estimator.release(graph, rng)
+    print(f"private estimate of connected components: {release.value:.2f}")
+    print(f"  rounded:        {release.rounded_value}")
+    print(f"  epsilon:        {args.epsilon}")
+    print(f"  selected delta: {release.spanning_forest.delta_hat:g}")
+    print(f"  noise scale:    {release.spanning_forest.noise_scale:.3f}")
+    if args.show_true:
+        print(f"  TRUE value (not private): {release.true_value}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.input)
+    _, delta_upper = approx_min_degree_spanning_forest(graph)
+    print(f"vertices:                 {graph.number_of_vertices()}")
+    print(f"edges:                    {graph.number_of_edges()}")
+    print(f"max degree:               {graph.max_degree()}")
+    print(f"connected components:     {number_of_connected_components(graph)}")
+    print(f"spanning forest size:     {spanning_forest_size(graph)}")
+    print(f"delta* upper bound:       {delta_upper}")
+    print(f"star number lower bound:  {star_number_lower_bound(graph)}")
+    print(f"star number upper bound:  {star_number_upper_bound(graph)}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.family == "er":
+        graph = generators.erdos_renyi(args.n, args.p, rng)
+    elif args.family == "geometric":
+        graph = generators.random_geometric_graph(args.n, args.radius, rng)
+    elif args.family == "tree":
+        graph = generators.random_tree(args.n, rng)
+    elif args.family == "forest":
+        graph = generators.random_forest(args.n, args.trees, rng)
+    elif args.family == "grid":
+        side = max(int(round(args.n**0.5)), 1)
+        graph = generators.grid_graph(side, side)
+    elif args.family == "star":
+        graph = generators.star_graph(max(args.n - 1, 1))
+    elif args.family == "planted":
+        base = max(args.n // args.components, 1)
+        sizes = [base] * args.components
+        graph = generators.planted_components(sizes, 0.3, rng)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.family)
+    write_edge_list(graph, args.output)
+    print(
+        f"wrote {graph.number_of_vertices()} vertices, "
+        f"{graph.number_of_edges()} edges to {args.output}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "count":
+        return _cmd_count(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    raise AssertionError(args.command)  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Experiment harness: trial runners and table formatting."""
+
+from .trials import TrialSummary, run_trials, summarize_errors
+from .tables import format_table, format_cell, print_table
+from .report import ExperimentReport
+
+__all__ = [
+    "TrialSummary",
+    "run_trials",
+    "summarize_errors",
+    "format_table",
+    "format_cell",
+    "print_table",
+    "ExperimentReport",
+]

@@ -1,0 +1,56 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints paper-style rows; this module renders them
+as aligned ASCII tables so `pytest benchmarks/ --benchmark-only` output
+is directly readable and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_cell", "print_table"]
+
+
+def format_cell(value) -> str:
+    """Render one value: floats to 3 significant-ish decimals, rest str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table with optional title."""
+    rendered = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> None:
+    """Print :func:`format_table` output, framed by blank lines."""
+    print()
+    print(format_table(headers, rows, title=title))
+    print()

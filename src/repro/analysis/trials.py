@@ -1,0 +1,85 @@
+"""Trial runner: repeated private releases and error statistics.
+
+Benchmarks and examples share this harness: run a mechanism many times
+on a fixed graph, collect signed errors against the exact statistic, and
+summarize.  A *mechanism* is anything with
+``release(graph, rng) -> float | object with .value``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..graphs.components import number_of_connected_components
+from ..graphs.graph import Graph
+
+__all__ = ["TrialSummary", "run_trials", "summarize_errors"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics of signed errors over repeated releases."""
+
+    n_trials: int
+    true_value: float
+    mean_abs_error: float
+    median_abs_error: float
+    q90_abs_error: float
+    max_abs_error: float
+    mean_signed_error: float
+
+    def row(self) -> list[float]:
+        """The summary as a list, for table assembly."""
+        return [
+            self.true_value,
+            self.mean_abs_error,
+            self.median_abs_error,
+            self.q90_abs_error,
+            self.max_abs_error,
+            self.mean_signed_error,
+        ]
+
+
+def _extract_value(release) -> float:
+    if hasattr(release, "value"):
+        return float(release.value)
+    return float(release)
+
+
+def run_trials(
+    mechanism,
+    graph: Graph,
+    n_trials: int,
+    rng: np.random.Generator,
+    true_statistic: Callable[[Graph], float] = number_of_connected_components,
+) -> np.ndarray:
+    """Run ``mechanism.release`` ``n_trials`` times; return signed errors.
+
+    The true statistic defaults to ``f_cc``; pass
+    ``repro.graphs.spanning_forest_size`` when benchmarking ``f_sf``
+    estimators.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    truth = float(true_statistic(graph))
+    errors = np.empty(n_trials)
+    for trial in range(n_trials):
+        errors[trial] = _extract_value(mechanism.release(graph, rng)) - truth
+    return errors
+
+
+def summarize_errors(errors: np.ndarray, true_value: float) -> TrialSummary:
+    """Aggregate an array of signed errors into a :class:`TrialSummary`."""
+    magnitudes = np.abs(errors)
+    return TrialSummary(
+        n_trials=int(errors.size),
+        true_value=float(true_value),
+        mean_abs_error=float(magnitudes.mean()),
+        median_abs_error=float(np.median(magnitudes)),
+        q90_abs_error=float(np.quantile(magnitudes, 0.9)),
+        max_abs_error=float(magnitudes.max()),
+        mean_signed_error=float(errors.mean()),
+    )

@@ -1,0 +1,84 @@
+"""Explicit forms of the paper's accuracy bounds.
+
+These functions spell out the error bounds of Theorem 1.3, Theorem 1.5,
+and the Section 1.1.4 corollaries with their proof-level constants made
+explicit (the theorems state them up to ``O(·)``; we use the constants
+that fall out of the proofs with the GEM constant treated as a tunable
+``gem_constant``).  Benchmarks report measured error alongside these
+reference curves to check the predicted *shape* — the constants are not
+claimed tight.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .algorithm import default_failure_probability
+
+__all__ = [
+    "theorem_1_3_bound",
+    "theorem_1_5_bound",
+    "erdos_renyi_error_bound",
+    "geometric_error_bound",
+]
+
+
+def theorem_1_3_bound(
+    n: int,
+    epsilon: float,
+    delta_star: float,
+    beta: float | None = None,
+    gem_constant: float = 1.0,
+) -> float:
+    """Theorem 1.3 error bound: ``Δ*·Õ(ln ln n / ε)``, explicit form.
+
+    Following the proof: with probability ≥ 1 − β the GEM step yields
+    ``err(Δ̂) ≤ (Δ*/ε_noise)·C·ln(ln Δmax / β)`` and the Laplace tail adds
+    a factor ``2·ln(2/β)``; with ``ε_noise = ε/2`` and ``Δmax = n``,
+
+        bound = (2Δ*/ε) · C · ln(ln n / β) · 2 · ln(2/β).
+
+    ``beta=None`` uses the paper's ``β = 1/ln ln n`` (clamped).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    if delta_star < 0:
+        raise ValueError(f"delta_star must be >= 0, got {delta_star}")
+    b = beta if beta is not None else default_failure_probability(n)
+    log_term = math.log(max(math.log(max(n, 3)) / b, math.e))
+    tail_term = 2.0 * math.log(2.0 / b)
+    return (2.0 * delta_star / epsilon) * gem_constant * log_term * tail_term
+
+
+def theorem_1_5_bound(
+    n: int,
+    epsilon: float,
+    down_sensitivity: float,
+    beta: float | None = None,
+    gem_constant: float = 1.0,
+) -> float:
+    """Theorem 1.5: the Theorem 1.3 bound with ``Δ* ≤ DS_fsf(G) + 1``
+    (Lemma 1.6) substituted."""
+    return theorem_1_3_bound(
+        n, epsilon, down_sensitivity + 1.0, beta=beta, gem_constant=gem_constant
+    )
+
+
+def erdos_renyi_error_bound(
+    n: int, epsilon: float, gem_constant: float = 1.0
+) -> float:
+    """Section 1.1.4: on ``G(n, c/n)`` the maximum degree is ``O(log n)``
+    w.h.p., so the additive error is ``Õ(log n / ε)``.  Reference curve
+    with Δ* replaced by ``log n``."""
+    return theorem_1_3_bound(n, epsilon, math.log(max(n, 3)), gem_constant=gem_constant)
+
+
+def geometric_error_bound(
+    n: int, epsilon: float, gem_constant: float = 1.0
+) -> float:
+    """Section 1.1.4: random geometric graphs have spanning 6-forests
+    (no induced 6-star), so the additive error is ``Õ(ln ln n / ε)`` with
+    Δ* ≤ 6."""
+    return theorem_1_3_bound(n, epsilon, 6.0, gem_constant=gem_constant)

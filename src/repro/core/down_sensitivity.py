@@ -1,0 +1,136 @@
+"""Down-sensitivity (Definition 1.4) and the generic extension of Lemma A.1.
+
+Down-sensitivity measures the largest change of a statistic between
+node-neighboring *induced subgraphs* of the input:
+
+    DS_f(G) = max |f(H') − f(H)|   over   H ⪯ H' ⪯ G, H, H' neighbors.
+
+For the spanning-forest size the paper proves a clean combinatorial
+characterization (Lemma 1.7): ``DS_fsf(G) = s(G)``, the induced-star
+number — which is how this module computes it efficiently.  A brute-force
+evaluator over the induced-subgraph poset is provided for validation and
+for arbitrary statistics ``f``.
+
+The module also implements the generic down-sensitivity-based Lipschitz
+extension of Lemma A.1,
+
+    b̂f_Δ(G) = min over H ⪯ G with DS_f(H) ≤ Δ of [ f(H) + Δ·d(H, G) ],
+
+whose anchor set is the *largest possible monotone anchor set*
+``S*_Δ = {G : DS_f(G) ≤ Δ}`` (Lemma A.3).  Its evaluation is exponential
+time; the library uses it on small graphs to validate the near-optimality
+claims for the LP-based extension (Lemma 1.9, Theorem 1.11).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graphs.components import spanning_forest_size
+from ..graphs.distance import all_vertex_subsets
+from ..graphs.graph import Graph
+from ..graphs.stars import star_number
+
+__all__ = [
+    "down_sensitivity_spanning_forest",
+    "down_sensitivity_brute_force",
+    "generic_lipschitz_extension",
+    "generic_extension_spanning_forest",
+    "in_optimal_anchor_set",
+]
+
+_BRUTE_FORCE_LIMIT = 16
+
+
+def down_sensitivity_spanning_forest(graph: Graph) -> int:
+    """Return ``DS_fsf(G)`` via Lemma 1.7: it equals the star number
+    ``s(G)``.
+
+    Exact; cost dominated by maximum-independent-set computations in
+    vertex neighborhoods (see :func:`repro.graphs.stars.star_number`).
+    """
+    return star_number(graph)
+
+
+def down_sensitivity_brute_force(
+    graph: Graph, statistic: Callable[[Graph], float]
+) -> float:
+    """Return ``DS_f(G)`` for an arbitrary statistic by enumerating every
+    node-neighboring pair of induced subgraphs.
+
+    Exponential (2^n subgraphs); guarded to small graphs.  Used by tests
+    to validate Lemma 1.7 and by experiments on arbitrary statistics.
+    """
+    n = graph.number_of_vertices()
+    if n > _BRUTE_FORCE_LIMIT:
+        raise ValueError(
+            f"brute-force down-sensitivity limited to {_BRUTE_FORCE_LIMIT} "
+            f"vertices, got {n}"
+        )
+    values: dict[frozenset, float] = {}
+    for subset in all_vertex_subsets(graph):
+        values[subset] = statistic(graph.induced_subgraph(subset))
+    best = 0.0
+    for subset, value in values.items():
+        for v in subset:
+            smaller = values[subset - {v}]
+            best = max(best, abs(value - smaller))
+    return best
+
+
+def generic_lipschitz_extension(
+    graph: Graph,
+    statistic: Callable[[Graph], float],
+    delta: float,
+    down_sensitivity: Callable[[Graph], float] | None = None,
+) -> float:
+    """Evaluate Lemma A.1's extension ``b̂f_Δ(G)`` by brute force.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (small; exponential enumeration).
+    statistic:
+        The monotone nondecreasing statistic ``f`` being extended.
+    delta:
+        Lipschitz parameter Δ > 0.
+    down_sensitivity:
+        Optional fast ``DS_f`` evaluator; defaults to the brute-force one
+        (which makes the whole call doubly exponential — fine for the
+        tiny graphs this is meant for, but pass
+        :func:`down_sensitivity_spanning_forest` when ``f = f_sf``).
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    ds = down_sensitivity or (
+        lambda h: down_sensitivity_brute_force(h, statistic)
+    )
+    n = graph.number_of_vertices()
+    if n > _BRUTE_FORCE_LIMIT:
+        raise ValueError(
+            f"generic extension limited to {_BRUTE_FORCE_LIMIT} vertices, got {n}"
+        )
+    best = float("inf")
+    for subset in all_vertex_subsets(graph):
+        sub = graph.induced_subgraph(subset)
+        if ds(sub) <= delta:
+            candidate = statistic(sub) + delta * (n - len(subset))
+            best = min(best, candidate)
+    return best
+
+
+def generic_extension_spanning_forest(graph: Graph, delta: float) -> float:
+    """``b̂f_Δ`` specialized to ``f = f_sf`` with the Lemma 1.7 shortcut
+    for down-sensitivity."""
+    return generic_lipschitz_extension(
+        graph,
+        spanning_forest_size,
+        delta,
+        down_sensitivity=down_sensitivity_spanning_forest,
+    )
+
+
+def in_optimal_anchor_set(graph: Graph, delta: float) -> bool:
+    """Return ``True`` if ``G ∈ S*_Δ = {G : DS_fsf(G) ≤ Δ}`` — membership
+    in the largest monotone anchor set (Lemma A.3)."""
+    return down_sensitivity_spanning_forest(graph) <= delta

@@ -1,0 +1,111 @@
+"""The Lipschitz-extension family ``{f_Δ}`` for the spanning-forest size.
+
+Wraps the forest-polytope LP (:mod:`repro.lp.forest_lp`) in a cached,
+graph-bound object implementing Algorithm 2 (``EvalLipschitzExtension``)
+for a whole family of Δ values, as Algorithm 1 / Algorithm 4 require.
+
+Lemma 3.3 properties (all verified by the test suite):
+
+1. underestimation: ``f_Δ(G) ≤ f_sf(G)``;
+2. monotonicity in Δ;
+3. ``f_Δ`` is Δ-Lipschitz w.r.t. node distance;
+4. exactness on graphs with a spanning Δ-forest;
+5. polynomial-time computability.
+"""
+
+from __future__ import annotations
+
+from ..graphs.components import spanning_forest_size
+from ..graphs.graph import Graph
+from ..lp.forest_lp import ForestLPResult, forest_polytope_value
+
+__all__ = ["SpanningForestExtension", "evaluate_lipschitz_extension"]
+
+
+def evaluate_lipschitz_extension(graph: Graph, delta: float, **lp_options) -> float:
+    """Algorithm 2: return ``f_Δ(G)`` for a single Δ.
+
+    Convenience wrapper; use :class:`SpanningForestExtension` when
+    evaluating several Δ on the same graph (it caches).
+    """
+    return forest_polytope_value(graph, delta, **lp_options).value
+
+
+class SpanningForestExtension:
+    """The family ``{f_Δ}_{Δ > 0}`` bound to one input graph, with caching.
+
+    Parameters
+    ----------
+    graph:
+        The input graph ``G``.  The object keeps a reference; callers
+        must not mutate ``G`` afterwards (values are cached per Δ).
+    use_fast_paths:
+        Forwarded to the LP evaluator (see
+        :func:`repro.lp.forest_lp.forest_polytope_value`).
+    separation_tolerance, max_rounds:
+        LP evaluation controls, forwarded likewise.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import star_graph
+    >>> ext = SpanningForestExtension(star_graph(4))
+    >>> ext.value(4)  # a spanning 4-forest exists: exact
+    4.0
+    >>> ext.value(1) <= ext.value(2) <= ext.value(4)  # monotone in delta
+    True
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        use_fast_paths: bool = True,
+        separation_tolerance: float = 1e-7,
+        max_rounds: int = 200,
+    ) -> None:
+        self._graph = graph
+        self._use_fast_paths = use_fast_paths
+        self._separation_tolerance = separation_tolerance
+        self._max_rounds = max_rounds
+        self._cache: dict[float, ForestLPResult] = {}
+        self._true_fsf = spanning_forest_size(graph)
+
+    @property
+    def graph(self) -> Graph:
+        """The bound input graph."""
+        return self._graph
+
+    @property
+    def true_value(self) -> int:
+        """The exact (non-private) ``f_sf(G)``."""
+        return self._true_fsf
+
+    def result(self, delta: float) -> ForestLPResult:
+        """Full LP result for ``f_Δ(G)`` (cached per Δ)."""
+        key = float(delta)
+        if key not in self._cache:
+            self._cache[key] = forest_polytope_value(
+                self._graph,
+                key,
+                use_fast_paths=self._use_fast_paths,
+                separation_tolerance=self._separation_tolerance,
+                max_rounds=self._max_rounds,
+            )
+        return self._cache[key]
+
+    def value(self, delta: float) -> float:
+        """Return ``f_Δ(G)``."""
+        return self.result(delta).value
+
+    def gap(self, delta: float) -> float:
+        """Return the approximation gap ``f_sf(G) − f_Δ(G) ≥ 0``."""
+        return max(self._true_fsf - self.value(delta), 0.0)
+
+    def is_exact_at(self, delta: float, tolerance: float = 1e-6) -> bool:
+        """Return ``True`` if ``f_Δ(G) = f_sf(G)`` (G is in the anchor set
+        ``S_Δ``), up to numerical tolerance."""
+        return self.gap(delta) <= tolerance
+
+    def evaluated_deltas(self) -> list[float]:
+        """Δ values whose results are currently cached (ascending)."""
+        return sorted(self._cache)

@@ -1,0 +1,104 @@
+"""Worst-case impossibility: why instance-based guarantees are needed.
+
+The introduction's obstacle: every graph is a node-neighbor of a
+connected graph, so ``f_cc`` has unbounded global sensitivity and *no*
+ε-node-private algorithm can be accurate on all graphs.  This module
+makes that argument quantitative via the standard group-privacy chain
+bound, so experiments can display the impossibility frontier next to
+measured accuracy.
+
+Group privacy: if ``d(G, G') = k`` then, for every event ``S``,
+``Pr[A(G) ∈ S] ≤ e^{kε}·Pr[A(G') ∈ S]``.  The hard family
+(:func:`hard_instance_chain`) fixes ``n − 1`` points and lets ``G_j``
+attach a hub to the first ``j`` of them: consecutive graphs differ by
+removing and re-inserting the hub (node distance ≤ 2) while
+``f_cc(G_j) = n − j`` sweeps a whole range.  Along a chain of length
+``k`` the statistic moves by ``k − 1`` but the outputs must remain
+``e^{2kε}``-indistinguishable; while ``2kε < ln 2`` the acceptance
+intervals of the endpoints cannot both capture 2/3 of their output
+mass, so some chain graph suffers error ``≥ (k − 1)/2`` with
+probability > 1/3 (:func:`worst_case_error_lower_bound`).
+
+This is exactly why the paper replaces worst-case accuracy by the
+instance-based bound of Theorem 1.3: the hard chain has ``Δ* = Θ(n)``
+at its connected end, and the paper's guarantee degrades gracefully to
+meet the impossibility frontier there.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graphs.graph import Graph
+
+__all__ = [
+    "worst_case_error_lower_bound",
+    "hard_instance_chain",
+    "chain_distance_budget",
+]
+
+
+def worst_case_error_lower_bound(n: int, epsilon: float) -> float:
+    """Error that *no* ε-node-private algorithm can beat on all n-vertex
+    graphs, with failure probability ≥ 1/3.
+
+    Statement proved (standard packing / group privacy): consider the
+    chain ``G_1, …, G_k`` of :func:`hard_instance_chain`, where
+    consecutive graphs are at node distance ≤ 2 and ``f_cc`` drops by
+    exactly one per step, so ``d(G_1, G_k) ≤ 2(k − 1)`` while
+    ``f_cc(G_1) − f_cc(G_k) = k − 1``.  Suppose an algorithm achieved
+    ``Pr[|A(G) − f_cc(G)| < (k − 1)/2] ≥ 2/3`` on both endpoints: their
+    acceptance intervals are disjoint, yet group privacy gives
+    ``Pr[A(G_1) ∈ I_k] ≥ e^{−2(k−1)ε}·Pr[A(G_k) ∈ I_k] ≥
+    e^{−2(k−1)ε}·2/3``, which exceeds the ≤ 1/3 mass left outside
+    ``I_1`` whenever ``2(k − 1)ε < ln 2`` — a contradiction.  Hence for
+    the largest such chain length some graph suffers error
+    ``≥ (k − 1)/2`` with probability > 1/3.
+
+    Returns 0 when the budget is too large for the argument to bite.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    k = min(1 + int(math.log(2.0) / (2.0 * epsilon)), n - 1)
+    return max((k - 1) / 2.0, 0.0)
+
+
+def hard_instance_chain(n: int, length: int) -> list[Graph]:
+    """Return node-neighbor chain ``G_0, …, G_length`` on ≤ n vertices.
+
+    ``G_0`` is the edgeless graph on ``n − 1`` points.  ``G_1`` adds a
+    hub adjacent to one point; each later step removes the hub and
+    re-inserts it adjacent to one more point — realized here as a list
+    of graphs where ``G_j`` (j ≥ 1) has the hub adjacent to points
+    ``0..j−1``.  Consecutive graphs are at node distance ≤ 2 (remove +
+    re-insert the hub), and ``f_cc(G_j) = n − j`` for ``j ≥ 1``.
+
+    Raises
+    ------
+    ValueError
+        If the requested chain does not fit on ``n`` vertices.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    if not 1 <= length <= n - 1:
+        raise ValueError(f"need 1 <= length <= n - 1, got {length}")
+    base = list(range(n - 1))
+    chain = [Graph(vertices=base)]
+    for j in range(1, length + 1):
+        g = Graph(vertices=base)
+        g.add_vertex_with_edges("hub", base[:j])
+        chain.append(g)
+    return chain
+
+
+def chain_distance_budget(chain_length: int, epsilon: float) -> float:
+    """The group-privacy multiplier ``e^{2·length·ε}`` along the hard
+    chain (each step costs node distance ≤ 2).  Exposed so experiments
+    can display how quickly indistinguishability decays."""
+    if chain_length < 0:
+        raise ValueError(f"chain_length must be >= 0, got {chain_length}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    return math.exp(2.0 * chain_length * epsilon)

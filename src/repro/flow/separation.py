@@ -1,0 +1,126 @@
+"""Padberg–Wolsey separation oracle for the forest polytope [PW83].
+
+The Δ-bounded forest polytope (Definition 3.1) has exponentially many
+constraints of the form
+
+    x(E[S]) ≤ |S| − 1      for all S ⊆ V, |S| ≥ 2.
+
+Given a candidate point ``x ≥ 0``, this module finds violated constraints
+in polynomial time.  The reduction: for a fixed vertex ``v``,
+
+    max_{S ∋ v} [ x(E[S]) − |S| + 1 ]
+
+is computed by a single min-cut in the bipartite *edge–vertex network*:
+
+* source ``s`` → edge-node ``e`` with capacity ``x(e)``;
+* edge-node ``e`` → each endpoint of ``e`` with capacity ∞;
+* vertex-node ``u`` → sink ``t`` with capacity 1, except the pinned
+  vertex ``v`` whose arc to ``t`` has capacity 0 (putting ``v`` in ``S``
+  is free, so the optimum always includes it).
+
+For a source-side vertex set ``S`` the cut pays ``x(e)`` for every edge
+not induced by ``S`` plus 1 per vertex of ``S − {v}``, so
+
+    min-cut = x(E) − max_{S ∋ v} [ x(E[S]) − (|S| − 1) ],
+
+and the constraint family is violated at ``x`` iff the max-flow value is
+strictly below ``x(E)`` for some pin ``v``.  The min-cut's source side
+yields the violated set ``S``.
+
+Everything is computed per support component (edges with ``x(e) > 0``),
+which keeps the networks small in the cutting-plane loop.
+"""
+
+from __future__ import annotations
+
+from ..graphs.components import connected_components
+from ..graphs.graph import Edge, Graph, Vertex, canonical_edge
+from .maxflow import INFINITY, FlowNetwork
+
+__all__ = ["find_violated_forest_sets", "most_violated_set_with_pin", "constraint_violation"]
+
+_DEFAULT_VIOLATION_TOL = 1e-7
+
+
+def constraint_violation(
+    graph: Graph, x: dict[Edge, float], subset: frozenset[Vertex]
+) -> float:
+    """Return ``x(E[S]) − (|S| − 1)`` for the set ``S = subset``; positive
+    values mean the forest constraint is violated at ``x``."""
+    total = 0.0
+    for u, v in graph.edges():
+        if u in subset and v in subset:
+            total += x.get(canonical_edge(u, v), 0.0)
+    return total - (len(subset) - 1)
+
+
+def most_violated_set_with_pin(
+    support: Graph,
+    x: dict[Edge, float],
+    pin: Vertex,
+) -> tuple[frozenset[Vertex], float]:
+    """Return the set ``S ∋ pin`` maximizing ``x(E[S]) − |S| + 1`` over the
+    support graph, together with that maximum value.
+
+    ``support`` must contain only edges with positive weight in ``x``.
+    """
+    network = FlowNetwork()
+    total_weight = 0.0
+    for e in support.edges():
+        weight = x.get(e, 0.0)
+        total_weight += weight
+        edge_node = ("edge", e)
+        network.add_edge("s", edge_node, weight)
+        network.add_edge(edge_node, ("vertex", e[0]), INFINITY)
+        network.add_edge(edge_node, ("vertex", e[1]), INFINITY)
+    for v in support.vertices():
+        network.add_edge(("vertex", v), "t", 0.0 if v == pin else 1.0)
+    flow = network.max_flow("s", "t")
+    excess = total_weight - flow
+    source_side = network.min_cut_source_side("s")
+    chosen = frozenset(
+        label[1]
+        for label in source_side
+        if isinstance(label, tuple) and label[0] == "vertex"
+    )
+    # The pinned vertex pays nothing, so it always belongs to the optimum.
+    chosen = chosen | frozenset([pin])
+    return chosen, excess
+
+
+def find_violated_forest_sets(
+    graph: Graph,
+    x: dict[Edge, float],
+    tolerance: float = _DEFAULT_VIOLATION_TOL,
+    max_sets: int = 256,
+) -> list[frozenset[Vertex]]:
+    """Return up to ``max_sets`` distinct vertex sets whose forest
+    constraints are violated at ``x`` by more than ``tolerance``.
+
+    An empty list certifies that ``x`` satisfies every constraint
+    ``x(E[S]) ≤ |S| − 1`` up to the tolerance.
+
+    Strategy: restrict to the support graph of ``x`` and, within each
+    support component, run the pinned min-cut once per vertex (every pin
+    can contribute a distinct cut; deep per-round separation is what
+    keeps the cutting-plane loop's round count low).
+    """
+    support = Graph(vertices=graph.vertices())
+    for e, weight in x.items():
+        if weight > tolerance:
+            support.add_edge(*e)
+
+    violated: list[frozenset[Vertex]] = []
+    seen: set[frozenset[Vertex]] = set()
+    for component in connected_components(support):
+        if len(component) < 2:
+            continue
+        comp_graph = support.induced_subgraph(component)
+        for pin in comp_graph.vertices():
+            subset, excess = most_violated_set_with_pin(comp_graph, x, pin)
+            if excess > tolerance and len(subset) >= 2 and subset not in seen:
+                seen.add(subset)
+                violated.append(subset)
+                if len(violated) >= max_sets:
+                    return violated
+    return violated

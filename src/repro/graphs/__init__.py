@@ -1,0 +1,101 @@
+"""Graph substrate: data structure, components, forests, stars, models.
+
+Everything the paper's algorithm needs from graph theory, implemented
+from scratch (networkx appears only in optional converters and tests).
+"""
+
+from .graph import Graph, Vertex, Edge, canonical_edge
+from .union_find import UnionFind
+from .components import (
+    connected_components,
+    component_of,
+    number_of_connected_components,
+    spanning_forest_size,
+    f_cc,
+    f_sf,
+    is_connected,
+    bfs_tree_edges,
+)
+from .forests import (
+    spanning_forest,
+    is_forest,
+    is_spanning_forest_of,
+    forest_max_degree,
+    RepairResult,
+    repair_spanning_forest,
+    spanning_forest_with_max_degree,
+    min_spanning_forest_degree_exact,
+    has_spanning_delta_forest_exact,
+    approx_min_degree_spanning_forest,
+    delta_star_lower_bound,
+    leaf_elimination_order,
+)
+from .stars import (
+    max_independent_set,
+    independence_number,
+    star_number,
+    star_number_lower_bound,
+    star_number_upper_bound,
+    find_max_induced_star,
+    has_induced_star,
+    is_induced_star,
+)
+from .distance import (
+    is_node_neighbor,
+    node_distance,
+    node_distance_induced,
+    all_induced_subgraphs,
+    all_vertex_subsets,
+    down_neighbor_pairs,
+)
+from .io import read_edge_list, write_edge_list, parse_edge_list, format_edge_list
+from . import generators
+from . import convert
+
+__all__ = [
+    "Graph",
+    "Vertex",
+    "Edge",
+    "canonical_edge",
+    "UnionFind",
+    "connected_components",
+    "component_of",
+    "number_of_connected_components",
+    "spanning_forest_size",
+    "f_cc",
+    "f_sf",
+    "is_connected",
+    "bfs_tree_edges",
+    "spanning_forest",
+    "is_forest",
+    "is_spanning_forest_of",
+    "forest_max_degree",
+    "RepairResult",
+    "repair_spanning_forest",
+    "spanning_forest_with_max_degree",
+    "min_spanning_forest_degree_exact",
+    "has_spanning_delta_forest_exact",
+    "approx_min_degree_spanning_forest",
+    "delta_star_lower_bound",
+    "leaf_elimination_order",
+    "max_independent_set",
+    "independence_number",
+    "star_number",
+    "star_number_lower_bound",
+    "star_number_upper_bound",
+    "find_max_induced_star",
+    "has_induced_star",
+    "is_induced_star",
+    "is_node_neighbor",
+    "node_distance",
+    "node_distance_induced",
+    "all_induced_subgraphs",
+    "all_vertex_subsets",
+    "down_neighbor_pairs",
+    "read_edge_list",
+    "write_edge_list",
+    "parse_edge_list",
+    "format_edge_list",
+    "generators",
+    "convert",
+]

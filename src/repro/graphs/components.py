@@ -1,0 +1,133 @@
+"""Connected components and the statistics ``f_cc`` and ``f_sf``.
+
+The paper's target statistic is ``f_cc(G)``, the number of connected
+components, which it rewrites (Equation (1)) in terms of the size of a
+spanning forest:
+
+    f_cc(G) = |V(G)| - f_sf(G)
+
+where ``f_sf(G)`` is the number of edges in any spanning (i.e. maximal)
+forest of ``G``.  This module provides exact, non-private computation of
+both statistics plus the component decomposition they are built on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from .graph import Graph, Vertex
+
+__all__ = [
+    "connected_components",
+    "component_of",
+    "number_of_connected_components",
+    "spanning_forest_size",
+    "f_cc",
+    "f_sf",
+    "is_connected",
+    "bfs_tree_edges",
+]
+
+
+def connected_components(graph: Graph) -> list[set[Vertex]]:
+    """Return the vertex sets of the connected components of ``graph``.
+
+    Components are reported in order of their first vertex (graph insertion
+    order), so the output is deterministic.
+    """
+    seen: set[Vertex] = set()
+    components: list[set[Vertex]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        component = component_of(graph, start)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def component_of(graph: Graph, start: Vertex) -> set[Vertex]:
+    """Return the vertex set of the component containing ``start`` (BFS)."""
+    if not graph.has_vertex(start):
+        raise KeyError(f"vertex {start!r} not in graph")
+    seen = {start}
+    queue: deque[Vertex] = deque([start])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return seen
+
+
+def number_of_connected_components(graph: Graph) -> int:
+    """Return ``f_cc(G)``, the number of connected components."""
+    return len(connected_components(graph))
+
+
+def spanning_forest_size(graph: Graph) -> int:
+    """Return ``f_sf(G)``, the number of edges in a spanning forest.
+
+    Computed as ``|V| - f_cc`` (Equation (1) of the paper); a spanning
+    forest of a graph with ``c`` components has exactly ``|V| - c`` edges.
+    """
+    return graph.number_of_vertices() - number_of_connected_components(graph)
+
+
+# The paper's notation, as aliases for readability at call sites.
+f_cc = number_of_connected_components
+f_sf = spanning_forest_size
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return ``True`` if the graph has at most one connected component.
+
+    The empty graph (no vertices) is considered connected.
+    """
+    n = graph.number_of_vertices()
+    if n <= 1:
+        return True
+    first = next(iter(graph.vertices()))
+    return len(component_of(graph, first)) == n
+
+
+def bfs_tree_edges(
+    graph: Graph, roots: Iterable[Vertex] | None = None
+) -> list[tuple[Vertex, Vertex]]:
+    """Return the edges of a BFS spanning forest.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    roots:
+        Optional iteration order for BFS roots; defaults to the graph's
+        vertex order.  Every vertex is eventually visited, so the result
+        always spans the whole graph.
+
+    Returns
+    -------
+    list of edges
+        ``(parent, child)`` pairs; exactly ``f_sf(G)`` of them.
+    """
+    seen: set[Vertex] = set()
+    edges: list[tuple[Vertex, Vertex]] = []
+    root_order = graph.vertex_list()
+    if roots is not None:
+        preferred = list(roots)
+        root_order = preferred + [v for v in root_order if v not in set(preferred)]
+    for root in root_order:
+        if root in seen or not graph.has_vertex(root):
+            continue
+        seen.add(root)
+        queue: deque[Vertex] = deque([root])
+        while queue:
+            u = queue.popleft()
+            for w in graph.neighbors(u):
+                if w not in seen:
+                    seen.add(w)
+                    edges.append((u, w))
+                    queue.append(w)
+    return edges

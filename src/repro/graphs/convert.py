@@ -1,0 +1,41 @@
+"""Interop with networkx (optional, used in tests for cross-validation).
+
+The core library never imports networkx; these converters let the test
+suite check our from-scratch algorithms against an independent
+implementation, and let downstream users move graphs in and out.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: Graph):
+    """Return a ``networkx.Graph`` with the same vertices and edges.
+
+    Raises
+    ------
+    ImportError
+        If networkx is not installed.
+    """
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Build a :class:`repro.graphs.Graph` from a ``networkx.Graph``.
+
+    Directed and multi-graphs are flattened to their simple undirected
+    skeleton; self-loops are dropped (our graphs are simple).
+    """
+    g = Graph(vertices=nx_graph.nodes())
+    for u, v in nx_graph.edges():
+        if u != v:
+            g.add_edge(u, v)
+    return g

@@ -1,0 +1,138 @@
+"""Node distance and the induced-subgraph poset (Definition 1.1, 1.4).
+
+The paper's metric on (labelled) graphs counts node operations: removing a
+vertex with all its incident edges, or inserting a vertex with arbitrary
+incident edges.  Two graphs at distance 1 are *node-neighbors*; this is
+the indistinguishability relation of node-differential privacy.
+
+For the library's main use cases the distance is simple:
+
+* a graph and an induced subgraph on ``k`` fewer vertices are at distance
+  exactly ``k`` (remove the missing vertices one by one);
+* for two arbitrary labelled graphs, the distance is
+  ``|V(G) Δ V(H)| + 2·τ`` where ``τ`` is the minimum vertex cover of the
+  *difference graph* on the shared vertices (each shared vertex whose
+  incident edges differ must be removed and later re-inserted, costing 2
+  operations; an untouched set ``S`` is feasible iff ``G[S] = H[S]``).
+
+The exact general distance is NP-hard (vertex cover); we compute it via
+the exact maximum-independent-set routine, so it is intended for the
+small graphs used in tests and optimality experiments.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+from .graph import Graph, Vertex, canonical_edge
+from .stars import max_independent_set
+
+__all__ = [
+    "is_node_neighbor",
+    "node_distance_induced",
+    "node_distance",
+    "all_induced_subgraphs",
+    "all_vertex_subsets",
+    "down_neighbor_pairs",
+]
+
+
+def is_node_neighbor(g: Graph, h: Graph) -> bool:
+    """Return ``True`` if one graph is obtained from the other by removing
+    a single vertex and all its incident edges (Definition 1.1)."""
+    ng, nh = g.number_of_vertices(), h.number_of_vertices()
+    if abs(ng - nh) != 1:
+        return False
+    big, small = (g, h) if ng > nh else (h, g)
+    small_vertices = set(small.vertices())
+    if not small_vertices <= set(big.vertices()):
+        return False
+    return big.induced_subgraph(small_vertices) == small
+
+
+def node_distance_induced(g: Graph, subgraph: Graph) -> int:
+    """Distance between ``g`` and one of its induced subgraphs.
+
+    Raises
+    ------
+    ValueError
+        If ``subgraph`` is not an induced subgraph of ``g``.
+    """
+    sub_vertices = set(subgraph.vertices())
+    if not sub_vertices <= set(g.vertices()):
+        raise ValueError("subgraph vertex set is not contained in g")
+    if g.induced_subgraph(sub_vertices) != subgraph:
+        raise ValueError("subgraph is not induced in g")
+    return g.number_of_vertices() - len(sub_vertices)
+
+
+def node_distance(g: Graph, h: Graph) -> int:
+    """Exact node distance between two labelled graphs.
+
+    Cost model: ``|V(G) Δ V(H)|`` single operations for vertices present
+    in only one graph, plus 2 operations for every shared vertex that must
+    be removed and re-inserted because its incident edges differ.  The
+    minimal such set is a minimum vertex cover of the difference graph on
+    the shared vertices.
+
+    Exponential-time in the worst case (exact vertex cover); use on small
+    graphs only.
+    """
+    vg, vh = set(g.vertices()), set(h.vertices())
+    shared = vg & vh
+    asymmetric = len(vg ^ vh)
+    diff_edges = _edge_symmetric_difference(g, h, shared)
+    if not diff_edges:
+        return asymmetric
+    diff_graph = Graph(vertices=shared, edges=diff_edges)
+    cover_size = len(shared) - len(max_independent_set(diff_graph))
+    return asymmetric + 2 * cover_size
+
+
+def _edge_symmetric_difference(
+    g: Graph, h: Graph, shared: set[Vertex]
+) -> set[tuple[Vertex, Vertex]]:
+    edges_g = {
+        canonical_edge(u, v)
+        for u, v in g.edges()
+        if u in shared and v in shared
+    }
+    edges_h = {
+        canonical_edge(u, v)
+        for u, v in h.edges()
+        if u in shared and v in shared
+    }
+    return edges_g ^ edges_h
+
+
+def all_vertex_subsets(
+    g: Graph, min_vertices: int = 0
+) -> Iterator[frozenset[Vertex]]:
+    """Yield every subset of ``V(g)`` with at least ``min_vertices``
+    elements, smallest subsets first.  Exponential; small graphs only."""
+    vertices = g.vertex_list()
+    for k in range(min_vertices, len(vertices) + 1):
+        for subset in combinations(vertices, k):
+            yield frozenset(subset)
+
+
+def all_induced_subgraphs(
+    g: Graph, min_vertices: int = 0
+) -> Iterator[tuple[frozenset[Vertex], Graph]]:
+    """Yield ``(vertex_subset, induced_subgraph)`` for every induced
+    subgraph of ``g`` (the poset ``H ⪯ G`` of Definition 1.4)."""
+    for subset in all_vertex_subsets(g, min_vertices):
+        yield subset, g.induced_subgraph(subset)
+
+
+def down_neighbor_pairs(g: Graph) -> Iterator[tuple[Graph, Graph]]:
+    """Yield every node-neighboring pair ``(H', H)`` with
+    ``H ≺ H' ⪯ G`` -- i.e. ``H'`` induced in ``g`` and ``H = H' - v``.
+
+    This enumerates exactly the pairs over which down-sensitivity
+    (Definition 1.4) maximizes.  Exponential; small graphs only.
+    """
+    for subset, sub in all_induced_subgraphs(g, min_vertices=1):
+        for v in subset:
+            yield sub, sub.without_vertex(v)

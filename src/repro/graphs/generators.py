@@ -1,0 +1,473 @@
+"""Graph generators for the paper's workloads.
+
+Implements every random model the paper analyses (Section 1.1.4) plus the
+deterministic families used in proofs, remarks, and our benchmarks:
+
+* ``erdos_renyi`` -- the G(n, p) model, including the sparse regime
+  ``np = c`` where the paper proves error ``Õ(log n / ε)``;
+* ``random_geometric_graph`` -- points in the unit square connected within
+  distance r; these graphs have no induced 6-star, hence spanning
+  6-forests (Section 1.1.4);
+* structured families: paths, cycles, stars (the tightness instance of
+  Remark 3.4 and the base case of Lemma 5.2), grids, caterpillars,
+  complete and complete-bipartite graphs, random trees and forests;
+* adversarial instances: a star plus isolated vertices, a graph plus an
+  all-adjacent hub (the "every graph is a neighbor of a connected graph"
+  obstacle from the introduction), and star-of-stars instances exhibiting
+  the Win decomposition of Lemma 5.2;
+* ``planted_components`` -- a population-with-classes workload motivating
+  f_cc estimation (Goodman 1949, and the Syrian-war deduplication example
+  from the introduction).
+
+All random generators take an explicit ``numpy.random.Generator`` so that
+every experiment in the repository is reproducible by seed.  Vertices are
+the integers ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "empty_graph",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "double_star_graph",
+    "grid_graph",
+    "caterpillar_graph",
+    "star_of_stars",
+    "star_plus_isolated",
+    "with_hub",
+    "disjoint_union",
+    "erdos_renyi",
+    "random_geometric_graph",
+    "random_tree",
+    "random_forest",
+    "stochastic_block_model",
+    "barabasi_albert",
+    "planted_components",
+    "random_graph_small",
+]
+
+
+# ----------------------------------------------------------------------
+# Deterministic families
+# ----------------------------------------------------------------------
+def empty_graph(n: int) -> Graph:
+    """Return the edgeless graph on vertices ``0..n-1``."""
+    _check_size(n)
+    return Graph(vertices=range(n))
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph K_n."""
+    _check_size(n)
+    return Graph(
+        vertices=range(n),
+        edges=((i, j) for i in range(n) for j in range(i + 1, n)),
+    )
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Return K_{a,b} with parts ``0..a-1`` and ``a..a+b-1``."""
+    _check_size(a)
+    _check_size(b)
+    return Graph(
+        vertices=range(a + b),
+        edges=((i, a + j) for i in range(a) for j in range(b)),
+    )
+
+
+def path_graph(n: int) -> Graph:
+    """Return the path on ``n`` vertices."""
+    _check_size(n)
+    return Graph(vertices=range(n), edges=((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle on ``n ≥ 3`` vertices."""
+    if n < 3:
+        raise ValueError(f"cycle needs at least 3 vertices, got {n}")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(k: int) -> Graph:
+    """Return the star K_{1,k}: hub 0 adjacent to leaves ``1..k``.
+
+    This is the paper's running tightness instance: Remark 3.4 (the
+    Lipschitz constant of f_Δ is exactly Δ) and the base case of
+    Lemma 5.2 / Theorem 1.11 use (Δ+1)-stars.
+    """
+    _check_size(k)
+    return Graph(vertices=range(k + 1), edges=((0, i) for i in range(1, k + 1)))
+
+
+def double_star_graph(a: int, b: int) -> Graph:
+    """Two adjacent hubs with ``a`` and ``b`` pendant leaves."""
+    _check_size(a)
+    _check_size(b)
+    g = Graph(vertices=range(a + b + 2), edges=[(0, 1)])
+    for i in range(a):
+        g.add_edge(0, 2 + i)
+    for j in range(b):
+        g.add_edge(1, 2 + a + j)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Return the ``rows × cols`` grid graph (max degree 4, s(G) ≤ 4)."""
+    _check_size(rows)
+    _check_size(cols)
+    g = Graph(vertices=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def caterpillar_graph(spine: int, legs: int) -> Graph:
+    """A path of ``spine`` vertices, each with ``legs`` pendant leaves.
+
+    Down-sensitivity scales with ``legs``; a tunable family for the
+    instance-based accuracy experiments.
+    """
+    _check_size(spine)
+    if legs < 0:
+        raise ValueError(f"legs must be non-negative, got {legs}")
+    g = path_graph(spine)
+    next_label = spine
+    for v in range(spine):
+        for _ in range(legs):
+            g.add_edge(v, next_label)
+            next_label += 1
+    return g
+
+
+def star_of_stars(branches: int, leaves_per_branch: int) -> Graph:
+    """A hub joined to ``branches`` sub-hubs, each with its own leaves.
+
+    These instances exhibit the Win decomposition (Lemma 5.1 / Figure 2):
+    removing the set ``X`` of sub-hubs shatters the graph into many
+    components, certifying that no low-degree spanning forest exists.
+    """
+    _check_size(branches)
+    _check_size(leaves_per_branch)
+    g = Graph(vertices=[0])
+    next_label = 1
+    for _ in range(branches):
+        sub_hub = next_label
+        next_label += 1
+        g.add_edge(0, sub_hub)
+        for _ in range(leaves_per_branch):
+            g.add_edge(sub_hub, next_label)
+            next_label += 1
+    return g
+
+
+def star_plus_isolated(star_size: int, isolated: int) -> Graph:
+    """The Remark 3.4 family: K_{1,star_size} plus isolated vertices.
+
+    With many isolated vertices, f_cc is large but a single added hub can
+    connect everything -- the core obstacle for node privacy.
+    """
+    g = star_graph(star_size)
+    offset = star_size + 1
+    for i in range(isolated):
+        g.add_vertex(offset + i)
+    return g
+
+
+def with_hub(graph: Graph, hub_label: object = "hub") -> Graph:
+    """Return a copy of ``graph`` plus one new vertex adjacent to all.
+
+    This realizes the introduction's observation that *every graph is a
+    node-neighbor of a connected graph*.
+    """
+    g = graph.copy()
+    g.add_vertex_with_edges(hub_label, list(graph.vertices()))
+    return g
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Graph:
+    """Return the disjoint union, relabelling vertices as ``(i, v)`` for
+    the ``i``-th input graph."""
+    g = Graph()
+    for i, part in enumerate(graphs):
+        for v in part.vertices():
+            g.add_vertex((i, v))
+        for u, v in part.edges():
+            g.add_edge((i, u), (i, v))
+    return g
+
+
+# ----------------------------------------------------------------------
+# Random models
+# ----------------------------------------------------------------------
+def erdos_renyi(n: int, p: float, rng: np.random.Generator) -> Graph:
+    """Sample G(n, p): each of the C(n,2) edges present independently
+    with probability ``p``.
+
+    Uses geometric skipping for sparse ``p``, so sampling is fast in the
+    paper's regime ``p = c/n``.
+    """
+    _check_size(n)
+    _check_probability(p)
+    g = empty_graph(n)
+    if p == 0 or n < 2:
+        return g
+    total_pairs = n * (n - 1) // 2
+    if p == 1:
+        return complete_graph(n)
+    # Skip-sampling: successive selected pair indices differ by Geometric(p).
+    index = -1
+    log1p = math.log1p(-p)
+    while True:
+        u = rng.random()
+        # Geometric jump >= 1; guard against u == 0.
+        jump = 1 + int(math.log(max(u, 1e-300)) / log1p)
+        index += jump
+        if index >= total_pairs:
+            break
+        g.add_edge(*_pair_from_index(index, n))
+    return g
+
+
+def _pair_from_index(index: int, n: int) -> tuple[int, int]:
+    """Map a linear index in ``[0, C(n,2))`` to the pair (i, j), i < j,
+    in lexicographic order."""
+    i = 0
+    remaining = index
+    row_length = n - 1
+    while remaining >= row_length:
+        remaining -= row_length
+        i += 1
+        row_length -= 1
+    return i, i + 1 + remaining
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    rng: np.random.Generator,
+    return_positions: bool = False,
+):
+    """Sample a random geometric graph: ``n`` uniform points in the unit
+    square, edges between pairs at Euclidean distance ≤ ``radius``.
+
+    Section 1.1.4: such graphs contain no induced 6-star (six points in a
+    unit disk cannot be pairwise further apart than the radius), hence
+    ``s(G) ≤ 5`` and a spanning 6-forest exists.
+
+    Returns the graph, or ``(graph, positions)`` if ``return_positions``.
+    """
+    _check_size(n)
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    positions = rng.random((n, 2))
+    g = empty_graph(n)
+    if n >= 2 and radius > 0:
+        # Grid-bucket the points so neighbor search is near-linear.
+        cell = max(radius, 1e-9)
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for i in range(n):
+            key = (int(positions[i, 0] / cell), int(positions[i, 1] / cell))
+            buckets.setdefault(key, []).append(i)
+        r2 = radius * radius
+        for (bx, by), members in buckets.items():
+            for dx in (0, 1):
+                for dy in (-1, 0, 1):
+                    if dx == 0 and dy < 0:
+                        continue
+                    other = buckets.get((bx + dx, by + dy))
+                    if other is None:
+                        continue
+                    for i in members:
+                        for j in other:
+                            if (dx, dy) == (0, 0) and j <= i:
+                                continue
+                            d2 = (positions[i, 0] - positions[j, 0]) ** 2 + (
+                                positions[i, 1] - positions[j, 1]
+                            ) ** 2
+                            if d2 <= r2:
+                                g.add_edge(i, j)
+    if return_positions:
+        return g, positions
+    return g
+
+
+def random_tree(n: int, rng: np.random.Generator) -> Graph:
+    """Sample a uniformly random labelled tree on ``n`` vertices via a
+    random Prüfer sequence."""
+    _check_size(n)
+    if n <= 1:
+        return empty_graph(n)
+    if n == 2:
+        return Graph(vertices=range(2), edges=[(0, 1)])
+    sequence = [int(rng.integers(0, n)) for _ in range(n - 2)]
+    return _tree_from_pruefer(sequence, n)
+
+
+def _tree_from_pruefer(sequence: list[int], n: int) -> Graph:
+    degree = [1] * n
+    for v in sequence:
+        degree[v] += 1
+    g = empty_graph(n)
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in sequence:
+        leaf = heapq.heappop(leaves)
+        g.add_edge(leaf, v)
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    w = heapq.heappop(leaves)
+    g.add_edge(u, w)
+    return g
+
+
+def random_forest(
+    n: int, n_trees: int, rng: np.random.Generator
+) -> Graph:
+    """Sample a forest on ``n`` vertices with exactly ``n_trees`` trees:
+    random sizes (stars-and-bars), each tree uniform via Prüfer."""
+    _check_size(n)
+    if not 1 <= n_trees <= max(n, 1):
+        raise ValueError(f"need 1 <= n_trees <= n, got {n_trees} for n={n}")
+    if n == 0:
+        return empty_graph(0)
+    cuts = sorted(rng.choice(n - 1, size=n_trees - 1, replace=False)) if n_trees > 1 else []
+    sizes = []
+    prev = 0
+    for c in cuts:
+        sizes.append(int(c) + 1 - prev)
+        prev = int(c) + 1
+    sizes.append(n - prev)
+    parts = [random_tree(size, rng) for size in sizes]
+    union = disjoint_union(parts)
+    return _relabel_to_integers(union)
+
+
+def stochastic_block_model(
+    sizes: Sequence[int],
+    p_matrix: Sequence[Sequence[float]],
+    rng: np.random.Generator,
+) -> Graph:
+    """Sample a stochastic block model with the given block sizes and
+    symmetric edge-probability matrix."""
+    k = len(sizes)
+    if len(p_matrix) != k or any(len(row) != k for row in p_matrix):
+        raise ValueError("p_matrix must be k x k for k blocks")
+    offsets = [0]
+    for size in sizes:
+        _check_size(size)
+        offsets.append(offsets[-1] + size)
+    n = offsets[-1]
+    g = empty_graph(n)
+    for a in range(k):
+        for b in range(a, k):
+            p = p_matrix[a][b]
+            _check_probability(p)
+            if p == 0:
+                continue
+            for i in range(offsets[a], offsets[a + 1]):
+                start = i + 1 if a == b else offsets[b]
+                for j in range(start, offsets[b + 1]):
+                    if rng.random() < p:
+                        g.add_edge(i, j)
+    return g
+
+
+def barabasi_albert(n: int, m: int, rng: np.random.Generator) -> Graph:
+    """Sample a Barabási–Albert preferential-attachment graph: each new
+    vertex attaches to ``m`` existing vertices chosen proportionally to
+    degree."""
+    _check_size(n)
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if n < m + 1:
+        raise ValueError(f"need n >= m + 1, got n={n}, m={m}")
+    g = empty_graph(n)
+    # Seed: star on vertices 0..m (ensures every vertex has degree >= 1).
+    targets = list(range(m))
+    repeated: list[int] = []
+    for v in range(m, n):
+        chosen = set()
+        candidates = list(targets)
+        while len(chosen) < m:
+            pick = candidates[int(rng.integers(0, len(candidates)))]
+            chosen.add(pick)
+        for u in chosen:
+            g.add_edge(v, u)
+            repeated.extend([u, v])
+        targets = repeated
+    return g
+
+
+def planted_components(
+    component_sizes: Sequence[int],
+    internal_p: float,
+    rng: np.random.Generator,
+) -> Graph:
+    """A "classes in a population" workload: disjoint Erdős–Rényi blobs.
+
+    Each class of size ``s`` becomes a G(s, internal_p) blob with a
+    spanning tree added so the class is guaranteed connected -- the number
+    of connected components is then exactly ``len(component_sizes)``.
+    """
+    _check_probability(internal_p)
+    parts = []
+    for size in component_sizes:
+        blob = erdos_renyi(size, internal_p, rng)
+        if size > 1:
+            tree = random_tree(size, rng)
+            for u, v in tree.edges():
+                if not blob.has_edge(u, v):
+                    blob.add_edge(u, v)
+        parts.append(blob)
+    return _relabel_to_integers(disjoint_union(parts))
+
+
+def random_graph_small(
+    n: int, rng: np.random.Generator, edge_probability: float | None = None
+) -> Graph:
+    """Convenience: a small G(n, p) with p drawn uniformly if not given.
+
+    Used by property-based tests to cover both sparse and dense regimes.
+    """
+    p = float(rng.random()) if edge_probability is None else edge_probability
+    return erdos_renyi(n, p, rng)
+
+
+def _relabel_to_integers(graph: Graph) -> Graph:
+    mapping = {v: i for i, v in enumerate(graph.vertices())}
+    g = Graph(vertices=range(len(mapping)))
+    for u, v in graph.edges():
+        g.add_edge(mapping[u], mapping[v])
+    return g
+
+
+def _check_size(n: int) -> None:
+    if n < 0:
+        raise ValueError(f"size must be non-negative, got {n}")
+
+
+def _check_probability(p: float) -> None:
+    if not 0 <= p <= 1:
+        raise ValueError(f"probability must be in [0, 1], got {p}")

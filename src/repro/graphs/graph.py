@@ -1,0 +1,290 @@
+"""Core undirected-graph data structure.
+
+The paper studies databases that represent undirected, unweighted graphs.
+This module provides the :class:`Graph` class used throughout the library:
+a simple, explicit adjacency-set representation with the operations the
+algorithms need -- vertex/edge insertion and removal, induced subgraphs,
+degree queries, and neighborhood views.
+
+Design notes
+------------
+* Vertices may be arbitrary hashable objects (ints in most of the library).
+* Edges are stored once per endpoint in adjacency sets; the canonical edge
+  form returned by :meth:`Graph.edges` is a sorted 2-tuple, so iteration
+  order is deterministic for sortable vertex types.
+* Self-loops are rejected: the paper's graphs are simple.
+* The class is deliberately small: algorithmic logic lives in the sibling
+  modules (``components``, ``forests``, ``stars``, ...) so each piece can be
+  tested in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+__all__ = ["Graph", "Vertex", "Edge", "canonical_edge"]
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (sorted) form of the undirected edge ``{u, v}``.
+
+    Sorting keeps edge iteration deterministic and lets edge tuples be used
+    as dictionary keys regardless of insertion orientation.  Falls back to
+    sorting by ``repr`` when the two endpoints are not mutually orderable
+    (e.g. mixed types).
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """A simple undirected graph backed by adjacency sets.
+
+    Parameters
+    ----------
+    vertices:
+        Optional iterable of initial vertices.
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Endpoints not already
+        present are added automatically.
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(0, 1), (1, 2)])
+    >>> g.number_of_vertices(), g.number_of_edges()
+    (3, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[tuple[Vertex, Vertex]] = (),
+    ) -> None:
+        self._adj: dict[Vertex, set[Vertex]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction and mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        """Add vertex ``v`` (a no-op if it is already present)."""
+        if v not in self._adj:
+            self._adj[v] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``{u, v}``, adding endpoints as needed.
+
+        Raises
+        ------
+        ValueError
+            If ``u == v`` (self-loops are not allowed in simple graphs).
+        """
+        if u == v:
+            raise ValueError(f"self-loops are not allowed: ({u!r}, {v!r})")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``.
+
+        Raises
+        ------
+        KeyError
+            If the edge is not present.
+        """
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove vertex ``v`` and all edges incident on it.
+
+        This is exactly the "node removal" operation of the paper's
+        node-neighbor relation (Definition 1.1).
+
+        Raises
+        ------
+        KeyError
+            If ``v`` is not a vertex of the graph.
+        """
+        neighbors = self._adj.pop(v)  # raises KeyError if absent
+        for u in neighbors:
+            self._adj[u].discard(v)
+
+    def add_vertex_with_edges(self, v: Vertex, neighbors: Iterable[Vertex]) -> None:
+        """Insert a new vertex ``v`` adjacent to each vertex in ``neighbors``.
+
+        This is the "node insertion" operation of Definition 1.1.  All
+        neighbors must already exist in the graph, so that the operation is
+        the exact inverse of :meth:`remove_vertex`.
+
+        Raises
+        ------
+        ValueError
+            If ``v`` already exists or some neighbor does not.
+        """
+        if v in self._adj:
+            raise ValueError(f"vertex {v!r} already in graph")
+        neighbor_list = list(neighbors)
+        for u in neighbor_list:
+            if u not in self._adj:
+                raise ValueError(f"neighbor {u!r} not in graph")
+        self.add_vertex(v)
+        for u in neighbor_list:
+            self.add_edge(v, u)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_vertex(self, v: Vertex) -> bool:
+        """Return ``True`` if ``v`` is a vertex of the graph."""
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` if the edge ``{u, v}`` is present."""
+        return u in self._adj and v in self._adj[u]
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over the vertices in insertion order."""
+        return iter(self._adj)
+
+    def vertex_list(self) -> list[Vertex]:
+        """Return the vertices as a list (insertion order)."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges, each reported once in canonical form."""
+        seen: set[Edge] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                e = canonical_edge(u, v)
+                if e not in seen:
+                    seen.add(e)
+                    yield e
+
+    def edge_list(self) -> list[Edge]:
+        """Return all edges as a list of canonical 2-tuples."""
+        return list(self.edges())
+
+    def neighbors(self, v: Vertex) -> frozenset[Vertex]:
+        """Return the neighbor set of ``v`` as an immutable view copy.
+
+        Raises
+        ------
+        KeyError
+            If ``v`` is not in the graph.
+        """
+        return frozenset(self._adj[v])
+
+    def degree(self, v: Vertex) -> int:
+        """Return the degree of vertex ``v``."""
+        return len(self._adj[v])
+
+    def degrees(self) -> dict[Vertex, int]:
+        """Return a dictionary mapping every vertex to its degree."""
+        return {v: len(nbrs) for v, nbrs in self._adj.items()}
+
+    def max_degree(self) -> int:
+        """Return the maximum degree, or 0 for a graph with no vertices."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def number_of_vertices(self) -> int:
+        """Return ``|V(G)|``."""
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        """Return ``|E(G)|``."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def is_empty(self) -> bool:
+        """Return ``True`` if the graph has no edges (``E(G) = ∅``)."""
+        return all(not nbrs for nbrs in self._adj.values())
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    def induced_subgraph(self, vertex_subset: Iterable[Vertex]) -> "Graph":
+        """Return the subgraph induced by ``vertex_subset``.
+
+        Vertices not present in the graph are ignored, so the operation is
+        safe to use with over-approximations of the vertex set.
+        """
+        keep = {v for v in vertex_subset if v in self._adj}
+        g = Graph()
+        g._adj = {v: self._adj[v] & keep for v in self._adj if v in keep}
+        return g
+
+    def without_vertex(self, v: Vertex) -> "Graph":
+        """Return a copy of the graph with vertex ``v`` removed.
+
+        Equivalent to ``induced_subgraph(V - {v})`` but cheaper.
+        """
+        g = self.copy()
+        g.remove_vertex(v)
+        return g
+
+    def subgraph_with_edges(self, edges: Iterable[tuple[Vertex, Vertex]]) -> "Graph":
+        """Return the spanning subgraph on the same vertex set with the
+        given edge subset.
+
+        Used to turn a set of forest edges into a forest *graph* that
+        spans every vertex of ``self`` (including isolated ones).
+
+        Raises
+        ------
+        ValueError
+            If some edge is not an edge of this graph.
+        """
+        g = Graph(vertices=self.vertices())
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise ValueError(f"({u!r}, {v!r}) is not an edge of the graph")
+            g.add_edge(u, v)
+        return g
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural (labelled) equality: same vertices and same edges."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(n={self.number_of_vertices()}, "
+            f"m={self.number_of_edges()})"
+        )

@@ -1,0 +1,77 @@
+"""Edge-list I/O for graphs.
+
+A minimal, line-oriented text format:
+
+* ``# ...`` lines are comments;
+* ``u v`` lines declare an edge (and both endpoints);
+* a single-token line ``v`` declares an isolated vertex (needed because
+  ``f_cc`` is sensitive to isolated vertices, which plain edge lists
+  cannot represent).
+
+Vertex labels are read back as ``int`` when possible, otherwise ``str``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, TextIO
+
+from .graph import Graph
+
+__all__ = ["read_edge_list", "write_edge_list", "parse_edge_list", "format_edge_list"]
+
+
+def _parse_label(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def parse_edge_list(lines: Iterable[str]) -> Graph:
+    """Parse an edge list from an iterable of lines."""
+    g = Graph()
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        if len(tokens) == 1:
+            g.add_vertex(_parse_label(tokens[0]))
+        elif len(tokens) == 2:
+            g.add_edge(_parse_label(tokens[0]), _parse_label(tokens[1]))
+        else:
+            raise ValueError(
+                f"line {line_number}: expected 1 or 2 tokens, got {len(tokens)}: {line!r}"
+            )
+    return g
+
+
+def format_edge_list(graph: Graph) -> str:
+    """Serialize a graph to the edge-list format (deterministic order)."""
+    lines = [f"# vertices: {graph.number_of_vertices()}"]
+    lines.append(f"# edges: {graph.number_of_edges()}")
+    isolated = [v for v in graph.vertices() if graph.degree(v) == 0]
+    for v in isolated:
+        lines.append(str(v))
+    for u, v in graph.edges():
+        lines.append(f"{u} {v}")
+    return "\n".join(lines) + "\n"
+
+
+def read_edge_list(path: str | os.PathLike | TextIO) -> Graph:
+    """Read a graph from a path or an open text file."""
+    if hasattr(path, "read"):
+        return parse_edge_list(path)  # type: ignore[arg-type]
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_edge_list(handle)
+
+
+def write_edge_list(graph: Graph, path: str | os.PathLike | TextIO) -> None:
+    """Write a graph to a path or an open text file."""
+    text = format_edge_list(graph)
+    if hasattr(path, "write"):
+        path.write(text)  # type: ignore[union-attr]
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

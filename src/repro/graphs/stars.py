@@ -1,0 +1,222 @@
+"""Induced stars and the star number ``s(G)``.
+
+An *induced k-star* centered at ``v0`` consists of vertices
+``v0, v1, ..., vk`` with ``(v0, vi)`` an edge for all i and ``(vi, vj)``
+a non-edge for all leaf pairs.  The *star number* ``s(G)`` is the largest
+``k`` such that ``G`` has an induced k-star (0 for edgeless graphs).
+
+The star number is the bridge between the paper's combinatorics and its
+privacy analysis: Lemma 1.7 proves ``DS_fsf(G) = s(G)`` (the
+down-sensitivity of the spanning-forest size), and Lemma 1.8 proves that
+``s(G) < Δ`` implies a spanning Δ-forest exists.
+
+Computing ``s(G)`` exactly requires, for each vertex ``v``, a maximum
+independent set of the subgraph induced by the neighborhood ``N(v)``:
+the leaves of an induced star at ``v`` are exactly an independent set of
+``G[N(v)]``.  Maximum independent set is NP-hard in general, so the exact
+routine uses branch-and-bound with degree reductions (fast for the sparse
+neighborhoods arising in our workloads) and greedy routines provide cheap
+lower bounds for large instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .graph import Graph, Vertex
+
+__all__ = [
+    "max_independent_set",
+    "independence_number",
+    "star_number",
+    "star_number_lower_bound",
+    "star_number_upper_bound",
+    "find_max_induced_star",
+    "has_induced_star",
+    "is_induced_star",
+]
+
+
+def max_independent_set(graph: Graph) -> set[Vertex]:
+    """Return a maximum independent set of ``graph`` (exact).
+
+    Branch-and-bound with standard reductions:
+
+    * a vertex of degree 0 is always taken;
+    * for a vertex of degree 1 there is always an optimal solution taking
+      it (rather than its single neighbor), so it is taken greedily;
+    * otherwise branch on a maximum-degree vertex ``v``: either exclude
+      ``v``, or include it and delete its closed neighborhood.
+
+    Worst-case exponential; intended for the modest neighborhood subgraphs
+    used by :func:`star_number` and for validation on small graphs.
+    """
+    adjacency = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    best: set[Vertex] = set()
+    _mis_branch(adjacency, set(), best)
+    return best
+
+
+def _mis_branch(
+    adjacency: dict[Vertex, set[Vertex]],
+    chosen: set[Vertex],
+    best: set[Vertex],
+) -> None:
+    """Recursive branch-and-bound helper mutating ``best`` in place."""
+    # Reductions: repeatedly take degree-0 and degree-1 vertices.
+    adjacency = {v: set(nbrs) for v, nbrs in adjacency.items()}
+    chosen = set(chosen)
+    reduced = True
+    while reduced:
+        reduced = False
+        for v in list(adjacency):
+            if v not in adjacency:
+                continue
+            degree = len(adjacency[v])
+            if degree == 0:
+                chosen.add(v)
+                del adjacency[v]
+                reduced = True
+            elif degree == 1:
+                chosen.add(v)
+                (u,) = adjacency[v]
+                _delete_vertex(adjacency, u)
+                _delete_vertex(adjacency, v)
+                reduced = True
+    if not adjacency:
+        if len(chosen) > len(best):
+            best.clear()
+            best.update(chosen)
+        return
+    # Bound: even taking every remaining vertex cannot beat `best`.
+    if len(chosen) + len(adjacency) <= len(best):
+        return
+    v = max(adjacency, key=lambda u: (len(adjacency[u]), repr(u)))
+    # Branch 1: include v, delete N[v].
+    with_v = {u: set(nbrs) for u, nbrs in adjacency.items()}
+    for u in list(with_v[v]):
+        _delete_vertex(with_v, u)
+    _delete_vertex(with_v, v)
+    _mis_branch(with_v, chosen | {v}, best)
+    # Branch 2: exclude v.
+    without_v = {u: set(nbrs) for u, nbrs in adjacency.items()}
+    _delete_vertex(without_v, v)
+    _mis_branch(without_v, chosen, best)
+
+
+def _delete_vertex(adjacency: dict[Vertex, set[Vertex]], v: Vertex) -> None:
+    for u in adjacency.pop(v, ()):  # type: ignore[arg-type]
+        adjacency[u].discard(v)
+
+
+def independence_number(graph: Graph) -> int:
+    """Return the size of a maximum independent set of ``graph``."""
+    return len(max_independent_set(graph))
+
+
+def star_number(graph: Graph) -> int:
+    """Return ``s(G)``, the largest size of an induced star (exact).
+
+    For every vertex ``v`` with at least one neighbor, the best induced
+    star centered at ``v`` has exactly ``α(G[N(v)])`` leaves, where α is
+    the independence number.  Edgeless graphs have ``s(G) = 0``.
+    """
+    best = 0
+    for v in graph.vertices():
+        degree = graph.degree(v)
+        if degree <= best:
+            continue  # cannot beat the current best even with all leaves
+        neighborhood = graph.induced_subgraph(graph.neighbors(v))
+        best = max(best, independence_number(neighborhood))
+    return best
+
+
+def find_max_induced_star(graph: Graph) -> Optional[tuple[Vertex, frozenset[Vertex]]]:
+    """Return ``(center, leaves)`` of a maximum induced star, or ``None``
+    for an edgeless graph."""
+    best: Optional[tuple[Vertex, frozenset[Vertex]]] = None
+    best_size = 0
+    for v in graph.vertices():
+        if graph.degree(v) <= best_size:
+            continue
+        neighborhood = graph.induced_subgraph(graph.neighbors(v))
+        leaves = max_independent_set(neighborhood)
+        if len(leaves) > best_size:
+            best_size = len(leaves)
+            best = (v, frozenset(leaves))
+    return best
+
+
+def star_number_lower_bound(graph: Graph) -> int:
+    """Return a greedy lower bound on ``s(G)`` (fast, for large graphs).
+
+    For each vertex, greedily build an independent subset of its
+    neighborhood in sorted order.
+    """
+    best = 0
+    for v in graph.vertices():
+        if graph.degree(v) <= best:
+            continue
+        picked: list[Vertex] = []
+        picked_set: set[Vertex] = set()
+        for u in sorted(graph.neighbors(v), key=repr):
+            if picked_set.isdisjoint(graph.neighbors(u)):
+                picked.append(u)
+                picked_set.add(u)
+        best = max(best, len(picked))
+    return best
+
+
+def star_number_upper_bound(graph: Graph) -> int:
+    """Return a cheap upper bound on ``s(G)`` (for large graphs).
+
+    For each vertex ``v``, the leaves of an induced star at ``v`` form an
+    independent set of the neighborhood graph ``H = G[N(v)]``.  An
+    independent set contains at most one endpoint of each matching edge,
+    so ``α(H) ≤ |V(H)| − |M|`` for *any* matching ``M`` of ``H``.  Using
+    a greedy maximal matching, the bound per vertex is
+    ``deg(v) − |M|``; the result is the maximum over vertices.
+
+    Always at least :func:`star_number`; cost ``O(Σ_v deg(v)²)`` worst
+    case, no exponential independent-set search.
+    """
+    best = 0
+    for v in graph.vertices():
+        degree = graph.degree(v)
+        if degree <= best:
+            continue
+        neighborhood = graph.neighbors(v)
+        matched: set[Vertex] = set()
+        matching_size = 0
+        for u in sorted(neighborhood, key=repr):
+            if u in matched:
+                continue
+            for w in graph.neighbors(u):
+                if w in neighborhood and w not in matched and w != u:
+                    matched.add(u)
+                    matched.add(w)
+                    matching_size += 1
+                    break
+        best = max(best, degree - matching_size)
+    return best
+
+
+def has_induced_star(graph: Graph, k: int) -> bool:
+    """Return ``True`` if ``graph`` has an induced k-star (``k ≥ 1``)."""
+    if k < 1:
+        raise ValueError(f"star size must be >= 1, got {k}")
+    return star_number(graph) >= k
+
+
+def is_induced_star(graph: Graph, center: Vertex, leaves: tuple[Vertex, ...]) -> bool:
+    """Verify an induced-star certificate against ``graph``."""
+    if len(set(leaves)) != len(leaves) or center in leaves:
+        return False
+    if not all(graph.has_edge(center, leaf) for leaf in leaves):
+        return False
+    leaves_list = list(leaves)
+    for i, a in enumerate(leaves_list):
+        for b in leaves_list[i + 1 :]:
+            if graph.has_edge(a, b):
+                return False
+    return True

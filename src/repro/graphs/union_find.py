@@ -1,0 +1,104 @@
+"""Disjoint-set (union-find) data structure.
+
+Used by the spanning-forest construction (Kruskal-style) and by the
+connected-component routines.  Implements union by rank with full path
+compression, giving near-constant amortized operations.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable elements.
+
+    Elements are registered lazily by :meth:`find` / :meth:`union`, or
+    eagerly via the constructor.
+
+    Examples
+    --------
+    >>> uf = UnionFind([1, 2, 3])
+    >>> uf.union(1, 2)
+    True
+    >>> uf.connected(1, 2), uf.connected(1, 3)
+    (True, False)
+    >>> uf.component_count()
+    2
+    """
+
+    __slots__ = ("_parent", "_rank", "_count")
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
+        self._count = 0
+        for x in elements:
+            self.add(x)
+
+    def add(self, x: Hashable) -> None:
+        """Register ``x`` as a singleton set (no-op if already present)."""
+        if x not in self._parent:
+            self._parent[x] = x
+            self._rank[x] = 0
+            self._count += 1
+
+    def find(self, x: Hashable) -> Hashable:
+        """Return the representative of the set containing ``x``.
+
+        ``x`` is registered as a singleton if it was not seen before.
+        Iterative path compression keeps trees flat.
+        """
+        self.add(x)
+        root = x
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, x: Hashable, y: Hashable) -> bool:
+        """Merge the sets containing ``x`` and ``y``.
+
+        Returns
+        -------
+        bool
+            ``True`` if a merge happened, ``False`` if ``x`` and ``y`` were
+            already in the same set.
+        """
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._rank[rx] < self._rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if self._rank[rx] == self._rank[ry]:
+            self._rank[rx] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, x: Hashable, y: Hashable) -> bool:
+        """Return ``True`` if ``x`` and ``y`` are in the same set."""
+        return self.find(x) == self.find(y)
+
+    def component_count(self) -> int:
+        """Return the current number of disjoint sets."""
+        return self._count
+
+    def groups(self) -> list[set[Hashable]]:
+        """Return the sets as a list of Python sets (deterministic order
+        by first-seen representative)."""
+        by_root: dict[Hashable, set[Hashable]] = {}
+        for x in self._parent:
+            by_root.setdefault(self.find(x), set()).add(x)
+        return list(by_root.values())
+
+    def __len__(self) -> int:
+        """Return the number of registered elements."""
+        return len(self._parent)
+
+    def __contains__(self, x: Hashable) -> bool:
+        return x in self._parent

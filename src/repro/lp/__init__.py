@@ -1,0 +1,23 @@
+"""Linear-programming substrate: the Δ-bounded forest polytope LP."""
+
+from .forest_lp import (
+    EXACT_THRESHOLD,
+    ForestLPError,
+    ForestLPResult,
+    forest_polytope_value,
+    forest_lp_component,
+)
+from .column_generation import (
+    ColumnGenerationResult,
+    forest_value_column_generation,
+)
+
+__all__ = [
+    "EXACT_THRESHOLD",
+    "ForestLPError",
+    "ForestLPResult",
+    "forest_polytope_value",
+    "forest_lp_component",
+    "ColumnGenerationResult",
+    "forest_value_column_generation",
+]

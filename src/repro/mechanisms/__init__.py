@@ -1,0 +1,31 @@
+"""Differential-privacy mechanism substrate.
+
+Laplace mechanism (Theorem 2.2), exponential mechanism (Theorem B.1),
+the Generalized Exponential Mechanism (Algorithm 4, [RS16b]), and basic
+composition accounting (Lemma 2.4).
+"""
+
+from .laplace import (
+    LaplaceMechanism,
+    laplace_noise,
+    laplace_tail_probability,
+    laplace_tail_quantile,
+)
+from .exponential import exponential_mechanism, exponential_mechanism_probabilities
+from .gem import GEMResult, generalized_exponential_mechanism, power_of_two_grid
+from .accountant import BudgetExceededError, PrivacyAccountant, split_budget
+
+__all__ = [
+    "LaplaceMechanism",
+    "laplace_noise",
+    "laplace_tail_probability",
+    "laplace_tail_quantile",
+    "exponential_mechanism",
+    "exponential_mechanism_probabilities",
+    "GEMResult",
+    "generalized_exponential_mechanism",
+    "power_of_two_grid",
+    "BudgetExceededError",
+    "PrivacyAccountant",
+    "split_budget",
+]

@@ -1,0 +1,80 @@
+"""Privacy budget accounting (basic composition, Lemma 2.4).
+
+Pure-ε differential privacy composes additively: running ``t`` mechanisms
+with budgets ``ε_1, …, ε_t`` and post-processing their outputs is
+``(Σ ε_i)``-private.  :class:`PrivacyAccountant` tracks spending against a
+total budget so composite algorithms (like Algorithm 1) can assert they
+stay within their advertised ε.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BudgetExceededError", "PrivacyAccountant", "split_budget"]
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a spend would push the accountant past its budget."""
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks ε spending under basic (additive) composition.
+
+    Examples
+    --------
+    >>> acct = PrivacyAccountant(total_epsilon=1.0)
+    >>> acct.spend(0.5, "gem selection")
+    >>> acct.remaining()
+    0.5
+    """
+
+    total_epsilon: float
+    _ledger: list[tuple[str, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_epsilon <= 0:
+            raise ValueError(f"total_epsilon must be > 0, got {self.total_epsilon}")
+
+    def spend(self, epsilon: float, label: str = "") -> None:
+        """Record a spend of ``epsilon``; raise if it exceeds the budget.
+
+        A tiny relative slack (1e-9) absorbs floating-point drift when a
+        budget is split into fractions that nominally sum to the total.
+        """
+        if epsilon <= 0:
+            raise ValueError(f"spend must be > 0, got {epsilon}")
+        slack = 1e-9 * self.total_epsilon
+        if self.spent() + epsilon > self.total_epsilon + slack:
+            raise BudgetExceededError(
+                f"spend of {epsilon} exceeds remaining budget "
+                f"{self.remaining()} (label={label!r})"
+            )
+        self._ledger.append((label, epsilon))
+
+    def spent(self) -> float:
+        """Total ε spent so far."""
+        return sum(amount for _, amount in self._ledger)
+
+    def remaining(self) -> float:
+        """Budget left (never negative)."""
+        return max(self.total_epsilon - self.spent(), 0.0)
+
+    def ledger(self) -> list[tuple[str, float]]:
+        """Copy of the (label, ε) spend history."""
+        return list(self._ledger)
+
+
+def split_budget(total_epsilon: float, fractions: dict[str, float]) -> dict[str, float]:
+    """Split ``total_epsilon`` by the given positive fractions (which must
+    sum to 1 within 1e-9).  Returns label → ε."""
+    if total_epsilon <= 0:
+        raise ValueError(f"total_epsilon must be > 0, got {total_epsilon}")
+    if not fractions:
+        raise ValueError("fractions must be non-empty")
+    if any(f <= 0 for f in fractions.values()):
+        raise ValueError("all fractions must be positive")
+    if abs(sum(fractions.values()) - 1.0) > 1e-9:
+        raise ValueError(f"fractions must sum to 1, got {sum(fractions.values())}")
+    return {label: total_epsilon * f for label, f in fractions.items()}

@@ -1,0 +1,57 @@
+"""The Exponential Mechanism of McSherry and Talwar (Theorem B.1).
+
+Given finitely many score functions ``q_i`` with global sensitivity at
+most Δ, the mechanism samples index ``i`` with probability proportional
+to ``exp(-ε q_i / (2Δ))`` (minimization form -- the paper's GEM selects
+the score-*minimizing* index, matching Algorithm 4's usage).
+
+Sampling is performed in log-space with a numerically stable
+log-sum-exp normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["exponential_mechanism", "exponential_mechanism_probabilities"]
+
+
+def exponential_mechanism_probabilities(
+    scores: np.ndarray | list[float],
+    sensitivity: float,
+    epsilon: float,
+) -> np.ndarray:
+    """Return the selection distribution of the (minimizing) exponential
+    mechanism: ``p_i ∝ exp(-ε·scores[i] / (2·sensitivity))``.
+
+    Exposed separately so tests can verify the exact distribution and so
+    analyses can compute selection probabilities without sampling.
+    """
+    if sensitivity <= 0:
+        raise ValueError(f"sensitivity must be > 0, got {sensitivity}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    score_array = np.asarray(scores, dtype=float)
+    if score_array.ndim != 1 or score_array.size == 0:
+        raise ValueError("scores must be a non-empty 1-D array")
+    if not np.all(np.isfinite(score_array)):
+        raise ValueError("scores must be finite")
+    logits = -epsilon * score_array / (2.0 * sensitivity)
+    logits -= logits.max()  # stabilize
+    weights = np.exp(logits)
+    return weights / weights.sum()
+
+
+def exponential_mechanism(
+    scores: np.ndarray | list[float],
+    sensitivity: float,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> int:
+    """Sample an index from the minimizing exponential mechanism.
+
+    ε-DP whenever each score has global sensitivity at most
+    ``sensitivity`` (Theorem B.1 / [MT07]).
+    """
+    probabilities = exponential_mechanism_probabilities(scores, sensitivity, epsilon)
+    return int(rng.choice(len(probabilities), p=probabilities))

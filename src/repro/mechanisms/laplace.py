@@ -1,0 +1,90 @@
+"""The Laplace mechanism and Laplace tail utilities (Theorem 2.2, Lemma 2.3).
+
+The mechanism releases ``f(G) + Lap(GS_f / ε)`` where ``GS_f`` is the
+global sensitivity of ``f`` w.r.t. node-neighbors.  Noise is sampled from
+an explicit ``numpy.random.Generator`` for reproducibility.
+
+This is the standard floating-point Laplace mechanism, as modelled in the
+paper; we do not implement discretized/snapped variants (noted in the
+README's limitations section).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "laplace_noise",
+    "laplace_tail_probability",
+    "laplace_tail_quantile",
+    "LaplaceMechanism",
+]
+
+
+def laplace_noise(scale: float, rng: np.random.Generator) -> float:
+    """Sample ``Lap(scale)`` -- mean 0, density ``e^{-|z|/b} / 2b``."""
+    if scale < 0:
+        raise ValueError(f"scale must be non-negative, got {scale}")
+    if scale == 0:
+        return 0.0
+    return float(rng.laplace(loc=0.0, scale=scale))
+
+
+def laplace_tail_probability(scale: float, threshold: float) -> float:
+    """Lemma 2.3: ``Pr[|Lap(b)| ≥ t] = e^{-t/b}`` (clipped to [0, 1])."""
+    if scale <= 0:
+        return 0.0 if threshold > 0 else 1.0
+    if threshold <= 0:
+        return 1.0
+    return math.exp(-threshold / scale)
+
+
+def laplace_tail_quantile(scale: float, beta: float) -> float:
+    """Return ``t`` with ``Pr[|Lap(scale)| ≥ t] = beta``, i.e.
+    ``t = scale · ln(1/beta)``."""
+    if not 0 < beta <= 1:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+    return scale * math.log(1.0 / beta)
+
+
+@dataclass(frozen=True)
+class LaplaceMechanism:
+    """ε-DP release of a real statistic with known global sensitivity.
+
+    Parameters
+    ----------
+    sensitivity:
+        Global sensitivity ``GS_f`` of the statistic (w.r.t. whichever
+        neighbor relation the caller's privacy claim refers to).
+    epsilon:
+        Privacy parameter ε > 0.
+    """
+
+    sensitivity: float
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if self.sensitivity < 0:
+            raise ValueError(f"sensitivity must be >= 0, got {self.sensitivity}")
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {self.epsilon}")
+
+    @property
+    def scale(self) -> float:
+        """Noise scale ``b = GS_f / ε``."""
+        return self.sensitivity / self.epsilon
+
+    def release(self, true_value: float, rng: np.random.Generator) -> float:
+        """Return ``true_value + Lap(GS_f / ε)``."""
+        return true_value + laplace_noise(self.scale, rng)
+
+    def error_quantile(self, beta: float) -> float:
+        """Error magnitude exceeded with probability exactly ``beta``."""
+        return laplace_tail_quantile(self.scale, beta)
+
+    def expected_absolute_error(self) -> float:
+        """``E[|Lap(b)|] = b``."""
+        return self.scale

@@ -1,0 +1,29 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from hypothesis import settings
+
+# Keep property-based tests snappy by default; individual tests can
+# override with their own @settings.
+settings.register_profile("repro", max_examples=50, deadline=None)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; per-test reproducibility."""
+    return np.random.default_rng(20230413)  # the paper's arXiv v2 date
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for independently-seeded RNGs inside one test."""
+
+    def make(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make

@@ -1,0 +1,193 @@
+"""Tests for Algorithm 1: the private f_sf and f_cc estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import (
+    PrivateConnectedComponents,
+    PrivateSpanningForestSize,
+    default_failure_probability,
+)
+from repro.core.bounds import theorem_1_3_bound
+from repro.graphs.components import (
+    number_of_connected_components,
+    spanning_forest_size,
+)
+from repro.graphs.forests import approx_min_degree_spanning_forest
+from repro.graphs.generators import (
+    empty_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    planted_components,
+    random_forest,
+    star_graph,
+    star_plus_isolated,
+)
+from repro.graphs.graph import Graph
+
+
+class TestDefaultFailureProbability:
+    def test_small_n_clamped(self):
+        assert 0 < default_failure_probability(1) <= 0.5
+        assert 0 < default_failure_probability(10) <= 0.5
+
+    def test_decreases_in_n(self):
+        assert default_failure_probability(10**6) < default_failure_probability(100)
+
+    def test_matches_formula_for_large_n(self):
+        import math
+
+        n = 10**8
+        assert default_failure_probability(n) == pytest.approx(
+            1.0 / math.log(math.log(n))
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            default_failure_probability(-1)
+
+
+class TestPrivateSpanningForestSize:
+    def test_release_structure(self, rng):
+        g = grid_graph(4, 4)
+        est = PrivateSpanningForestSize(epsilon=2.0)
+        release = est.release(g, rng)
+        assert release.true_value == 15
+        assert release.delta_hat in release.gem.candidates
+        assert release.epsilon_select + release.epsilon_noise == pytest.approx(2.0)
+        assert release.noise_scale == pytest.approx(
+            release.delta_hat / release.epsilon_noise
+        )
+        assert release.error == pytest.approx(release.value - 15)
+
+    def test_forest_input_low_error(self, rng):
+        """On a low-degree forest the extension is exact at small Δ, so a
+        large-ε release should track f_sf closely."""
+        g = random_forest(60, 12, rng)
+        truth = spanning_forest_size(g)
+        est = PrivateSpanningForestSize(epsilon=5.0)
+        errors = [abs(est.release(g, rng).value - truth) for _ in range(10)]
+        _, delta_star_ub = approx_min_degree_spanning_forest(g)
+        bound = theorem_1_3_bound(60, 5.0, delta_star_ub)
+        assert np.median(errors) <= bound
+
+    def test_empty_graph_rejected(self, rng):
+        est = PrivateSpanningForestSize(epsilon=1.0)
+        with pytest.raises(ValueError):
+            est.release(Graph(), rng)
+
+    def test_edgeless_graph(self, rng):
+        g = empty_graph(10)
+        est = PrivateSpanningForestSize(epsilon=2.0)
+        release = est.release(g, rng)
+        assert release.true_value == 0
+        assert release.extension_value == 0.0
+
+    def test_custom_delta_max(self, rng):
+        g = path_graph(20)
+        est = PrivateSpanningForestSize(epsilon=1.0, delta_max=4)
+        release = est.release(g, rng)
+        assert max(release.gem.candidates) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivateSpanningForestSize(epsilon=0.0)
+        with pytest.raises(ValueError):
+            PrivateSpanningForestSize(epsilon=1.0, select_fraction=1.0)
+        with pytest.raises(ValueError):
+            PrivateSpanningForestSize(epsilon=1.0, beta=2.0)
+
+    def test_reproducible_with_seed(self):
+        g = grid_graph(3, 3)
+        est = PrivateSpanningForestSize(epsilon=1.0)
+        a = est.release(g, np.random.default_rng(42)).value
+        b = est.release(g, np.random.default_rng(42)).value
+        assert a == b
+
+    def test_noise_distribution_centered_on_extension(self, rng):
+        g = star_graph(4)
+        est = PrivateSpanningForestSize(epsilon=4.0, beta=0.1)
+        releases = [est.release(g, rng) for _ in range(300)]
+        # Group by selected delta; released values average to f_delta.
+        by_delta: dict[float, list[float]] = {}
+        for r in releases:
+            by_delta.setdefault(r.delta_hat, []).append(r.value - r.extension_value)
+        for delta, noises in by_delta.items():
+            if len(noises) > 50:
+                scale = delta / 2.0  # epsilon_noise = 2.0
+                assert abs(np.mean(noises)) < 5 * scale / np.sqrt(len(noises)) + 0.3
+
+
+class TestPrivateConnectedComponents:
+    def test_release_structure(self, rng):
+        g = planted_components([10, 10, 10], 0.3, rng)
+        est = PrivateConnectedComponents(epsilon=2.0)
+        release = est.release(g, rng)
+        assert release.true_value == 3
+        assert release.value == pytest.approx(
+            release.vertex_count_estimate - release.spanning_forest.value
+        )
+        assert release.rounded_value >= 0
+
+    def test_budget_split(self, rng):
+        est = PrivateConnectedComponents(epsilon=1.0, count_fraction=0.25)
+        g = path_graph(5)
+        release = est.release(g, rng)
+        assert release.epsilon_count == pytest.approx(0.25)
+        sf = release.spanning_forest
+        assert sf.epsilon_select + sf.epsilon_noise == pytest.approx(0.75)
+
+    def test_equation_1_consistency(self, rng):
+        g = star_plus_isolated(3, 10)
+        est = PrivateConnectedComponents(epsilon=3.0)
+        release = est.release(g, rng)
+        assert release.error == pytest.approx(release.value - 11)
+
+    def test_accuracy_on_many_components(self, rng):
+        """Forest of many small trees: the hard case for naive node-DP,
+        the easy case for the paper's algorithm."""
+        g = random_forest(80, 20, rng)
+        est = PrivateConnectedComponents(epsilon=5.0)
+        errors = [abs(est.release(g, rng).error) for _ in range(10)]
+        assert np.median(errors) < 25  # naive node-DP noise would be ~16n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivateConnectedComponents(epsilon=-1.0)
+        with pytest.raises(ValueError):
+            PrivateConnectedComponents(epsilon=1.0, count_fraction=0.0)
+
+    def test_empty_graph_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PrivateConnectedComponents(epsilon=1.0).release(Graph(), rng)
+
+    def test_rounded_value_nonnegative(self, rng):
+        g = empty_graph(1)
+        est = PrivateConnectedComponents(epsilon=0.5)
+        for _ in range(20):
+            assert est.release(g, rng).rounded_value >= 0
+
+
+class TestEndToEndAccuracy:
+    """Statistical sanity: with a healthy budget, error stays within the
+    Theorem 1.3 envelope on structured inputs."""
+
+    @pytest.mark.parametrize(
+        "make_graph,delta_star_hint",
+        [
+            (lambda rng: grid_graph(6, 6), 3),
+            (lambda rng: random_forest(50, 10, rng), 4),
+            (lambda rng: erdos_renyi(60, 1.5 / 60, rng), None),
+        ],
+    )
+    def test_within_theoretical_envelope(self, rng, make_graph, delta_star_hint):
+        g = make_graph(rng)
+        epsilon = 4.0
+        est = PrivateSpanningForestSize(epsilon=epsilon)
+        truth = spanning_forest_size(g)
+        if delta_star_hint is None:
+            _, delta_star_hint = approx_min_degree_spanning_forest(g)
+        bound = theorem_1_3_bound(g.number_of_vertices(), epsilon, delta_star_hint)
+        errors = [abs(est.release(g, rng).value - truth) for _ in range(8)]
+        assert np.median(errors) <= bound

@@ -1,0 +1,86 @@
+"""Tests for the experiment harness (trials and tables)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_cell, format_table, print_table
+from repro.analysis.trials import run_trials, summarize_errors
+from repro.core.baselines import EdgeDPConnectedComponents, NonPrivateBaseline
+from repro.graphs.components import spanning_forest_size
+from repro.graphs.generators import path_graph
+
+
+class TestRunTrials:
+    def test_exact_mechanism_zero_error(self, rng):
+        errors = run_trials(NonPrivateBaseline(), path_graph(5), 10, rng)
+        assert np.all(errors == 0)
+
+    def test_error_shape(self, rng):
+        errors = run_trials(
+            EdgeDPConnectedComponents(epsilon=1.0), path_graph(5), 25, rng
+        )
+        assert errors.shape == (25,)
+
+    def test_custom_statistic(self, rng):
+        class FakeMechanism:
+            def release(self, graph, rng):
+                return 0.0
+
+        errors = run_trials(
+            FakeMechanism(),
+            path_graph(4),
+            3,
+            rng,
+            true_statistic=spanning_forest_size,
+        )
+        assert np.all(errors == -3.0)
+
+    def test_release_objects_with_value(self, rng):
+        class Releaselike:
+            value = 7.0
+
+        class Mechanism:
+            def release(self, graph, rng):
+                return Releaselike()
+
+        errors = run_trials(Mechanism(), path_graph(3), 2, rng)
+        assert np.all(errors == 6.0)  # f_cc = 1
+
+    def test_invalid_trials(self, rng):
+        with pytest.raises(ValueError):
+            run_trials(NonPrivateBaseline(), path_graph(2), 0, rng)
+
+
+class TestSummary:
+    def test_summary_statistics(self):
+        errors = np.array([-1.0, 0.0, 2.0, -3.0])
+        summary = summarize_errors(errors, true_value=5.0)
+        assert summary.n_trials == 4
+        assert summary.mean_abs_error == pytest.approx(1.5)
+        assert summary.max_abs_error == 3.0
+        assert summary.mean_signed_error == pytest.approx(-0.5)
+        assert len(summary.row()) == 6
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(1.0) == "1"
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell("x") == "x"
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 3]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_print_table(self, capsys):
+        print_table(["h"], [[1]])
+        out = capsys.readouterr().out
+        assert "h" in out

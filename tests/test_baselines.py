@@ -1,0 +1,78 @@
+"""Tests for the baseline estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    BoundedDegreePromiseLaplace,
+    EdgeDPConnectedComponents,
+    NaiveNodeDPConnectedComponents,
+    NonPrivateBaseline,
+)
+from repro.graphs.generators import grid_graph, path_graph, star_graph
+
+
+class TestNonPrivate:
+    def test_exact(self, rng):
+        g = grid_graph(3, 3)
+        assert NonPrivateBaseline().release(g, rng) == 1.0
+
+    def test_metadata(self):
+        baseline = NonPrivateBaseline()
+        assert "non-private" in baseline.name
+        assert baseline.privacy == "none"
+
+
+class TestEdgeDP:
+    def test_centered(self, rng):
+        g = path_graph(10)
+        baseline = EdgeDPConnectedComponents(epsilon=1.0)
+        values = [baseline.release(g, rng) for _ in range(3_000)]
+        assert abs(np.mean(values) - 1.0) < 0.1
+
+    def test_noise_scale(self, rng):
+        baseline = EdgeDPConnectedComponents(epsilon=2.0)
+        values = np.array([baseline.release(path_graph(3), rng) for _ in range(5_000)])
+        # Lap(1/2): std = sqrt(2)/2
+        assert abs(values.std() - np.sqrt(2) / 2) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeDPConnectedComponents(epsilon=0.0)
+
+
+class TestNaiveNodeDP:
+    def test_noise_dwarfs_signal(self, rng):
+        """The motivating failure: naive node-DP noise scales with n."""
+        g = path_graph(50)
+        baseline = NaiveNodeDPConnectedComponents(epsilon=1.0, n_max=50)
+        errors = np.abs(
+            [baseline.release(g, rng) - 1.0 for _ in range(500)]
+        )
+        assert np.median(errors) > 10  # median |Lap(50)| = 50·ln2 ≈ 35
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NaiveNodeDPConnectedComponents(epsilon=1.0, n_max=0)
+        with pytest.raises(ValueError):
+            NaiveNodeDPConnectedComponents(epsilon=-1.0, n_max=5)
+
+
+class TestBoundedDegreePromise:
+    def test_release_under_promise(self, rng):
+        g = grid_graph(4, 4)  # max degree 4
+        baseline = BoundedDegreePromiseLaplace(epsilon=1.0, degree_bound=4)
+        values = [baseline.release(g, rng) for _ in range(2_000)]
+        assert abs(np.mean(values) - 1.0) < 0.5
+
+    def test_promise_violation_raises(self, rng):
+        g = star_graph(10)
+        baseline = BoundedDegreePromiseLaplace(epsilon=1.0, degree_bound=4)
+        with pytest.raises(ValueError, match="promise"):
+            baseline.release(g, rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedDegreePromiseLaplace(epsilon=1.0, degree_bound=-1)
+        with pytest.raises(ValueError):
+            BoundedDegreePromiseLaplace(epsilon=0.0, degree_bound=3)

@@ -1,0 +1,72 @@
+"""Tests for the explicit theoretical bounds."""
+
+import pytest
+
+from repro.core.bounds import (
+    erdos_renyi_error_bound,
+    geometric_error_bound,
+    theorem_1_3_bound,
+    theorem_1_5_bound,
+)
+
+
+class TestTheorem13Bound:
+    def test_positive(self):
+        assert theorem_1_3_bound(100, 1.0, 3.0) > 0
+
+    def test_linear_in_delta_star(self):
+        a = theorem_1_3_bound(100, 1.0, 2.0)
+        b = theorem_1_3_bound(100, 1.0, 4.0)
+        assert b == pytest.approx(2 * a)
+
+    def test_inverse_in_epsilon(self):
+        a = theorem_1_3_bound(100, 1.0, 3.0)
+        b = theorem_1_3_bound(100, 2.0, 3.0)
+        assert a == pytest.approx(2 * b)
+
+    def test_grows_slowly_in_n(self):
+        """ln ln n growth: doubling n barely moves the bound."""
+        small = theorem_1_3_bound(10**3, 1.0, 3.0, beta=0.1)
+        large = theorem_1_3_bound(10**6, 1.0, 3.0, beta=0.1)
+        assert large > small
+        assert large / small < 1.5
+
+    def test_explicit_beta(self):
+        loose = theorem_1_3_bound(100, 1.0, 3.0, beta=0.5)
+        tight = theorem_1_3_bound(100, 1.0, 3.0, beta=0.01)
+        assert tight > loose
+
+    def test_gem_constant_scales(self):
+        base = theorem_1_3_bound(100, 1.0, 3.0)
+        assert theorem_1_3_bound(100, 1.0, 3.0, gem_constant=2.0) == pytest.approx(
+            2 * base
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem_1_3_bound(0, 1.0, 3.0)
+        with pytest.raises(ValueError):
+            theorem_1_3_bound(10, 0.0, 3.0)
+        with pytest.raises(ValueError):
+            theorem_1_3_bound(10, 1.0, -1.0)
+
+
+class TestDerivedBounds:
+    def test_theorem_1_5_uses_ds_plus_one(self):
+        assert theorem_1_5_bound(100, 1.0, 2.0) == pytest.approx(
+            theorem_1_3_bound(100, 1.0, 3.0)
+        )
+
+    def test_erdos_renyi_grows_like_log_n(self):
+        a = erdos_renyi_error_bound(100, 1.0)
+        b = erdos_renyi_error_bound(10_000, 1.0)
+        assert 1 < b / a < 4  # roughly log-factor growth
+
+    def test_geometric_bound_fixed_delta(self):
+        assert geometric_error_bound(100, 1.0) == pytest.approx(
+            theorem_1_3_bound(100, 1.0, 6.0)
+        )
+
+    def test_geometric_smaller_than_er_for_large_n(self):
+        n = 10**6
+        assert geometric_error_bound(n, 1.0) < erdos_renyi_error_bound(n, 1.0)

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.graphs.generators import star_plus_isolated
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.edges"
+    write_edge_list(star_plus_isolated(3, 4), path)
+    return str(path)
+
+
+class TestCount:
+    def test_basic(self, graph_file, capsys):
+        assert main(["count", "--input", graph_file, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "private estimate" in out
+        assert "selected delta" in out
+
+    def test_show_true(self, graph_file, capsys):
+        main(["count", "--input", graph_file, "--seed", "3", "--show-true"])
+        out = capsys.readouterr().out
+        assert "TRUE value" in out and "5" in out
+
+    def test_empty_graph_errors(self, tmp_path, capsys):
+        path = tmp_path / "empty.edges"
+        path.write_text("# nothing\n")
+        assert main(["count", "--input", str(path)]) == 1
+
+    def test_seed_reproducible(self, graph_file, capsys):
+        main(["count", "--input", graph_file, "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["count", "--input", graph_file, "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestStats:
+    def test_output_fields(self, graph_file, capsys):
+        assert main(["stats", "--input", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "connected components:     5" in out
+        assert "vertices:                 8" in out
+        assert "delta*" in out
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "family,extra",
+        [
+            ("er", ["--p", "0.2"]),
+            ("geometric", ["--radius", "0.3"]),
+            ("tree", []),
+            ("forest", ["--trees", "3"]),
+            ("grid", []),
+            ("star", []),
+            ("planted", ["--components", "3"]),
+        ],
+    )
+    def test_families(self, tmp_path, capsys, family, extra):
+        out_path = tmp_path / f"{family}.edges"
+        code = main(
+            ["generate", "--family", family, "--n", "16", "--seed", "1",
+             "--output", str(out_path)] + extra
+        )
+        assert code == 0
+        graph = read_edge_list(out_path)
+        assert graph.number_of_vertices() >= 1
+
+    def test_pipeline_generate_then_count(self, tmp_path, capsys):
+        out_path = tmp_path / "g.edges"
+        main(["generate", "--family", "forest", "--n", "30", "--trees", "6",
+              "--seed", "2", "--output", str(out_path)])
+        assert main(["count", "--input", str(out_path), "--seed", "4"]) == 0

@@ -1,0 +1,125 @@
+"""Tests for the Dantzig–Wolfe column-generation solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.lp.column_generation import (
+    _max_weight_forest,
+    forest_value_column_generation,
+)
+from repro.lp.forest_lp import forest_polytope_value
+
+from .strategies import small_graphs_with_edge
+
+
+class TestMaxWeightForest:
+    def test_takes_positive_only(self):
+        g = path_graph(3)
+        edges = g.edge_list()
+        chosen, total = _max_weight_forest(
+            edges, np.array([1.0, -0.5]), g.vertex_list()
+        )
+        assert chosen == [0]
+        assert total == 1.0
+
+    def test_avoids_cycles(self):
+        g = complete_graph(3)
+        edges = g.edge_list()
+        chosen, total = _max_weight_forest(
+            edges, np.ones(3), g.vertex_list()
+        )
+        assert len(chosen) == 2
+        assert total == 2.0
+
+    def test_greedy_is_optimal_on_matroid(self):
+        """Compare against brute force over all forests on small graphs."""
+        rng = np.random.default_rng(9)
+        from itertools import combinations
+
+        from repro.graphs.union_find import UnionFind
+
+        for _ in range(20):
+            g = erdos_renyi(6, 0.5, rng)
+            edges = g.edge_list()
+            if not edges:
+                continue
+            weights = rng.normal(size=len(edges))
+            _, greedy_total = _max_weight_forest(edges, weights, g.vertex_list())
+            best = 0.0
+            for k in range(1, len(edges) + 1):
+                for subset in combinations(range(len(edges)), k):
+                    uf = UnionFind(g.vertices())
+                    if all(uf.union(*edges[j]) for j in subset):
+                        best = max(best, float(weights[list(subset)].sum()))
+            assert greedy_total == pytest.approx(best, abs=1e-9)
+
+
+class TestColumnGeneration:
+    def test_star_values(self):
+        g = star_graph(5)
+        for delta in (1, 2, 3):
+            result = forest_value_column_generation(g, delta)
+            assert result.gap <= 1e-6
+            assert result.value == pytest.approx(float(delta), abs=1e-6)
+
+    def test_triangle_fractional(self):
+        result = forest_value_column_generation(complete_graph(3), 1)
+        assert result.value == pytest.approx(1.5, abs=1e-6)
+        assert result.gap <= 1e-6
+
+    def test_edgeless(self):
+        result = forest_value_column_generation(Graph(vertices=range(3)), 1)
+        assert result.value == 0.0
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            forest_value_column_generation(path_graph(2), 0)
+
+    def test_mixture_is_feasible(self):
+        g = cycle_graph(5)
+        result = forest_value_column_generation(g, 2)
+        load = {v: 0.0 for v in g.vertices()}
+        for (u, v), weight in result.x.items():
+            assert weight >= -1e-9
+            load[u] += weight
+            load[v] += weight
+        assert all(total <= 2 + 1e-6 for total in load.values())
+        assert sum(result.x.values()) == pytest.approx(result.value, abs=1e-6)
+
+    def test_external_upper_bound_tightens(self):
+        g = complete_graph(4)
+        exact = forest_polytope_value(g, 1, method="exhaustive").value
+        result = forest_value_column_generation(
+            g, 1, external_upper_bound=exact
+        )
+        assert result.upper_bound <= exact + 1e-9
+        assert result.value == pytest.approx(exact, abs=1e-6)
+
+    @given(small_graphs_with_edge(max_vertices=7), st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_agrees_with_exhaustive(self, g, delta):
+        """CG and the exhaustive exact LP agree on small graphs."""
+        exact = forest_polytope_value(
+            g, delta, method="exhaustive", use_fast_paths=False
+        ).value
+        cg = forest_value_column_generation(g, delta)
+        assert cg.value <= exact + 1e-6  # feasible lower bound
+        if cg.gap <= 1e-6:
+            assert cg.value == pytest.approx(exact, abs=1e-5)
+
+    def test_iteration_cap_returns_certified(self):
+        g = complete_graph(8)
+        result = forest_value_column_generation(g, 2, max_iterations=2)
+        assert result.value <= result.upper_bound + 1e-9
+        assert result.gap == pytest.approx(
+            max(result.upper_bound - result.value, 0.0)
+        )

@@ -1,0 +1,106 @@
+"""Tests for connected components, f_cc, f_sf (cross-checked vs networkx)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+
+from repro.graphs.components import (
+    bfs_tree_edges,
+    component_of,
+    connected_components,
+    f_cc,
+    f_sf,
+    is_connected,
+    number_of_connected_components,
+    spanning_forest_size,
+)
+from repro.graphs.convert import to_networkx
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+from .strategies import deterministic_corpus, small_graphs
+
+
+class TestComponents:
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+        assert number_of_connected_components(Graph()) == 0
+
+    def test_edgeless(self):
+        g = empty_graph(4)
+        assert number_of_connected_components(g) == 4
+        assert spanning_forest_size(g) == 0
+
+    def test_path_is_one_component(self):
+        g = path_graph(5)
+        assert number_of_connected_components(g) == 1
+        assert spanning_forest_size(g) == 4
+
+    def test_disjoint_union_counts_add(self):
+        g = disjoint_union([path_graph(3), cycle_graph(4), empty_graph(2)])
+        assert number_of_connected_components(g) == 4
+        assert spanning_forest_size(g) == 2 + 4 - 1
+
+    def test_component_of(self):
+        g = disjoint_union([complete_graph(3), complete_graph(2)])
+        comp = component_of(g, (0, 1))
+        assert comp == {(0, 0), (0, 1), (0, 2)}
+
+    def test_component_of_missing_vertex(self):
+        with pytest.raises(KeyError):
+            component_of(Graph(), 0)
+
+    def test_equation_1(self):
+        """f_cc(G) = |V(G)| - f_sf(G), Equation (1)."""
+        for name, g in deterministic_corpus():
+            assert f_cc(g) == g.number_of_vertices() - f_sf(g), name
+
+
+class TestIsConnected:
+    def test_empty_is_connected(self):
+        assert is_connected(Graph())
+
+    def test_singleton_is_connected(self):
+        assert is_connected(empty_graph(1))
+
+    def test_star_connected(self):
+        assert is_connected(star_graph(5))
+
+    def test_two_parts_not_connected(self):
+        assert not is_connected(empty_graph(2))
+
+
+class TestBFSTree:
+    def test_edge_count_is_fsf(self):
+        for name, g in deterministic_corpus():
+            assert len(bfs_tree_edges(g)) == f_sf(g), name
+
+    def test_edges_belong_to_graph(self):
+        g = cycle_graph(6)
+        for u, v in bfs_tree_edges(g):
+            assert g.has_edge(u, v)
+
+    def test_custom_roots(self):
+        g = disjoint_union([path_graph(2), path_graph(2)])
+        edges = bfs_tree_edges(g, roots=[(1, 0)])
+        assert len(edges) == 2  # still spans both components
+
+
+class TestAgainstNetworkx:
+    @given(small_graphs(max_vertices=8))
+    def test_component_count_matches(self, g):
+        expected = nx.number_connected_components(to_networkx(g))
+        assert number_of_connected_components(g) == expected
+
+    @given(small_graphs(max_vertices=8))
+    def test_components_match(self, g):
+        ours = sorted(sorted(c) for c in connected_components(g))
+        theirs = sorted(sorted(c) for c in nx.connected_components(to_networkx(g)))
+        assert ours == theirs

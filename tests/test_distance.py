@@ -1,0 +1,152 @@
+"""Tests for node distance and the induced-subgraph poset."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.distance import (
+    all_induced_subgraphs,
+    all_vertex_subsets,
+    down_neighbor_pairs,
+    is_node_neighbor,
+    node_distance,
+    node_distance_induced,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+    with_hub,
+)
+from repro.graphs.graph import Graph
+
+from .strategies import small_graphs
+
+
+class TestIsNodeNeighbor:
+    def test_vertex_removal(self):
+        g = star_graph(3)
+        h = g.without_vertex(0)
+        assert is_node_neighbor(g, h)
+        assert is_node_neighbor(h, g)  # symmetric
+
+    def test_hub_addition(self):
+        """Every graph is a node-neighbor of a connected graph (intro)."""
+        g = empty_graph(4)
+        assert is_node_neighbor(g, with_hub(g))
+
+    def test_same_graph_not_neighbor(self):
+        g = path_graph(3)
+        assert not is_node_neighbor(g, g)
+
+    def test_two_removals_not_neighbor(self):
+        g = path_graph(4)
+        h = g.induced_subgraph([0, 1])
+        assert not is_node_neighbor(g, h)
+
+    def test_edge_change_not_neighbor(self):
+        a = Graph(vertices=range(3), edges=[(0, 1)])
+        b = Graph(vertices=range(2), edges=[])
+        # b lacks vertex 2 AND has different edges on shared vertices
+        assert not is_node_neighbor(a, b)
+
+    @given(small_graphs(min_vertices=1))
+    def test_removal_always_neighbor(self, g):
+        v = g.vertex_list()[-1]
+        assert is_node_neighbor(g, g.without_vertex(v))
+
+
+class TestNodeDistanceInduced:
+    def test_distance_counts_missing_vertices(self):
+        g = complete_graph(5)
+        sub = g.induced_subgraph([0, 1])
+        assert node_distance_induced(g, sub) == 3
+
+    def test_identity_zero(self):
+        g = path_graph(3)
+        assert node_distance_induced(g, g) == 0
+
+    def test_not_induced_raises(self):
+        g = complete_graph(3)
+        fake = Graph(vertices=[0, 1])  # missing edge (0,1)
+        with pytest.raises(ValueError, match="not induced"):
+            node_distance_induced(g, fake)
+
+    def test_foreign_vertices_raise(self):
+        with pytest.raises(ValueError, match="not contained"):
+            node_distance_induced(path_graph(2), Graph(vertices=[9]))
+
+
+class TestNodeDistanceGeneral:
+    def test_induced_subgraph_case(self):
+        g = complete_graph(4)
+        sub = g.induced_subgraph([0, 1, 2])
+        assert node_distance(g, sub) == 1
+
+    def test_disjoint_vertex_sets(self):
+        a = Graph(vertices=[0, 1])
+        b = Graph(vertices=[2])
+        assert node_distance(a, b) == 3
+
+    def test_edge_difference_costs_two(self):
+        a = Graph(vertices=[0, 1], edges=[(0, 1)])
+        b = Graph(vertices=[0, 1], edges=[])
+        assert node_distance(a, b) == 2  # remove + reinsert one endpoint
+
+    def test_triangle_vs_empty_triangle(self):
+        a = complete_graph(3)
+        b = empty_graph(3)
+        # difference graph is a triangle; min vertex cover = 2
+        assert node_distance(a, b) == 4
+
+    def test_symmetric(self):
+        a = star_graph(3)
+        b = path_graph(4)
+        assert node_distance(a, b) == node_distance(b, a)
+
+    def test_zero_iff_equal(self):
+        g = path_graph(3)
+        assert node_distance(g, g.copy()) == 0
+
+    @given(small_graphs(max_vertices=5), small_graphs(max_vertices=5))
+    @settings(max_examples=30)
+    def test_triangle_inequality_through_empty(self, a, b):
+        empty = Graph()
+        assert node_distance(a, b) <= node_distance(a, empty) + node_distance(
+            empty, b
+        )
+
+    @given(small_graphs(min_vertices=1, max_vertices=6))
+    @settings(max_examples=30)
+    def test_neighbor_distance_is_one(self, g):
+        v = g.vertex_list()[0]
+        assert node_distance(g, g.without_vertex(v)) == 1
+
+
+class TestPosetEnumeration:
+    def test_subset_count(self):
+        g = path_graph(4)
+        assert sum(1 for _ in all_vertex_subsets(g)) == 16
+
+    def test_min_vertices_filter(self):
+        g = path_graph(3)
+        subsets = list(all_vertex_subsets(g, min_vertices=2))
+        assert all(len(s) >= 2 for s in subsets)
+        assert len(subsets) == 4
+
+    def test_induced_subgraphs_are_induced(self):
+        g = complete_graph(3)
+        for subset, sub in all_induced_subgraphs(g):
+            assert g.induced_subgraph(subset) == sub
+
+    def test_down_neighbor_pairs_are_neighbors(self):
+        g = path_graph(3)
+        pairs = list(down_neighbor_pairs(g))
+        assert pairs  # non-empty
+        for bigger, smaller in pairs:
+            assert is_node_neighbor(bigger, smaller)
+
+    def test_down_neighbor_pair_count(self):
+        """Each subset of size k yields k pairs: total sum k*C(n,k) = n*2^(n-1)."""
+        g = empty_graph(4)
+        assert sum(1 for _ in down_neighbor_pairs(g)) == 4 * 2**3

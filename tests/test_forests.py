@@ -1,0 +1,289 @@
+"""Tests for spanning forests, Algorithm 3 (local repair), and Δ*."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.components import number_of_connected_components, spanning_forest_size
+from repro.graphs.forests import (
+    approx_min_degree_spanning_forest,
+    delta_star_lower_bound,
+    forest_max_degree,
+    has_spanning_delta_forest_exact,
+    is_forest,
+    is_spanning_forest_of,
+    leaf_elimination_order,
+    min_spanning_forest_degree_exact,
+    repair_spanning_forest,
+    spanning_forest,
+    spanning_forest_with_max_degree,
+)
+from repro.graphs.generators import (
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    empty_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.stars import is_induced_star, star_number
+
+from .strategies import deterministic_corpus, small_graphs
+
+
+class TestSpanningForest:
+    def test_basic_properties(self):
+        for name, g in deterministic_corpus():
+            forest = spanning_forest(g)
+            assert is_spanning_forest_of(forest, g), name
+
+    def test_cycle_drops_one_edge(self):
+        forest = spanning_forest(cycle_graph(5))
+        assert forest.number_of_edges() == 4
+
+    def test_edgeless(self):
+        forest = spanning_forest(empty_graph(3))
+        assert forest.number_of_edges() == 0
+        assert forest.number_of_vertices() == 3
+
+
+class TestIsForest:
+    def test_tree(self):
+        assert is_forest(path_graph(4))
+
+    def test_cycle_is_not(self):
+        assert not is_forest(cycle_graph(3))
+
+    def test_empty(self):
+        assert is_forest(Graph())
+
+
+class TestIsSpanningForestOf:
+    def test_wrong_vertex_set(self):
+        assert not is_spanning_forest_of(path_graph(3), path_graph(4))
+
+    def test_foreign_edges(self):
+        g = empty_graph(2)
+        claimed = Graph(vertices=range(2), edges=[(0, 1)])
+        assert not is_spanning_forest_of(claimed, g)
+
+    def test_not_maximal(self):
+        g = path_graph(3)
+        claimed = g.subgraph_with_edges([(0, 1)])
+        assert not is_spanning_forest_of(claimed, g)
+
+    def test_cyclic_rejected(self):
+        g = cycle_graph(3)
+        assert not is_spanning_forest_of(g, g)
+
+
+class TestLeafEliminationOrder:
+    def test_covers_all_vertices(self):
+        for name, g in deterministic_corpus():
+            order = leaf_elimination_order(g)
+            assert sorted(order, key=repr) == sorted(g.vertices(), key=repr), name
+
+    @given(small_graphs())
+    def test_each_removed_vertex_not_cut(self, g):
+        """Removing the prescribed vertex never increases the number of
+        components minus one per removed isolated tree (non-cut)."""
+        remaining = g.copy()
+        for v in leaf_elimination_order(g):
+            before = number_of_connected_components(remaining)
+            was_isolated = remaining.degree(v) == 0
+            remaining.remove_vertex(v)
+            after = number_of_connected_components(remaining)
+            if was_isolated:
+                assert after == before - 1
+            else:
+                assert after == before
+
+
+class TestRepairAlgorithm:
+    """Algorithm 3 / Lemma 1.8."""
+
+    def test_lemma_1_8_on_corpus(self):
+        """No induced Δ-star ⇒ the construction finds a spanning Δ-forest."""
+        for name, g in deterministic_corpus():
+            s = star_number(g)
+            delta = s + 1
+            result = repair_spanning_forest(g, delta)
+            assert result.forest is not None, name
+            assert is_spanning_forest_of(result.forest, g), name
+            assert forest_max_degree(result.forest) <= delta, name
+
+    @given(small_graphs())
+    @settings(max_examples=100)
+    def test_lemma_1_8_property(self, g):
+        delta = star_number(g) + 1
+        result = repair_spanning_forest(g, delta)
+        assert result.forest is not None
+        assert is_spanning_forest_of(result.forest, g)
+        assert forest_max_degree(result.forest) <= delta
+
+    @given(small_graphs())
+    def test_failure_certificate_is_induced_star(self, g):
+        """When the construction fails, the certificate is a genuine
+        induced Δ-star of G."""
+        for delta in range(1, 5):
+            result = repair_spanning_forest(g, delta)
+            if result.forest is None and result.star is not None:
+                center, leaves = result.star
+                assert len(leaves) == delta
+                assert is_induced_star(g, center, leaves)
+
+    @given(small_graphs())
+    def test_success_result_is_valid(self, g):
+        for delta in range(1, 5):
+            result = repair_spanning_forest(g, delta)
+            if result.forest is not None:
+                assert is_spanning_forest_of(result.forest, g)
+                assert forest_max_degree(result.forest) <= delta
+
+    def test_star_cannot_be_repaired_below_its_size(self):
+        g = star_graph(5)
+        assert spanning_forest_with_max_degree(g, 4) is None
+        assert spanning_forest_with_max_degree(g, 5) is not None
+
+    def test_k23_repairable_to_degree_2(self):
+        """K_{2,3} has a Hamiltonian path, i.e. a spanning 2-forest,
+        even though s(K_{2,3}) = 3 -- the opportunistic case."""
+        g = complete_bipartite_graph(2, 3)
+        forest = spanning_forest_with_max_degree(g, 2)
+        # The construction is not guaranteed to find it (s >= delta), but
+        # whatever it returns must be valid.
+        if forest is not None:
+            assert is_spanning_forest_of(forest, g)
+            assert forest_max_degree(forest) <= 2
+
+    def test_delta_zero_edgeless(self):
+        g = empty_graph(3)
+        result = repair_spanning_forest(g, 0)
+        assert result.forest is not None
+        assert result.forest.number_of_edges() == 0
+
+    def test_delta_zero_with_edges_fails(self):
+        assert repair_spanning_forest(path_graph(2), 0).forest is None
+
+    def test_negative_delta_raises(self):
+        with pytest.raises(ValueError):
+            repair_spanning_forest(path_graph(2), -1)
+
+    def test_repair_count_figure_1_scenario(self):
+        """A concrete instance that forces at least one local repair:
+        grid-like graph where the naive insertion overloads a vertex."""
+        g = complete_graph(5)
+        result = repair_spanning_forest(g, 2)
+        assert result.forest is not None  # K5 has a Hamiltonian path
+        assert forest_max_degree(result.forest) <= 2
+
+
+class TestExactDeltaStar:
+    def test_star(self):
+        assert min_spanning_forest_degree_exact(star_graph(4)) == 4
+
+    def test_path(self):
+        assert min_spanning_forest_degree_exact(path_graph(5)) == 2
+
+    def test_edgeless(self):
+        assert min_spanning_forest_degree_exact(empty_graph(4)) == 0
+
+    def test_single_edge(self):
+        assert min_spanning_forest_degree_exact(path_graph(2)) == 1
+
+    def test_k23_is_2(self):
+        """K_{2,3} has a Hamiltonian path: Δ* = 2 < s(G) = 3."""
+        assert min_spanning_forest_degree_exact(complete_bipartite_graph(2, 3)) == 2
+
+    def test_cycle(self):
+        assert min_spanning_forest_degree_exact(cycle_graph(6)) == 2
+
+    def test_disjoint_union_takes_max(self):
+        g = disjoint_union([star_graph(3), path_graph(4)])
+        assert min_spanning_forest_degree_exact(g) == 3
+
+    def test_matching(self):
+        g = disjoint_union([path_graph(2), path_graph(2)])
+        assert min_spanning_forest_degree_exact(g) == 1
+
+    @given(small_graphs(max_vertices=6))
+    @settings(max_examples=40)
+    def test_lemma_1_6(self, g):
+        """Δ* ≤ DS_fsf(G) + 1 = s(G) + 1 (Lemma 1.6 via Lemma 1.7)."""
+        if g.is_empty():
+            return
+        assert min_spanning_forest_degree_exact(g) <= star_number(g) + 1
+
+    @given(small_graphs(max_vertices=6))
+    @settings(max_examples=40)
+    def test_exact_decision_consistency(self, g):
+        delta_star = min_spanning_forest_degree_exact(g)
+        if delta_star >= 1:
+            assert has_spanning_delta_forest_exact(g, delta_star)
+        if delta_star >= 2:
+            assert not has_spanning_delta_forest_exact(g, delta_star - 1)
+
+
+class TestApproxMinDegreeForest:
+    def test_result_valid_on_corpus(self):
+        for name, g in deterministic_corpus():
+            forest, achieved = approx_min_degree_spanning_forest(g)
+            assert is_spanning_forest_of(forest, g), name
+            assert forest_max_degree(forest) == achieved, name
+
+    @given(small_graphs(max_vertices=6))
+    @settings(max_examples=40)
+    def test_achieved_within_lemma_bound(self, g):
+        """achieved ≤ s(G) + 1 and achieved ≥ Δ* (sandwich)."""
+        _, achieved = approx_min_degree_spanning_forest(g)
+        if g.is_empty():
+            assert achieved == 0
+            return
+        assert achieved <= max(star_number(g) + 1, 1)
+        assert achieved >= min_spanning_forest_degree_exact(g)
+
+    def test_grid_reaches_low_degree(self):
+        _, achieved = approx_min_degree_spanning_forest(grid_graph(4, 4))
+        assert achieved <= 3
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 3)
+        forest, achieved = approx_min_degree_spanning_forest(g)
+        # legs force degree >= 3 on spine vertices (pendant edges are in
+        # every spanning forest); interior spine vertices reach 4-ish.
+        assert achieved >= 3
+        assert is_spanning_forest_of(forest, g)
+
+
+class TestDeltaStarLowerBound:
+    def test_star_cut_vertex(self):
+        assert delta_star_lower_bound(star_graph(5)) == 5
+
+    def test_path_interior(self):
+        assert delta_star_lower_bound(path_graph(5)) == 2
+
+    def test_edgeless_zero(self):
+        assert delta_star_lower_bound(empty_graph(3)) == 0
+
+    def test_empty_graph(self):
+        assert delta_star_lower_bound(Graph()) == 0
+
+    @given(small_graphs(max_vertices=6))
+    @settings(max_examples=40)
+    def test_is_a_lower_bound(self, g):
+        assert delta_star_lower_bound(g) <= min_spanning_forest_degree_exact(g)
+
+    def test_custom_vertex_sets(self):
+        g = star_graph(4)
+        bound = delta_star_lower_bound(g, vertex_sets=[frozenset([0])])
+        assert bound == 4
+
+
+class TestEnumLimit:
+    def test_large_graph_rejected(self):
+        g = complete_graph(12)
+        with pytest.raises(ValueError, match="too large"):
+            has_spanning_delta_forest_exact(g, 3)

@@ -1,0 +1,243 @@
+"""Tests for graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.components import (
+    is_connected,
+    number_of_connected_components,
+)
+from repro.graphs.forests import is_forest
+from repro.graphs.generators import (
+    barabasi_albert,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    double_star_graph,
+    empty_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    planted_components,
+    random_forest,
+    random_geometric_graph,
+    random_tree,
+    star_graph,
+    star_of_stars,
+    star_plus_isolated,
+    stochastic_block_model,
+    with_hub,
+)
+from repro.graphs.stars import star_number
+
+
+class TestDeterministicFamilies:
+    def test_empty(self):
+        g = empty_graph(5)
+        assert g.number_of_vertices() == 5
+        assert g.number_of_edges() == 0
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.number_of_edges() == 10
+        assert g.max_degree() == 4
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.number_of_edges() == 6
+        assert not g.has_edge(0, 1)  # same side
+
+    def test_path(self):
+        g = path_graph(4)
+        assert g.number_of_edges() == 3
+        assert is_connected(g)
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.number_of_edges() == 5
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert g.number_of_edges() == 6
+
+    def test_double_star(self):
+        g = double_star_graph(3, 2)
+        assert g.degree(0) == 4 and g.degree(1) == 3
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.number_of_vertices() == 12
+        assert g.number_of_edges() == 3 * 3 + 2 * 4
+        assert g.max_degree() <= 4
+
+    def test_caterpillar_is_tree(self):
+        g = caterpillar_graph(4, 2)
+        assert is_forest(g)
+        assert is_connected(g)
+        assert g.number_of_vertices() == 4 + 8
+
+    def test_star_of_stars(self):
+        g = star_of_stars(3, 2)
+        assert g.number_of_vertices() == 1 + 3 + 6
+        assert g.degree(0) == 3
+
+    def test_star_plus_isolated(self):
+        g = star_plus_isolated(3, 5)
+        assert g.number_of_vertices() == 9
+        assert number_of_connected_components(g) == 6
+
+    def test_with_hub_connects_everything(self):
+        g = with_hub(empty_graph(5))
+        assert is_connected(g)
+        assert g.degree("hub") == 5
+
+    def test_with_hub_preserves_original(self):
+        base = empty_graph(3)
+        with_hub(base)
+        assert base.number_of_vertices() == 3
+
+    def test_disjoint_union(self):
+        g = disjoint_union([path_graph(2), path_graph(3)])
+        assert g.number_of_vertices() == 5
+        assert number_of_connected_components(g) == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            empty_graph(-1)
+
+
+class TestErdosRenyi:
+    def test_p_zero(self, rng):
+        g = erdos_renyi(10, 0.0, rng)
+        assert g.number_of_edges() == 0
+
+    def test_p_one(self, rng):
+        g = erdos_renyi(6, 1.0, rng)
+        assert g.number_of_edges() == 15
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5, rng)
+
+    def test_edge_count_concentrates(self, rng):
+        n, p = 60, 0.2
+        total_pairs = n * (n - 1) // 2
+        counts = [erdos_renyi(n, p, rng).number_of_edges() for _ in range(20)]
+        mean = np.mean(counts)
+        expected = p * total_pairs
+        assert abs(mean - expected) < 4 * np.sqrt(expected)
+
+    def test_reproducible_by_seed(self):
+        a = erdos_renyi(30, 0.1, np.random.default_rng(7))
+        b = erdos_renyi(30, 0.1, np.random.default_rng(7))
+        assert a == b
+
+    def test_sparse_regime_has_many_components(self, rng):
+        g = erdos_renyi(200, 1.0 / 200, rng)
+        assert number_of_connected_components(g) > 20
+
+
+class TestRandomGeometric:
+    def test_zero_radius_edgeless(self, rng):
+        g = random_geometric_graph(20, 0.0, rng)
+        assert g.number_of_edges() == 0
+
+    def test_large_radius_complete(self, rng):
+        g = random_geometric_graph(10, 1.5, rng)
+        assert g.number_of_edges() == 45
+
+    def test_no_induced_six_star(self, rng):
+        """Section 1.1.4: geometric graphs have s(G) <= 5."""
+        for seed in range(5):
+            g = random_geometric_graph(60, 0.2, np.random.default_rng(seed))
+            assert star_number(g) <= 5
+
+    def test_positions_returned(self, rng):
+        g, pos = random_geometric_graph(15, 0.3, rng, return_positions=True)
+        assert pos.shape == (15, 2)
+        assert g.number_of_vertices() == 15
+
+    def test_matches_brute_force_adjacency(self, rng):
+        """Grid-bucketed edge search agrees with the O(n^2) definition."""
+        g, pos = random_geometric_graph(40, 0.25, rng, return_positions=True)
+        for i in range(40):
+            for j in range(i + 1, 40):
+                d = float(np.hypot(*(pos[i] - pos[j])))
+                assert g.has_edge(i, j) == (d <= 0.25)
+
+
+class TestRandomTreesAndForests:
+    @given(st.integers(1, 20), st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_random_tree_is_tree(self, n, seed):
+        g = random_tree(n, np.random.default_rng(seed))
+        assert g.number_of_vertices() == n
+        assert is_forest(g)
+        assert is_connected(g)
+
+    @given(st.integers(1, 15), st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_random_forest_component_count(self, n, seed):
+        rng = np.random.default_rng(seed)
+        n_trees = int(rng.integers(1, n + 1))
+        g = random_forest(n, n_trees, rng)
+        assert g.number_of_vertices() == n
+        assert is_forest(g)
+        assert number_of_connected_components(g) == n_trees
+
+    def test_random_forest_invalid_tree_count(self, rng):
+        with pytest.raises(ValueError):
+            random_forest(5, 6, rng)
+
+
+class TestSBM:
+    def test_block_structure(self, rng):
+        g = stochastic_block_model([5, 5], [[1.0, 0.0], [0.0, 1.0]], rng)
+        assert number_of_connected_components(g) == 2
+        assert g.number_of_edges() == 2 * 10
+
+    def test_invalid_matrix_shape(self, rng):
+        with pytest.raises(ValueError):
+            stochastic_block_model([3, 3], [[0.5]], rng)
+
+    def test_cross_block_only(self, rng):
+        g = stochastic_block_model([2, 2], [[0.0, 1.0], [1.0, 0.0]], rng)
+        assert g.number_of_edges() == 4
+
+
+class TestBarabasiAlbert:
+    def test_connected_and_sized(self, rng):
+        g = barabasi_albert(50, 2, rng)
+        assert g.number_of_vertices() == 50
+        assert is_connected(g)
+
+    def test_invalid_m(self, rng):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0, rng)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3, rng)
+
+    def test_new_vertices_have_m_edges(self, rng):
+        g = barabasi_albert(30, 3, rng)
+        assert g.degree(29) == 3
+
+
+class TestPlantedComponents:
+    def test_exact_component_count(self, rng):
+        g = planted_components([4, 7, 3, 10], 0.3, rng)
+        assert number_of_connected_components(g) == 4
+        assert g.number_of_vertices() == 24
+
+    def test_singletons(self, rng):
+        g = planted_components([1, 1, 1], 0.5, rng)
+        assert number_of_connected_components(g) == 3
+        assert g.number_of_edges() == 0

@@ -1,0 +1,203 @@
+"""Tests for the Graph data structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graphs.graph import Graph, canonical_edge
+
+from .strategies import small_graphs
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.number_of_vertices() == 0
+        assert g.number_of_edges() == 0
+        assert g.is_empty()
+
+    def test_vertices_only(self):
+        g = Graph(vertices=[3, 1, 2])
+        assert g.vertex_list() == [3, 1, 2]
+        assert g.number_of_edges() == 0
+
+    def test_edges_add_endpoints(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert g.number_of_vertices() == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_duplicate_edges_ignored(self):
+        g = Graph(edges=[(0, 1), (1, 0), (0, 1)])
+        assert g.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge(1, 1)
+
+    def test_string_vertices(self):
+        g = Graph(edges=[("a", "b")])
+        assert g.has_edge("b", "a")
+        assert g.degree("a") == 1
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        assert g.number_of_vertices() == 3
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(vertices=[0, 1])
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_remove_vertex(self):
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2)])
+        g.remove_vertex(0)
+        assert g.number_of_vertices() == 2
+        assert g.has_edge(1, 2)
+        assert not g.has_vertex(0)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(KeyError):
+            Graph().remove_vertex(7)
+
+    def test_add_vertex_with_edges(self):
+        g = Graph(vertices=[0, 1, 2])
+        g.add_vertex_with_edges(9, [0, 2])
+        assert g.degree(9) == 2
+        assert g.has_edge(9, 0) and g.has_edge(9, 2)
+
+    def test_add_vertex_with_edges_existing_vertex_raises(self):
+        g = Graph(vertices=[0, 1])
+        with pytest.raises(ValueError, match="already"):
+            g.add_vertex_with_edges(0, [1])
+
+    def test_add_vertex_with_edges_missing_neighbor_raises(self):
+        g = Graph(vertices=[0])
+        with pytest.raises(ValueError, match="not in graph"):
+            g.add_vertex_with_edges(1, [5])
+
+    def test_insertion_inverts_removal(self):
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2), (2, 3)])
+        neighbors = g.neighbors(2)
+        h = g.copy()
+        h.remove_vertex(2)
+        h.add_vertex_with_edges(2, neighbors)
+        assert h == g
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = Graph(edges=[(0, 1), (0, 2)])
+        g.add_vertex(5)
+        assert g.degrees() == {0: 2, 1: 1, 2: 1, 5: 0}
+        assert g.max_degree() == 2
+
+    def test_max_degree_empty(self):
+        assert Graph().max_degree() == 0
+
+    def test_edges_canonical_and_unique(self):
+        g = Graph(edges=[(2, 1), (1, 0)])
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_neighbors_immutable_copy(self):
+        g = Graph(edges=[(0, 1)])
+        nbrs = g.neighbors(0)
+        assert nbrs == frozenset([1])
+        g.remove_edge(0, 1)
+        assert nbrs == frozenset([1])  # snapshot, not a live view
+
+    def test_contains_len_iter(self):
+        g = Graph(vertices=[0, 1], edges=[(0, 1)])
+        assert 0 in g and 7 not in g
+        assert len(g) == 2
+        assert list(g) == [0, 1]
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(0, 1)])
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert not g.has_vertex(2)
+
+    def test_induced_subgraph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        sub = g.induced_subgraph([0, 1, 2])
+        assert sub.number_of_vertices() == 3
+        assert sub.number_of_edges() == 3
+        assert not sub.has_vertex(3)
+
+    def test_induced_subgraph_ignores_foreign_vertices(self):
+        g = Graph(vertices=[0, 1])
+        sub = g.induced_subgraph([0, 99])
+        assert sub.vertex_list() == [0]
+
+    def test_without_vertex(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        h = g.without_vertex(1)
+        assert h.number_of_edges() == 0
+        assert g.has_edge(0, 1)  # original untouched
+
+    def test_subgraph_with_edges(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        sub = g.subgraph_with_edges([(0, 1)])
+        assert sub.number_of_vertices() == 3
+        assert sub.number_of_edges() == 1
+
+    def test_subgraph_with_foreign_edge_raises(self):
+        g = Graph(edges=[(0, 1)])
+        g.add_vertex(2)
+        with pytest.raises(ValueError, match="not an edge"):
+            g.subgraph_with_edges([(0, 2)])
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        assert Graph(edges=[(0, 1)]) == Graph(edges=[(1, 0)])
+
+    def test_different_vertices(self):
+        assert Graph(vertices=[0]) != Graph(vertices=[1])
+
+    def test_different_edges(self):
+        a = Graph(vertices=[0, 1], edges=[(0, 1)])
+        b = Graph(vertices=[0, 1])
+        assert a != b
+
+    def test_non_graph_comparison(self):
+        assert Graph() != 42
+
+
+class TestCanonicalEdge:
+    def test_orders_ints(self):
+        assert canonical_edge(2, 1) == (1, 2)
+        assert canonical_edge(1, 2) == (1, 2)
+
+    def test_mixed_types_fall_back_to_repr(self):
+        e1 = canonical_edge("a", 1)
+        e2 = canonical_edge(1, "a")
+        assert e1 == e2
+
+
+class TestPropertyBased:
+    @given(small_graphs())
+    def test_handshake_lemma(self, g):
+        assert sum(g.degrees().values()) == 2 * g.number_of_edges()
+
+    @given(small_graphs())
+    def test_copy_equals_original(self, g):
+        assert g.copy() == g
+
+    @given(small_graphs(min_vertices=1))
+    def test_vertex_removal_drops_incident_edges(self, g):
+        v = g.vertex_list()[0]
+        d = g.degree(v)
+        m = g.number_of_edges()
+        h = g.without_vertex(v)
+        assert h.number_of_edges() == m - d
+
+    @given(small_graphs())
+    def test_induced_on_full_vertex_set_is_identity(self, g):
+        assert g.induced_subgraph(g.vertices()) == g

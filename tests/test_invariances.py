@@ -1,0 +1,166 @@
+"""Metamorphic property tests: invariances every statistic must satisfy.
+
+Every quantity in the paper is a *graph* statistic — invariant under
+vertex relabelling — and most decompose predictably over disjoint
+unions.  These tests hammer both laws across the whole public surface:
+they catch exactly the class of bugs (order dependence, label
+leakage, cross-component contamination) that unit tests miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.down_sensitivity import (
+    down_sensitivity_spanning_forest,
+    generic_extension_spanning_forest,
+)
+from repro.core.extension import evaluate_lipschitz_extension
+from repro.graphs.components import (
+    number_of_connected_components,
+    spanning_forest_size,
+)
+from repro.graphs.forests import (
+    approx_min_degree_spanning_forest,
+    delta_star_lower_bound,
+    forest_max_degree,
+    min_spanning_forest_degree_exact,
+    repair_spanning_forest,
+)
+from repro.graphs.generators import disjoint_union
+from repro.graphs.graph import Graph
+from repro.graphs.stars import independence_number, star_number
+
+from .strategies import small_graphs
+
+
+def _relabel(graph: Graph, seed: int) -> Graph:
+    """Relabel vertices by a seeded random permutation (labels offset so
+    old and new labels never coincide)."""
+    rng = np.random.default_rng(seed)
+    vertices = graph.vertex_list()
+    permuted = list(rng.permutation(len(vertices)))
+    mapping = {v: 1000 + int(p) for v, p in zip(vertices, permuted)}
+    g = Graph(vertices=(mapping[v] for v in vertices))
+    for u, v in graph.edges():
+        g.add_edge(mapping[u], mapping[v])
+    return g
+
+
+class TestRelabellingInvariance:
+    @given(small_graphs(), st.integers(0, 10_000))
+    def test_counting_statistics(self, g, seed):
+        h = _relabel(g, seed)
+        assert number_of_connected_components(h) == number_of_connected_components(g)
+        assert spanning_forest_size(h) == spanning_forest_size(g)
+        assert star_number(h) == star_number(g)
+        assert independence_number(h) == independence_number(g)
+
+    @given(small_graphs(max_vertices=6), st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_delta_star(self, g, seed):
+        h = _relabel(g, seed)
+        assert min_spanning_forest_degree_exact(h) == min_spanning_forest_degree_exact(g)
+        assert delta_star_lower_bound(h) == delta_star_lower_bound(g)
+
+    @given(small_graphs(max_vertices=6), st.integers(0, 10_000), st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_lipschitz_extension(self, g, seed, delta):
+        h = _relabel(g, seed)
+        assert evaluate_lipschitz_extension(h, delta) == pytest.approx(
+            evaluate_lipschitz_extension(g, delta), abs=1e-6
+        )
+
+    @given(small_graphs(max_vertices=5), st.integers(0, 10_000), st.integers(1, 3))
+    @settings(max_examples=25)
+    def test_generic_extension(self, g, seed, delta):
+        h = _relabel(g, seed)
+        assert generic_extension_spanning_forest(h, delta) == pytest.approx(
+            generic_extension_spanning_forest(g, delta)
+        )
+
+    @given(small_graphs(max_vertices=7), st.integers(0, 10_000), st.integers(1, 4))
+    @settings(max_examples=30)
+    def test_repair_success_is_invariant(self, g, seed, delta):
+        """Lemma 1.8's guarantee region: whenever s(G) < Δ both labelled
+        versions must succeed (inside the guarantee the outcome cannot
+        depend on labels)."""
+        if star_number(g) < delta:
+            h = _relabel(g, seed)
+            assert repair_spanning_forest(g, delta).forest is not None
+            assert repair_spanning_forest(h, delta).forest is not None
+
+
+class TestDisjointUnionLaws:
+    @given(small_graphs(max_vertices=5), small_graphs(max_vertices=5))
+    @settings(max_examples=40)
+    def test_counting_statistics_add(self, a, b):
+        union = disjoint_union([a, b])
+        assert number_of_connected_components(union) == (
+            number_of_connected_components(a) + number_of_connected_components(b)
+        )
+        assert spanning_forest_size(union) == spanning_forest_size(
+            a
+        ) + spanning_forest_size(b)
+
+    @given(small_graphs(max_vertices=5), small_graphs(max_vertices=5))
+    @settings(max_examples=40)
+    def test_star_number_takes_max(self, a, b):
+        union = disjoint_union([a, b])
+        assert star_number(union) == max(star_number(a), star_number(b))
+
+    @given(small_graphs(max_vertices=5), small_graphs(max_vertices=5))
+    @settings(max_examples=40)
+    def test_down_sensitivity_takes_max(self, a, b):
+        union = disjoint_union([a, b])
+        assert down_sensitivity_spanning_forest(union) == max(
+            down_sensitivity_spanning_forest(a),
+            down_sensitivity_spanning_forest(b),
+        )
+
+    @given(
+        small_graphs(max_vertices=5),
+        small_graphs(max_vertices=5),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=40)
+    def test_extension_is_additive(self, a, b, delta):
+        union = disjoint_union([a, b])
+        assert evaluate_lipschitz_extension(union, delta) == pytest.approx(
+            evaluate_lipschitz_extension(a, delta)
+            + evaluate_lipschitz_extension(b, delta),
+            abs=1e-6,
+        )
+
+    @given(small_graphs(max_vertices=5), small_graphs(max_vertices=5))
+    @settings(max_examples=30)
+    def test_independence_number_adds(self, a, b):
+        union = disjoint_union([a, b])
+        assert independence_number(union) == independence_number(
+            a
+        ) + independence_number(b)
+
+    @given(small_graphs(max_vertices=5), small_graphs(max_vertices=5))
+    @settings(max_examples=30)
+    def test_min_degree_forest_achieved_max(self, a, b):
+        union = disjoint_union([a, b])
+        _, achieved = approx_min_degree_spanning_forest(union)
+        # Achieved degree on the union cannot beat the exact optimum of
+        # either part (the union's forest restricts to spanning forests
+        # of the parts).
+        if not union.is_empty():
+            exact_union = min_spanning_forest_degree_exact(union)
+            assert achieved >= exact_union
+            assert exact_union == max(
+                min_spanning_forest_degree_exact(a),
+                min_spanning_forest_degree_exact(b),
+            )
+
+
+class TestRepairForestAlwaysValidStructure:
+    @given(small_graphs(), st.integers(1, 5))
+    @settings(max_examples=50)
+    def test_forest_degree_contract(self, g, delta):
+        result = repair_spanning_forest(g, delta)
+        if result.forest is not None:
+            assert forest_max_degree(result.forest) <= delta

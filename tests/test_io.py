@@ -1,0 +1,81 @@
+"""Tests for edge-list I/O and networkx conversion."""
+
+import io
+
+import networkx as nx
+import pytest
+from hypothesis import given
+
+from repro.graphs.convert import from_networkx, to_networkx
+from repro.graphs.generators import empty_graph, path_graph, star_plus_isolated
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    format_edge_list,
+    parse_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+from .strategies import small_graphs
+
+
+class TestParse:
+    def test_edges_and_isolated(self):
+        g = parse_edge_list(["# comment", "0 1", "", "2", "1 3"])
+        assert g.number_of_vertices() == 4
+        assert g.has_edge(0, 1) and g.has_edge(1, 3)
+        assert g.degree(2) == 0
+
+    def test_string_labels(self):
+        g = parse_edge_list(["alice bob"])
+        assert g.has_edge("alice", "bob")
+
+    def test_mixed_labels(self):
+        g = parse_edge_list(["1 bob"])
+        assert g.has_edge(1, "bob")
+
+    def test_too_many_tokens(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_edge_list(["0 1 2"])
+
+
+class TestRoundTrip:
+    @given(small_graphs())
+    def test_format_parse_roundtrip(self, g):
+        assert parse_edge_list(format_edge_list(g).splitlines()) == g
+
+    def test_isolated_vertices_survive(self):
+        g = star_plus_isolated(2, 3)
+        assert parse_edge_list(format_edge_list(g).splitlines()) == g
+
+    def test_file_roundtrip(self, tmp_path):
+        g = path_graph(4)
+        path = tmp_path / "graph.edges"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_stream_roundtrip(self):
+        g = path_graph(3)
+        buffer = io.StringIO()
+        write_edge_list(g, buffer)
+        buffer.seek(0)
+        assert read_edge_list(buffer) == g
+
+
+class TestNetworkxConvert:
+    @given(small_graphs())
+    def test_roundtrip(self, g):
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_self_loops_dropped(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.number_of_edges() == 1
+
+    def test_isolated_nodes_kept(self):
+        assert to_networkx(empty_graph(3)).number_of_nodes() == 3
+
+    def test_empty(self):
+        assert from_networkx(nx.Graph()) == Graph()

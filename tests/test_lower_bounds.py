@@ -1,0 +1,93 @@
+"""Tests for the worst-case lower-bound module."""
+
+import math
+
+import pytest
+
+from repro.core.lower_bounds import (
+    chain_distance_budget,
+    hard_instance_chain,
+    worst_case_error_lower_bound,
+)
+from repro.graphs.components import number_of_connected_components
+from repro.graphs.distance import node_distance
+
+
+class TestHardChain:
+    def test_statistic_sweeps(self):
+        chain = hard_instance_chain(10, 6)
+        assert number_of_connected_components(chain[0]) == 9
+        for j in range(1, 7):
+            assert number_of_connected_components(chain[j]) == 10 - j
+
+    def test_consecutive_distance_at_most_two(self):
+        chain = hard_instance_chain(8, 5)
+        assert node_distance(chain[0], chain[1]) == 1  # hub insertion
+        for a, b in zip(chain[1:], chain[2:]):
+            assert node_distance(a, b) <= 2
+
+    def test_vertex_budget(self):
+        chain = hard_instance_chain(6, 5)
+        assert all(g.number_of_vertices() <= 6 for g in chain)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hard_instance_chain(1, 1)
+        with pytest.raises(ValueError):
+            hard_instance_chain(5, 5)
+        with pytest.raises(ValueError):
+            hard_instance_chain(5, 0)
+
+
+class TestLowerBound:
+    def test_decreases_with_epsilon(self):
+        assert worst_case_error_lower_bound(1000, 0.01) > worst_case_error_lower_bound(
+            1000, 0.1
+        )
+
+    def test_zero_for_large_epsilon(self):
+        assert worst_case_error_lower_bound(100, 10.0) == 0.0
+
+    def test_capped_by_n(self):
+        tiny = worst_case_error_lower_bound(4, 1e-6)
+        assert tiny <= (4 - 1 - 1) / 2.0 + 1e-9
+
+    def test_explicit_value(self):
+        # k = min(1 + floor(ln2/(2 eps)), n-1); bound = (k-1)/2.
+        eps = 0.01
+        k = 1 + int(math.log(2) / (2 * eps))
+        assert worst_case_error_lower_bound(10**6, eps) == (k - 1) / 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_error_lower_bound(0, 1.0)
+        with pytest.raises(ValueError):
+            worst_case_error_lower_bound(10, 0.0)
+
+
+class TestDistanceBudget:
+    def test_formula(self):
+        assert chain_distance_budget(3, 0.5) == pytest.approx(math.exp(3.0))
+
+    def test_zero_length(self):
+        assert chain_distance_budget(0, 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chain_distance_budget(-1, 1.0)
+        with pytest.raises(ValueError):
+            chain_distance_budget(2, 0.0)
+
+
+class TestConsistencyWithUpperBound:
+    def test_paper_bound_respects_impossibility(self):
+        """Theorem 1.3's guarantee at the chain's connected end (where
+        Δ* ≈ n) must not beat the impossibility frontier."""
+        from repro.core.bounds import theorem_1_3_bound
+
+        n, eps = 200, 0.05
+        lower = worst_case_error_lower_bound(n, eps)
+        # At the connected end of the chain the hub has degree n-1, and
+        # Δ* can be as large as n - 1.
+        upper_at_hard_end = theorem_1_3_bound(n, eps, n - 1)
+        assert upper_at_hard_end >= lower

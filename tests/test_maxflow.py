@@ -1,0 +1,125 @@
+"""Tests for the Dinic max-flow substrate (cross-checked vs networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flow.maxflow import INFINITY, FlowNetwork
+
+
+class TestBasics:
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 3.5)
+        assert net.max_flow("s", "t") == pytest.approx(3.5)
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 5.0)
+        net.add_edge("a", "t", 2.0)
+        assert net.max_flow("s", "t") == pytest.approx(2.0)
+
+    def test_parallel_paths(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1.0)
+        net.add_edge("a", "t", 1.0)
+        net.add_edge("s", "b", 2.0)
+        net.add_edge("b", "t", 2.0)
+        assert net.max_flow("s", "t") == pytest.approx(3.0)
+
+    def test_no_path(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1.0)
+        net.add_edge("b", "t", 1.0)
+        assert net.max_flow("s", "t") == 0.0
+
+    def test_requires_augmenting_via_residual(self):
+        """Classic case where a greedy path must be partially undone."""
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1.0)
+        net.add_edge("s", "b", 1.0)
+        net.add_edge("a", "b", 1.0)
+        net.add_edge("a", "t", 1.0)
+        net.add_edge("b", "t", 1.0)
+        assert net.max_flow("s", "t") == pytest.approx(2.0)
+
+    def test_infinite_capacity_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 2.0)
+        net.add_edge("a", "t", INFINITY)
+        assert net.max_flow("s", "t") == pytest.approx(2.0)
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", -1.0)
+
+    def test_same_source_sink_rejected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 1.0)
+        with pytest.raises(ValueError):
+            net.max_flow("s", "s")
+
+    def test_fractional_capacities(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 0.3)
+        net.add_edge("s", "b", 0.4)
+        net.add_edge("a", "t", 1.0)
+        net.add_edge("b", "t", 0.25)
+        assert net.max_flow("s", "t") == pytest.approx(0.55)
+
+
+class TestMinCut:
+    def test_cut_separates(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 5.0)
+        net.add_edge("a", "t", 1.0)
+        net.max_flow("s", "t")
+        side = net.min_cut_source_side("s")
+        assert "s" in side and "a" in side and "t" not in side
+
+    def test_cut_value_equals_flow(self):
+        """Max-flow = min-cut on a random instance."""
+        rng = np.random.default_rng(5)
+        net = FlowNetwork()
+        nodes = list(range(6))
+        capacities = {}
+        for u in nodes:
+            for v in nodes:
+                if u != v and rng.random() < 0.5:
+                    c = float(rng.random())
+                    net.add_edge(u, v, c)
+                    capacities[(u, v)] = capacities.get((u, v), 0.0) + c
+        net.add_edge("s", 0, 10.0)
+        net.add_edge(5, "t", 10.0)
+        capacities[("s", 0)] = 10.0
+        capacities[(5, "t")] = 10.0
+        flow = net.max_flow("s", "t")
+        side = net.min_cut_source_side("s")
+        cut_value = sum(
+            c for (u, v), c in capacities.items() if u in side and v not in side
+        )
+        assert flow == pytest.approx(cut_value, abs=1e-9)
+
+
+class TestAgainstNetworkx:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_random_networks_match(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 9))
+        ours = FlowNetwork()
+        reference = nx.DiGraph()
+        reference.add_nodes_from(range(n))
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < 0.4:
+                    c = float(np.round(rng.random(), 3))
+                    ours.add_edge(u, v, c)
+                    if reference.has_edge(u, v):
+                        reference[u][v]["capacity"] += c
+                    else:
+                        reference.add_edge(u, v, capacity=c)
+        expected = nx.maximum_flow_value(reference, 0, n - 1)
+        assert ours.max_flow(0, n - 1) == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,276 @@
+"""Tests for Laplace, exponential mechanism, GEM, and accounting."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mechanisms.accountant import (
+    BudgetExceededError,
+    PrivacyAccountant,
+    split_budget,
+)
+from repro.mechanisms.exponential import (
+    exponential_mechanism,
+    exponential_mechanism_probabilities,
+)
+from repro.mechanisms.gem import (
+    generalized_exponential_mechanism,
+    power_of_two_grid,
+)
+from repro.mechanisms.laplace import (
+    LaplaceMechanism,
+    laplace_noise,
+    laplace_tail_probability,
+    laplace_tail_quantile,
+)
+
+
+class TestLaplace:
+    def test_zero_scale_is_exact(self, rng):
+        assert laplace_noise(0.0, rng) == 0.0
+
+    def test_negative_scale_rejected(self, rng):
+        with pytest.raises(ValueError):
+            laplace_noise(-1.0, rng)
+
+    def test_empirical_mean_and_std(self, rng):
+        samples = np.array([laplace_noise(2.0, rng) for _ in range(20_000)])
+        assert abs(samples.mean()) < 0.1
+        assert abs(samples.std() - 2.0 * math.sqrt(2)) < 0.15
+
+    def test_tail_probability_lemma_2_3(self):
+        """Pr[|X| >= t·b] = e^{-t}."""
+        assert laplace_tail_probability(1.0, 1.0) == pytest.approx(math.exp(-1))
+        assert laplace_tail_probability(2.0, 4.0) == pytest.approx(math.exp(-2))
+        assert laplace_tail_probability(1.0, 0.0) == 1.0
+
+    def test_empirical_tail(self, rng):
+        scale, t = 1.5, 2.0
+        samples = np.abs([laplace_noise(scale, rng) for _ in range(20_000)])
+        empirical = float(np.mean(samples >= t * scale))
+        assert empirical == pytest.approx(math.exp(-t), abs=0.02)
+
+    def test_quantile_inverts_tail(self):
+        scale = 3.0
+        for beta in (0.5, 0.1, 0.01):
+            t = laplace_tail_quantile(scale, beta)
+            assert laplace_tail_probability(scale, t) == pytest.approx(beta)
+
+    def test_quantile_invalid_beta(self):
+        with pytest.raises(ValueError):
+            laplace_tail_quantile(1.0, 0.0)
+
+    def test_mechanism_scale(self):
+        mech = LaplaceMechanism(sensitivity=3.0, epsilon=1.5)
+        assert mech.scale == 2.0
+        assert mech.expected_absolute_error() == 2.0
+
+    def test_mechanism_release_centering(self, rng):
+        mech = LaplaceMechanism(sensitivity=1.0, epsilon=2.0)
+        values = [mech.release(10.0, rng) for _ in range(5_000)]
+        assert abs(np.mean(values) - 10.0) < 0.1
+
+    def test_mechanism_validation(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(sensitivity=-1.0, epsilon=1.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(sensitivity=1.0, epsilon=0.0)
+
+
+class TestExponentialMechanism:
+    def test_probabilities_normalized(self):
+        p = exponential_mechanism_probabilities([1.0, 2.0, 3.0], 1.0, 1.0)
+        assert p.sum() == pytest.approx(1.0)
+        # minimization: lower score → higher probability
+        assert p[0] > p[1] > p[2]
+
+    def test_exact_two_point_distribution(self):
+        """p0/p1 = exp(ε(s1−s0)/2)."""
+        eps = 1.0
+        p = exponential_mechanism_probabilities([0.0, 2.0], 1.0, eps)
+        assert p[0] / p[1] == pytest.approx(math.exp(eps * 2.0 / 2.0))
+
+    def test_extreme_scores_stable(self):
+        p = exponential_mechanism_probabilities([0.0, 1e6], 1.0, 1.0)
+        assert p[0] == pytest.approx(1.0)
+        assert np.isfinite(p).all()
+
+    def test_sampling_frequencies(self, rng):
+        scores = [0.0, 1.0]
+        eps = 2.0
+        expected = exponential_mechanism_probabilities(scores, 1.0, eps)
+        draws = np.array(
+            [exponential_mechanism(scores, 1.0, eps, rng) for _ in range(5_000)]
+        )
+        freq1 = draws.mean()
+        assert freq1 == pytest.approx(expected[1], abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism_probabilities([], 1.0, 1.0)
+        with pytest.raises(ValueError):
+            exponential_mechanism_probabilities([1.0], 0.0, 1.0)
+        with pytest.raises(ValueError):
+            exponential_mechanism_probabilities([1.0], 1.0, -1.0)
+        with pytest.raises(ValueError):
+            exponential_mechanism_probabilities([float("nan")], 1.0, 1.0)
+
+
+class TestPowerOfTwoGrid:
+    def test_exact_powers(self):
+        assert power_of_two_grid(8) == [1, 2, 4, 8]
+
+    def test_non_powers(self):
+        assert power_of_two_grid(10) == [1, 2, 4, 8]
+        assert power_of_two_grid(1) == [1]
+        assert power_of_two_grid(1.5) == [1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            power_of_two_grid(0.5)
+
+    @given(st.integers(1, 10_000))
+    def test_covers_and_stays_below(self, delta_max):
+        grid = power_of_two_grid(delta_max)
+        assert grid[0] == 1
+        assert grid[-1] <= delta_max
+        assert 2 * grid[-1] > delta_max
+        assert all(b == 2 * a for a, b in zip(grid, grid[1:]))
+
+
+class TestGEM:
+    def test_single_candidate(self, rng):
+        result = generalized_exponential_mechanism([4], lambda d: d, 1.0, 0.1, rng)
+        assert result.selected == 4
+        assert result.probabilities == (1.0,)
+
+    def test_picks_clear_winner_with_large_epsilon(self, rng):
+        """With a huge privacy budget GEM almost surely selects a
+        near-minimal q candidate."""
+        candidates = [1, 2, 4, 8, 16]
+        q = {1: 100.0, 2: 50.0, 4: 3.0, 8: 8.0, 16: 16.0}
+        picks = [
+            generalized_exponential_mechanism(
+                candidates, q.__getitem__, 1000.0, 0.1, rng
+            ).selected
+            for _ in range(50)
+        ]
+        assert all(p == 4 for p in picks)
+
+    def test_theorem_3_5_guarantee_statistically(self, rng):
+        """err(Δ̂) ≤ min err(Δ) · O(ln(k/β)) with probability ≥ 1 − β.
+
+        We use the explicit competitive ratio from [RS16b]'s analysis via
+        the threshold t: failures are counted against a generous factor.
+        """
+        candidates = [1, 2, 4, 8, 16, 32]
+        q = {1: 40.0, 2: 25.0, 4: 12.0, 8: 9.0, 16: 17.0, 32: 33.0}
+        epsilon, beta = 1.0, 0.1
+        best = min(q.values())
+        k = len(candidates) - 1
+        # Proof-level bound: err(selected) ≤ best + t·Δopt·3-ish; use the
+        # coarse factor O(ln(k/β))/ε on the optimum.
+        factor = 16.0 * math.log(k / beta) / epsilon
+        failures = 0
+        trials = 200
+        for _ in range(trials):
+            result = generalized_exponential_mechanism(
+                candidates, q.__getitem__, epsilon, beta, rng
+            )
+            if q[result.selected] > best * factor:
+                failures += 1
+        assert failures / trials <= beta + 0.05
+
+    def test_diagnostics_shape(self, rng):
+        result = generalized_exponential_mechanism(
+            [1, 2, 4], lambda d: float(d), 1.0, 0.2, rng
+        )
+        assert len(result.scores) == 3
+        assert len(result.q_values) == 3
+        assert sum(result.probabilities) == pytest.approx(1.0)
+        assert result.threshold > 0
+        # scores: max_j includes j = i so every score >= 0
+        assert all(s >= 0 for s in result.scores)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generalized_exponential_mechanism([], lambda d: d, 1.0, 0.1, rng)
+        with pytest.raises(ValueError):
+            generalized_exponential_mechanism([2, 1], lambda d: d, 1.0, 0.1, rng)
+        with pytest.raises(ValueError):
+            generalized_exponential_mechanism([1], lambda d: d, 0.0, 0.1, rng)
+        with pytest.raises(ValueError):
+            generalized_exponential_mechanism([1], lambda d: d, 1.0, 1.5, rng)
+        with pytest.raises(ValueError):
+            generalized_exponential_mechanism([-1, 1], lambda d: d, 1.0, 0.1, rng)
+
+    def test_score_sensitivity_bound(self, rng):
+        """Empirical check of the footnote: replacing the input graph by a
+        node-neighbor changes each s_i by at most 1.
+
+        Simulated abstractly: perturb each h_i by at most i (Lipschitz)
+        and h by anything; the scores move by ≤ 1.
+        """
+        candidates = [1.0, 2.0, 4.0, 8.0]
+        rng_local = np.random.default_rng(0)
+        for _ in range(50):
+            gaps = {c: float(rng_local.random() * 10) for c in candidates}
+            # Perturbation: each h_i moves by at most i, so each gap
+            # (h − h_i treated with h as arbitrary constant shift...) —
+            # emulate via gap'_i = gap_i + shift + delta_i, |delta_i| ≤ i.
+            shift = float(rng_local.normal() * 100)
+            deltas = {c: float(rng_local.uniform(-c, c)) for c in candidates}
+            q1 = lambda c: gaps[c] + c  # noqa: E731
+            q2 = lambda c: gaps[c] + shift + deltas[c] + c  # noqa: E731
+            r1 = generalized_exponential_mechanism(
+                candidates, q1, 1.0, 0.1, rng
+            )
+            r2 = generalized_exponential_mechanism(
+                candidates, q2, 1.0, 0.1, rng
+            )
+            for s1, s2 in zip(r1.scores, r2.scores):
+                assert abs(s1 - s2) <= 1.0 + 1e-9
+
+
+class TestAccountant:
+    def test_spend_and_remaining(self):
+        acct = PrivacyAccountant(1.0)
+        acct.spend(0.4, "a")
+        acct.spend(0.6, "b")
+        assert acct.spent() == pytest.approx(1.0)
+        assert acct.remaining() == pytest.approx(0.0)
+        assert [label for label, _ in acct.ledger()] == ["a", "b"]
+
+    def test_overspend_raises(self):
+        acct = PrivacyAccountant(1.0)
+        acct.spend(0.9)
+        with pytest.raises(BudgetExceededError):
+            acct.spend(0.2)
+
+    def test_float_slack_tolerated(self):
+        acct = PrivacyAccountant(1.0)
+        for _ in range(10):
+            acct.spend(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(0.0)
+        acct = PrivacyAccountant(1.0)
+        with pytest.raises(ValueError):
+            acct.spend(-0.1)
+
+    def test_split_budget(self):
+        parts = split_budget(2.0, {"select": 0.5, "noise": 0.5})
+        assert parts == {"select": 1.0, "noise": 1.0}
+
+    def test_split_budget_validation(self):
+        with pytest.raises(ValueError):
+            split_budget(1.0, {"a": 0.5, "b": 0.6})
+        with pytest.raises(ValueError):
+            split_budget(1.0, {})
+        with pytest.raises(ValueError):
+            split_budget(0.0, {"a": 1.0})
+        with pytest.raises(ValueError):
+            split_budget(1.0, {"a": -0.5, "b": 1.5})

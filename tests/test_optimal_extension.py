@@ -1,0 +1,104 @@
+"""Tests for Theorem 1.11 machinery: ℓ∞ error and the poset LP."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimal_extension import (
+    check_theorem_1_11,
+    extension_linf_error,
+    optimal_extension_error_lower_bound,
+)
+from repro.core.down_sensitivity import generic_extension_spanning_forest
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+    star_of_stars,
+)
+
+from .strategies import small_graphs
+
+
+class TestExtensionLinfError:
+    def test_zero_when_anchor(self):
+        """Grid-like graphs with spanning Δ-forests err nowhere."""
+        g = path_graph(4)
+        assert extension_linf_error(g, 2) == pytest.approx(0.0, abs=1e-6)
+
+    def test_star_base_case(self):
+        """(Δ+1)-star: Err = 1 exactly (base case of Theorem 1.11)."""
+        delta = 3
+        g = star_graph(delta + 1)
+        assert extension_linf_error(g, delta) == pytest.approx(1.0, abs=1e-6)
+
+    def test_custom_extension(self):
+        g = star_graph(3)
+        err = extension_linf_error(
+            g, 2, extension=lambda h, d: generic_extension_spanning_forest(h, d)
+        )
+        assert err >= 0
+
+
+class TestPosetLP:
+    def test_zero_lipschitz_error_is_half_range(self):
+        """With Lipschitz 0, f* is constant across the poset chain down to
+        the empty graph, so the best error on K_{1,1} is f_sf spread/2."""
+        g = path_graph(2)  # f_sf values over poset: 0 (subsets) and 1 (full)
+        bound = optimal_extension_error_lower_bound(g, 0.0)
+        assert bound == pytest.approx(0.5)
+
+    def test_generous_lipschitz_gives_zero(self):
+        g = star_graph(3)
+        assert optimal_extension_error_lower_bound(g, 3.0) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_star_matches_paper_calculation(self):
+        """For the (Δ+1)-star the paper computes min err = 1 for
+        f* ∈ F_{Δ−1} (proof of Theorem 1.11 base case)."""
+        delta = 3
+        g = star_graph(delta + 1)
+        bound = optimal_extension_error_lower_bound(g, delta - 1)
+        assert bound == pytest.approx(1.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_extension_error_lower_bound(path_graph(2), -1.0)
+        with pytest.raises(ValueError, match="limited"):
+            optimal_extension_error_lower_bound(empty_graph(13), 1.0)
+
+
+class TestTheorem111:
+    @pytest.mark.parametrize("delta", [1, 2, 3])
+    def test_star_tight(self, delta):
+        g = star_graph(delta + 1)
+        outcome = check_theorem_1_11(g, delta)
+        assert outcome["satisfied"]
+        assert outcome["err"] == pytest.approx(1.0, abs=1e-6)
+        assert outcome["bound"] == pytest.approx(1.0, abs=1e-5)
+
+    def test_cycle(self):
+        outcome = check_theorem_1_11(cycle_graph(5), 2)
+        assert outcome["satisfied"]
+
+    def test_complete_graph(self):
+        outcome = check_theorem_1_11(complete_graph(5), 2)
+        assert outcome["satisfied"]
+
+    def test_star_of_stars(self):
+        outcome = check_theorem_1_11(star_of_stars(2, 2), 2)
+        assert outcome["satisfied"]
+
+    @given(small_graphs(max_vertices=6), st.integers(1, 3))
+    @settings(max_examples=25)
+    def test_property(self, g, delta):
+        """The theorem holds against the (stronger) LP lower bound on all
+        sampled instances."""
+        outcome = check_theorem_1_11(g, delta)
+        assert outcome["satisfied"]
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            check_theorem_1_11(path_graph(2), 0)

@@ -1,0 +1,119 @@
+"""Tests pinning the paper's worked examples and in-text calculations.
+
+Each test reproduces a concrete number or structure stated in the paper
+text, keeping the implementation honest about the small details.
+"""
+
+import math
+
+import pytest
+
+from repro.core.algorithm import default_failure_probability
+from repro.core.extension import evaluate_lipschitz_extension
+from repro.graphs.components import f_cc, f_sf
+from repro.graphs.distance import is_node_neighbor
+from repro.graphs.forests import (
+    min_spanning_forest_degree_exact,
+    repair_spanning_forest,
+)
+from repro.graphs.generators import (
+    empty_graph,
+    erdos_renyi,
+    star_graph,
+    with_hub,
+)
+from repro.graphs.stars import star_number
+from repro.mechanisms.laplace import laplace_tail_probability
+
+import numpy as np
+
+
+class TestIntroductionObstacle:
+    """'Every graph is a neighbor of a connected graph.'"""
+
+    def test_hub_makes_any_graph_connected(self, rng):
+        for n in (1, 5, 20):
+            g = erdos_renyi(n, 0.2, rng)
+            connected = with_hub(g)
+            assert f_cc(connected) == 1
+            assert is_node_neighbor(g, connected)
+
+    def test_fcc_jump_unbounded(self):
+        """f_cc changes by n - 1 between the edgeless graph and its
+        hub extension: no finite global sensitivity."""
+        for n in (3, 10, 50):
+            g = empty_graph(n)
+            assert f_cc(g) - f_cc(with_hub(g)) == n - 1
+
+
+class TestEquationOne:
+    def test_fcc_plus_fsf_is_n(self, rng):
+        for _ in range(10):
+            g = erdos_renyi(12, float(rng.random()), rng)
+            assert f_cc(g) + f_sf(g) == 12
+
+
+class TestLemma52BaseCase:
+    """The (Δ+1)-star base case: f_Δ(G) = Δ, f_sf(H) = 0, and the bound
+    (8) holds with equality."""
+
+    @pytest.mark.parametrize("delta", [1, 2, 3, 4])
+    def test_base_case_numbers(self, delta):
+        g = star_graph(delta + 1)
+        value = evaluate_lipschitz_extension(g, delta)
+        assert value == pytest.approx(float(delta), abs=1e-6)
+        h = g.without_vertex(0)  # remove the center
+        assert f_sf(h) == 0
+        # (8): f_delta(G) >= f_sf(H) + (delta-1)*d(G,H) + 1 = delta.
+        assert value >= 0 + (delta - 1) * 1 + 1 - 1e-6
+
+
+class TestSection114Numbers:
+    def test_sparse_er_has_linear_components(self, rng):
+        """np = c: f_cc = Omega(n) and maxdeg = O(log n) w.h.p."""
+        n = 400
+        g = erdos_renyi(n, 1.0 / n, rng)
+        assert f_cc(g) > n / 10
+        assert g.max_degree() <= 6 * math.log(n)
+
+    def test_geometric_star_bound_implies_6_forest(self, rng):
+        from repro.graphs.generators import random_geometric_graph
+
+        g = random_geometric_graph(100, 0.12, rng)
+        assert star_number(g) <= 5
+        result = repair_spanning_forest(g, 6)
+        assert result.forest is not None
+
+
+class TestRemark34Numbers:
+    @pytest.mark.parametrize("delta", [1, 3, 6])
+    def test_exact_gap(self, delta):
+        g = empty_graph(delta)
+        g_prime = with_hub(g)
+        assert evaluate_lipschitz_extension(g, delta) == 0.0
+        assert evaluate_lipschitz_extension(g_prime, delta) == pytest.approx(
+            float(delta)
+        )
+
+
+class TestLemma23:
+    def test_tail_formula(self):
+        """Pr[|X| >= t*b] = e^{-t} for X ~ Lap(b)."""
+        for b in (0.5, 1.0, 3.0):
+            for t in (0.5, 1.0, 2.0):
+                assert laplace_tail_probability(b, t * b) == pytest.approx(
+                    math.exp(-t)
+                )
+
+
+class TestPaperParameterChoices:
+    def test_beta_is_inverse_ln_ln_n_asymptotically(self):
+        n = 10**12
+        assert default_failure_probability(n) == pytest.approx(
+            1.0 / math.log(math.log(n))
+        )
+
+    def test_star_delta_star_equals_size(self):
+        """K_{1,k}: the hub forces Delta* = k."""
+        for k in (2, 4, 6):
+            assert min_spanning_forest_degree_exact(star_graph(k)) == k

@@ -1,0 +1,71 @@
+"""Tests for JSON experiment reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import __version__
+from repro.analysis.report import ExperimentReport
+
+
+class TestRecords:
+    def test_add_and_len(self):
+        report = ExperimentReport("E1", "demo")
+        report.add(params={"n": 5}, metrics={"err": 1.0})
+        report.add(params={"n": 10}, metrics={"err": 2.0})
+        assert len(report) == 2
+
+    def test_type_validation(self):
+        report = ExperimentReport("E1", "demo")
+        with pytest.raises(TypeError):
+            report.add(params=[1], metrics={})
+
+    def test_numpy_values_coerced(self):
+        report = ExperimentReport("E1", "demo")
+        report.add(
+            params={"n": np.int64(5)},
+            metrics={"err": np.float64(1.5), "seq": np.array([1.0, 2.0])},
+        )
+        payload = json.loads(report.to_json())
+        record = payload["records"][0]
+        assert record["params"]["n"] == 5
+        assert record["metrics"]["err"] == 1.5
+        assert record["metrics"]["seq"] == "[1. 2.]" or record["metrics"]["seq"] == [1.0, 2.0]
+
+    def test_nested_structures(self):
+        report = ExperimentReport("E1", "demo")
+        report.add(
+            params={"grid": [1, 2, 4], "sub": {"a": np.float32(0.5)}},
+            metrics={"ok": True, "nothing": None},
+        )
+        record = report.to_dict()["records"][0]
+        assert record["params"]["grid"] == [1, 2, 4]
+        assert record["params"]["sub"]["a"] == 0.5
+        assert record["metrics"]["ok"] is True
+        assert record["metrics"]["nothing"] is None
+
+
+class TestSerialization:
+    def test_header_fields(self):
+        report = ExperimentReport("E3", "geometric", seed=42)
+        payload = report.to_dict()
+        assert payload["experiment_id"] == "E3"
+        assert payload["seed"] == 42
+        assert payload["library_version"] == __version__
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        report = ExperimentReport("E2", "er", seed=7)
+        report.add(params={"n": 100}, metrics={"median": 3.5})
+        path = tmp_path / "sub" / "report.json"
+        report.write(path)
+        loaded = ExperimentReport.read(path)
+        assert loaded == report.to_dict()
+
+    def test_json_is_valid(self):
+        report = ExperimentReport("E9", "baselines")
+        report.add(params={}, metrics={"x": float("inf")})
+        # json.dumps allows inf by default (non-strict JSON); ensure we
+        # can at least parse our own output back.
+        parsed = json.loads(report.to_json())
+        assert parsed["records"][0]["metrics"]["x"] == float("inf")

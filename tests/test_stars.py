@@ -1,0 +1,226 @@
+"""Tests for induced stars, star number, and max independent set."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.convert import to_networkx
+from repro.graphs.generators import (
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    double_star_graph,
+    empty_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    star_of_stars,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.stars import (
+    find_max_induced_star,
+    has_induced_star,
+    independence_number,
+    is_induced_star,
+    max_independent_set,
+    star_number,
+    star_number_lower_bound,
+)
+
+from .strategies import small_graphs
+
+
+def _nx_independence_number(g: Graph) -> int:
+    """Reference: max independent set = max clique of the complement."""
+    complement = nx.complement(to_networkx(g))
+    cliques = list(nx.find_cliques(complement)) if complement.nodes else []
+    return max((len(c) for c in cliques), default=g.number_of_vertices() and 0)
+
+
+class TestMaxIndependentSet:
+    def test_empty_graph(self):
+        assert max_independent_set(Graph()) == set()
+
+    def test_edgeless(self):
+        assert max_independent_set(empty_graph(4)) == {0, 1, 2, 3}
+
+    def test_complete(self):
+        assert len(max_independent_set(complete_graph(5))) == 1
+
+    def test_path(self):
+        # alpha(P5) = 3
+        assert independence_number(path_graph(5)) == 3
+
+    def test_cycle(self):
+        assert independence_number(cycle_graph(5)) == 2
+
+    def test_result_is_independent(self):
+        g = grid_graph(3, 3)
+        chosen = max_independent_set(g)
+        for a in chosen:
+            for b in chosen:
+                if a != b:
+                    assert not g.has_edge(a, b)
+
+    @given(small_graphs(max_vertices=8))
+    @settings(max_examples=60)
+    def test_matches_networkx(self, g):
+        if g.number_of_vertices() == 0:
+            return
+        ours = max_independent_set(g)
+        # validity
+        for a in ours:
+            for b in ours:
+                if a != b:
+                    assert not g.has_edge(a, b)
+        # optimality vs complement-clique reference
+        complement = nx.complement(to_networkx(g))
+        best = max((len(c) for c in nx.find_cliques(complement)), default=0)
+        assert len(ours) == best
+
+
+class TestStarNumber:
+    def test_edgeless_is_zero(self):
+        assert star_number(empty_graph(3)) == 0
+        assert star_number(Graph()) == 0
+
+    def test_single_edge(self):
+        assert star_number(path_graph(2)) == 1
+
+    def test_star(self):
+        assert star_number(star_graph(6)) == 6
+
+    def test_complete_graph_is_one(self):
+        """Neighborhoods are cliques: only 1-stars are induced."""
+        assert star_number(complete_graph(5)) == 1
+
+    def test_path_is_two(self):
+        assert star_number(path_graph(5)) == 2
+
+    def test_cycle_is_two(self):
+        assert star_number(cycle_graph(6)) == 2
+
+    def test_triangle_is_one(self):
+        assert star_number(complete_graph(3)) == 1
+
+    def test_k23(self):
+        assert star_number(complete_bipartite_graph(2, 3)) == 3
+
+    def test_grid(self):
+        assert star_number(grid_graph(3, 3)) == 4
+
+    def test_double_star(self):
+        # hub 0 has 3 leaves plus neighbor hub 1; leaves of hub 1 are
+        # non-adjacent to hub 0, so best star at 0 uses its own 3 leaves
+        # plus hub 1? hub 1 is adjacent to its own leaves, not to 0's.
+        # Independent set in N(0) = {1, leaves0...}: 1 is adjacent to no
+        # leaf of 0, so alpha = 4.
+        assert star_number(double_star_graph(3, 2)) == 4
+
+    def test_star_of_stars(self):
+        g = star_of_stars(3, 2)
+        # center's neighborhood is independent (3 sub-hubs): 3-star;
+        # each sub-hub sees its 2 leaves + center, all independent: 3.
+        assert star_number(g) == 3
+
+    def test_caterpillar(self):
+        # interior spine vertex: legs + 2 spine neighbors, all independent
+        assert star_number(caterpillar_graph(3, 2)) == 4
+
+
+class TestFindMaxInducedStar:
+    def test_edgeless_none(self):
+        assert find_max_induced_star(empty_graph(3)) is None
+
+    def test_certificate_is_valid(self):
+        g = grid_graph(3, 3)
+        center, leaves = find_max_induced_star(g)
+        assert is_induced_star(g, center, tuple(leaves))
+        assert len(leaves) == star_number(g)
+
+
+class TestHasInducedStar:
+    def test_threshold(self):
+        g = star_graph(3)
+        assert has_induced_star(g, 3)
+        assert not has_induced_star(g, 4)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            has_induced_star(star_graph(2), 0)
+
+
+class TestIsInducedStar:
+    def test_valid(self):
+        g = star_graph(3)
+        assert is_induced_star(g, 0, (1, 2, 3))
+
+    def test_missing_spoke(self):
+        g = path_graph(3)
+        assert not is_induced_star(g, 0, (1, 2))
+
+    def test_adjacent_leaves(self):
+        g = complete_graph(3)
+        assert not is_induced_star(g, 0, (1, 2))
+
+    def test_center_in_leaves(self):
+        g = star_graph(2)
+        assert not is_induced_star(g, 0, (0, 1))
+
+    def test_duplicate_leaves(self):
+        g = star_graph(2)
+        assert not is_induced_star(g, 0, (1, 1))
+
+
+class TestLowerBound:
+    @given(small_graphs())
+    def test_greedy_below_exact(self, g):
+        assert star_number_lower_bound(g) <= star_number(g)
+
+    def test_greedy_positive_when_edges(self):
+        assert star_number_lower_bound(path_graph(2)) == 1
+
+
+class TestUpperBound:
+    def test_sandwich_on_corpus(self):
+        from repro.graphs.stars import star_number_upper_bound
+        from .strategies import deterministic_corpus
+
+        for name, g in deterministic_corpus():
+            exact = star_number(g)
+            upper = star_number_upper_bound(g)
+            lower = star_number_lower_bound(g)
+            assert lower <= exact <= upper, name
+
+    @given(small_graphs())
+    def test_sandwich_property(self, g):
+        from repro.graphs.stars import star_number_upper_bound
+
+        assert star_number(g) <= star_number_upper_bound(g)
+
+    def test_star_is_tight(self):
+        from repro.graphs.stars import star_number_upper_bound
+
+        assert star_number_upper_bound(star_graph(6)) == 6
+
+    def test_complete_graph_bound(self):
+        from repro.graphs.stars import star_number_upper_bound
+
+        # K5 neighborhoods are K4: greedy matching of size 2 -> 4-2 = 2
+        # (exact value is 1; the bound is within a factor 2).
+        assert star_number_upper_bound(complete_graph(5)) <= 2
+
+    def test_edgeless_zero(self):
+        from repro.graphs.stars import star_number_upper_bound
+
+        assert star_number_upper_bound(empty_graph(4)) == 0
+
+    def test_large_geometric_runs_fast(self):
+        import numpy as np
+        from repro.graphs.generators import random_geometric_graph
+        from repro.graphs.stars import star_number_upper_bound
+
+        g = random_geometric_graph(400, 0.08, np.random.default_rng(0))
+        upper = star_number_upper_bound(g)
+        assert upper >= star_number(g)

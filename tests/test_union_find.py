@@ -1,0 +1,81 @@
+"""Tests for the union-find substrate."""
+
+from hypothesis import given, strategies as st
+
+from repro.graphs.union_find import UnionFind
+
+
+class TestBasics:
+    def test_initial_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.component_count() == 3
+        assert len(uf) == 3
+
+    def test_union_reduces_count(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.union(1, 2) is True
+        assert uf.component_count() == 2
+
+    def test_redundant_union(self):
+        uf = UnionFind([1, 2])
+        uf.union(1, 2)
+        assert uf.union(2, 1) is False
+        assert uf.component_count() == 1
+
+    def test_connected(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.connected(0, 1)
+        assert not uf.connected(1, 2)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+
+    def test_lazy_registration(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+        assert uf.component_count() == 1
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add(1)
+        uf.add(1)
+        assert uf.component_count() == 1
+
+    def test_groups(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(3, 4)
+        groups = sorted(sorted(g) for g in uf.groups())
+        assert groups == [[0, 1], [2], [3, 4]]
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(1, 20),
+        st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=40),
+    )
+    def test_matches_naive_partition(self, n, unions):
+        """Cross-validate against a naive set-merging implementation."""
+        uf = UnionFind(range(n))
+        naive: list[set[int]] = [{i} for i in range(n)]
+
+        def naive_find(x: int) -> set[int]:
+            for group in naive:
+                if x in group:
+                    return group
+            raise AssertionError
+
+        for a, b in unions:
+            if a >= n or b >= n:
+                continue
+            uf.union(a, b)
+            ga, gb = naive_find(a), naive_find(b)
+            if ga is not gb:
+                ga |= gb
+                naive.remove(gb)
+        assert uf.component_count() == len(naive)
+        for a in range(n):
+            for b in range(n):
+                assert uf.connected(a, b) == (naive_find(a) is naive_find(b))
