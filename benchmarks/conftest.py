@@ -5,6 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+# The shared "repro" hypothesis profile is registered in the repo-root
+# conftest.py (selected via addopts in pyproject.toml).
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:

@@ -1,0 +1,13 @@
+"""Repo-root pytest configuration.
+
+Registers the hypothesis profile that pyproject.toml's
+``addopts = "--hypothesis-profile=repro"`` selects, so *every* pytest
+invocation (tests/, benchmarks/, ad-hoc files) finds it.
+"""
+
+from hypothesis import settings
+
+# Keep property-based tests snappy by default; individual tests can
+# override with their own @settings.
+settings.register_profile("repro", max_examples=50, deadline=None)
+settings.load_profile("repro")

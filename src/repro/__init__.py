@@ -6,6 +6,8 @@ Tsourakakis; PODS 2023).
 
 Quickstart
 ----------
+Private release on a small object graph:
+
 >>> import numpy as np
 >>> from repro import PrivateConnectedComponents
 >>> from repro.graphs.generators import planted_components
@@ -16,15 +18,42 @@ Quickstart
 >>> release.true_value
 5
 
-Public surface: the :class:`Graph` substrate and statistics
-(``repro.graphs``), the Lipschitz-extension family and Algorithm 1
-(``repro.core``), DP mechanisms (``repro.mechanisms``), the flow/LP
-machinery (``repro.flow``, ``repro.lp``), and the experiment harness
-(``repro.analysis``).
+The fast path for large graphs: :class:`CompactGraph` stores the
+adjacency in numpy CSR arrays, the ``*_compact`` generators sample it
+directly, and the statistics (``f_cc``, ``f_sf``, spanning forests,
+star numbers) route to vectorized array kernels automatically:
+
+>>> from repro import CompactGraph, f_cc
+>>> from repro.graphs.generators import erdos_renyi_compact
+>>> big = erdos_renyi_compact(100_000, 2e-5, rng)   # ~50 ms
+>>> f_cc(big) == big.number_of_connected_components()
+True
+
+Batched experiments: describe each ``(graph, epsilon, seed)`` cell with
+a :class:`TrialConfig` and run them all in one call (optionally across
+a process pool) with :func:`run_trial_batch`:
+
+>>> from repro import TrialConfig, run_trial_batch
+>>> def factory(cfg):
+...     return PrivateConnectedComponents(epsilon=cfg.epsilon)
+>>> configs = [TrialConfig(graph, epsilon=e, seed=0, n_trials=5)
+...            for e in (0.5, 1.0)]
+>>> [round(r.summary.true_value) for r in run_trial_batch(factory, configs)]
+[5, 5]
+
+Public surface: the :class:`Graph` substrate, the :class:`CompactGraph`
+array kernel and statistics (``repro.graphs``), the
+Lipschitz-extension family and Algorithm 1 (``repro.core``), DP
+mechanisms (``repro.mechanisms``), the flow/LP machinery
+(``repro.flow``, ``repro.lp``), and the experiment harness with the
+batched trial engine (``repro.analysis``).
 """
 
 from .graphs import (
     Graph,
+    CompactGraph,
+    as_compact,
+    as_object_graph,
     connected_components,
     number_of_connected_components,
     spanning_forest_size,
@@ -36,6 +65,9 @@ from .graphs import (
     read_edge_list,
     write_edge_list,
 )
+
+__version__ = "1.1.0"
+
 from .core import (
     SpanningForestExtension,
     evaluate_lipschitz_extension,
@@ -56,10 +88,21 @@ from .mechanisms import (
     PrivacyAccountant,
 )
 
-__version__ = "1.0.0"
+# Imported after __version__ is bound: repro.analysis.report reads it.
+from .analysis import (
+    TrialConfig,
+    BatchTrialResult,
+    run_trial_batch,
+)
 
 __all__ = [
     "Graph",
+    "CompactGraph",
+    "as_compact",
+    "as_object_graph",
+    "TrialConfig",
+    "BatchTrialResult",
+    "run_trial_batch",
     "connected_components",
     "number_of_connected_components",
     "spanning_forest_size",

@@ -1,12 +1,22 @@
-"""Experiment harness: trial runners and table formatting."""
+"""Experiment harness: trial runners, batched engine, table formatting."""
 
-from .trials import TrialSummary, run_trials, summarize_errors
+from .trials import (
+    TrialSummary,
+    TrialConfig,
+    BatchTrialResult,
+    run_trials,
+    run_trial_batch,
+    summarize_errors,
+)
 from .tables import format_table, format_cell, print_table
 from .report import ExperimentReport
 
 __all__ = [
     "TrialSummary",
+    "TrialConfig",
+    "BatchTrialResult",
     "run_trials",
+    "run_trial_batch",
     "summarize_errors",
     "format_table",
     "format_cell",

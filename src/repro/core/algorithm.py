@@ -34,6 +34,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..graphs.compact import as_object_graph
 from ..graphs.components import spanning_forest_size
 from ..graphs.graph import Graph
 from ..mechanisms.accountant import PrivacyAccountant
@@ -153,6 +154,12 @@ class PrivateSpanningForestSize:
     _cached_extension: Optional[SpanningForestExtension] = field(
         init=False, repr=False, default=None, compare=False
     )
+    _cached_source: Optional[object] = field(
+        init=False, repr=False, default=None, compare=False
+    )
+    _cached_object_graph: Optional[Graph] = field(
+        init=False, repr=False, default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -163,6 +170,20 @@ class PrivateSpanningForestSize:
             )
         if self.beta is not None and not 0 < self.beta < 1:
             raise ValueError(f"beta must be in (0, 1), got {self.beta}")
+
+    def _object_graph(self, graph) -> Graph:
+        """Coerce a :class:`CompactGraph` input to the reference
+        representation the LP/extension machinery needs, memoizing the
+        conversion so repeated releases on the same compact graph keep
+        the extension cache warm."""
+        if isinstance(graph, Graph):
+            return graph
+        if self._cached_source is graph and self._cached_object_graph is not None:
+            return self._cached_object_graph
+        converted = as_object_graph(graph)
+        self._cached_source = graph
+        self._cached_object_graph = converted
+        return converted
 
     def _extension_for(self, graph: Graph) -> SpanningForestExtension:
         """Return a (cached) extension family bound to ``graph``.
@@ -184,7 +205,12 @@ class PrivateSpanningForestSize:
         return extension
 
     def release(self, graph: Graph, rng: np.random.Generator) -> SpanningForestRelease:
-        """Run Algorithm 1 once and return the release with diagnostics."""
+        """Run Algorithm 1 once and return the release with diagnostics.
+
+        Accepts either graph representation; compact inputs are
+        converted once and memoized.
+        """
+        graph = self._object_graph(graph)
         n = graph.number_of_vertices()
         if n == 0:
             raise ValueError("graph must have at least one vertex")

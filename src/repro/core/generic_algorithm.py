@@ -27,6 +27,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..graphs.compact import as_object_graph
 from ..graphs.graph import Graph
 from ..mechanisms.gem import (
     GEMResult,
@@ -102,7 +103,9 @@ class PrivateMonotoneStatistic:
 
     def release(self, graph: Graph, rng: np.random.Generator) -> GenericRelease:
         """Release one private estimate of ``f(G)`` (small graphs only:
-        the extension enumerates all induced subgraphs)."""
+        the extension enumerates all induced subgraphs).  Compact inputs
+        are converted to the reference representation."""
+        graph = as_object_graph(graph)
         n = graph.number_of_vertices()
         if n == 0:
             raise ValueError("graph must have at least one vertex")

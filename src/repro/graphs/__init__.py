@@ -6,6 +6,8 @@ from scratch (networkx appears only in optional converters and tests).
 
 from .graph import Graph, Vertex, Edge, canonical_edge
 from .union_find import UnionFind
+from .compact import CompactGraph, CompactRepairResult, as_compact, as_object_graph
+from .independent_set import mis_of_adjacency
 from .components import (
     connected_components,
     component_of,
@@ -58,6 +60,11 @@ __all__ = [
     "Edge",
     "canonical_edge",
     "UnionFind",
+    "CompactGraph",
+    "CompactRepairResult",
+    "as_compact",
+    "as_object_graph",
+    "mis_of_adjacency",
     "connected_components",
     "component_of",
     "number_of_connected_components",

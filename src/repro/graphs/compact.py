@@ -1,0 +1,701 @@
+"""Array-backed graph kernel: CSR adjacency + vectorized statistics.
+
+:class:`CompactGraph` is the fast counterpart of the reference
+:class:`repro.graphs.graph.Graph`.  Vertices are the integers
+``0..n-1`` (an optional label table maps them back to arbitrary hashable
+vertices), and the adjacency is stored CSR-style in two numpy arrays:
+
+* ``indptr`` of length ``n + 1``;
+* ``indices`` of length ``2m``, with the neighbors of vertex ``i`` in
+  the sorted slice ``indices[indptr[i]:indptr[i + 1]]``.
+
+On top of that representation the module implements the hot statistics
+of the paper as array algorithms:
+
+* connected components / ``f_cc`` via Shiloach–Vishkin-style array
+  union-find (vectorized hook + pointer-jumping rounds);
+* spanning forests / ``f_sf`` via vectorized Borůvka over edge ids
+  (edge ids act as distinct weights, so the selected edges are exactly
+  the unique minimum spanning forest under id-weights);
+* degree-bounded spanning forests (Algorithm 3 of the paper) as an
+  iterative int-indexed port of the reference local-repair procedure;
+* the star number ``s(G)`` via per-neighborhood exact maximum
+  independent sets (shared branch-and-bound core in
+  :mod:`repro.graphs.independent_set`), plus fast lower/upper bounds.
+
+The reference object-graph implementations in ``components``,
+``forests`` and ``stars`` remain the ground truth; those modules route
+calls here when handed a :class:`CompactGraph`.  Differential tests in
+``tests/test_compact.py`` pin exact agreement between the two paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import combinations
+from typing import Iterable, Iterator, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from .graph import Graph, Vertex
+from .independent_set import mis_of_adjacency
+
+__all__ = ["CompactGraph", "CompactRepairResult", "as_compact", "as_object_graph"]
+
+
+class CompactRepairResult(NamedTuple):
+    """Outcome of the Algorithm-3 construction on a :class:`CompactGraph`.
+
+    Mirrors :class:`repro.graphs.forests.RepairResult`; the forest is a
+    :class:`CompactGraph` and the star certificate uses vertex labels.
+    """
+
+    forest: Optional["CompactGraph"]
+    star: Optional[tuple[Vertex, tuple[Vertex, ...]]]
+    repair_count: int
+
+
+class CompactGraph:
+    """An immutable undirected graph over int vertices in CSR form.
+
+    Build one with :meth:`from_graph`, :meth:`from_edges`,
+    :meth:`from_edge_arrays`, or the ``*_compact`` generators in
+    :mod:`repro.graphs.generators`.  The structure is immutable: all the
+    fast kernels cache derived arrays (edge lists, component labels) on
+    first use.
+
+    Examples
+    --------
+    >>> cg = CompactGraph.from_edges(4, [(0, 1), (2, 3)])
+    >>> cg.number_of_connected_components()
+    2
+    >>> cg.spanning_forest_size()
+    2
+    """
+
+    __slots__ = (
+        "_indptr",
+        "_indices",
+        "_labels",
+        "_label_to_index",
+        "_edge_u",
+        "_edge_v",
+        "_component_labels",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: Optional[Sequence[Vertex]] = None,
+        _validate: bool = True,
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if _validate:
+            n = indptr.size - 1
+            if indptr.size < 1 or indptr[0] != 0 or indptr[-1] != indices.size:
+                raise ValueError("malformed CSR indptr")
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr must be non-decreasing")
+            if indices.size and (indices.min() < 0 or indices.max() >= n):
+                raise ValueError("CSR indices out of range")
+            if labels is not None and len(labels) != n:
+                raise ValueError(
+                    f"expected {n} labels, got {len(labels)}"
+                )
+        # The class contract is immutability (memoized caches depend on
+        # it), so the constructor takes ownership of the arrays and
+        # freezes them; pass a copy if you need to keep mutating yours.
+        indptr.flags.writeable = False
+        indices.flags.writeable = False
+        self._indptr = indptr
+        self._indices = indices
+        self._labels = list(labels) if labels is not None else None
+        self._label_to_index: Optional[dict[Vertex, int]] = None
+        self._edge_u: Optional[np.ndarray] = None
+        self._edge_v: Optional[np.ndarray] = None
+        self._component_labels: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        n: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        labels: Optional[Sequence[Vertex]] = None,
+    ) -> "CompactGraph":
+        """Build from parallel endpoint arrays (duplicates are merged).
+
+        Raises
+        ------
+        ValueError
+            On self-loops or endpoints outside ``[0, n)``.
+        """
+        if n < 0:
+            raise ValueError(f"size must be non-negative, got {n}")
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise ValueError("endpoint arrays must have the same shape")
+        if u.size:
+            if min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n:
+                raise ValueError(f"edge endpoints must lie in [0, {n})")
+            if np.any(u == v):
+                raise ValueError("self-loops are not allowed")
+        uu = np.concatenate([u, v])
+        vv = np.concatenate([v, u])
+        order = np.lexsort((vv, uu))
+        uu, vv = uu[order], vv[order]
+        if uu.size:
+            keep = np.empty(uu.size, dtype=bool)
+            keep[0] = True
+            keep[1:] = (uu[1:] != uu[:-1]) | (vv[1:] != vv[:-1])
+            uu, vv = uu[keep], vv[keep]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(uu, minlength=n), out=indptr[1:])
+        return cls(indptr, vv, labels=labels, _validate=False)
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[tuple[int, int]],
+        labels: Optional[Sequence[Vertex]] = None,
+    ) -> "CompactGraph":
+        """Build from an iterable of int edge pairs."""
+        pairs = np.array(list(edges), dtype=np.int64).reshape(-1, 2)
+        return cls.from_edge_arrays(n, pairs[:, 0], pairs[:, 1], labels=labels)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CompactGraph":
+        """Convert a reference :class:`Graph`, preserving its vertex
+        labels (index order = graph insertion order)."""
+        labels = graph.vertex_list()
+        index = {label: i for i, label in enumerate(labels)}
+        m = graph.number_of_edges()
+        u = np.empty(m, dtype=np.int64)
+        v = np.empty(m, dtype=np.int64)
+        for k, (a, b) in enumerate(graph.edges()):
+            u[k] = index[a]
+            v[k] = index[b]
+        identity = all(label == i for i, label in enumerate(labels))
+        return cls.from_edge_arrays(
+            len(labels), u, v, labels=None if identity else labels
+        )
+
+    def to_graph(self) -> Graph:
+        """Convert back to a reference :class:`Graph` (original labels)."""
+        g = Graph(vertices=self._label_iter())
+        label = self.label_of
+        u, v = self.edge_arrays()
+        for a, b in zip(u.tolist(), v.tolist()):
+            g.add_edge(label(a), label(b))
+        return g
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def label_of(self, i: int) -> Vertex:
+        """Return the original label of vertex index ``i``."""
+        return self._labels[i] if self._labels is not None else i
+
+    def labels(self) -> list[Vertex]:
+        """Return the label table (identity ints when none was given)."""
+        if self._labels is not None:
+            return list(self._labels)
+        return list(range(self.number_of_vertices()))
+
+    def _label_iter(self) -> Iterable[Vertex]:
+        return self._labels if self._labels is not None else range(
+            self.number_of_vertices()
+        )
+
+    def index_of(self, label: Vertex) -> int:
+        """Return the vertex index of ``label`` (cached reverse map).
+
+        Raises
+        ------
+        KeyError
+            If ``label`` is not a vertex of the graph.
+        """
+        if self._labels is None:
+            if isinstance(label, (int, np.integer)) and 0 <= label < self.number_of_vertices():
+                return int(label)
+            raise KeyError(f"vertex {label!r} not in graph")
+        if self._label_to_index is None:
+            self._label_to_index = {
+                lab: i for i, lab in enumerate(self._labels)
+            }
+        return self._label_to_index[label]
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._indices
+
+    def number_of_vertices(self) -> int:
+        return self._indptr.size - 1
+
+    def number_of_edges(self) -> int:
+        return self._indices.size // 2
+
+    def degree(self, i: int) -> int:
+        """Degree of vertex index ``i``."""
+        return int(self._indptr[i + 1] - self._indptr[i])
+
+    def degrees(self) -> np.ndarray:
+        """All degrees as an int64 array."""
+        return np.diff(self._indptr)
+
+    def max_degree(self) -> int:
+        if self.number_of_vertices() == 0:
+            return 0
+        return int(self.degrees().max())
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Sorted neighbor indices of vertex ``i`` (a read-only view)."""
+        return self._indices[self._indptr[i] : self._indptr[i + 1]]
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Edge test via binary search in the sorted neighbor row."""
+        row = self._indices[self._indptr[i] : self._indptr[i + 1]]
+        pos = int(np.searchsorted(row, j))
+        return pos < row.size and row[pos] == j
+
+    def is_empty(self) -> bool:
+        return self._indices.size == 0
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(u, v)`` index arrays, each edge once with ``u < v``."""
+        if self._edge_u is None:
+            rows = np.repeat(
+                np.arange(self.number_of_vertices(), dtype=np.int64),
+                self.degrees(),
+            )
+            mask = self._indices > rows
+            self._edge_u = rows[mask]
+            self._edge_v = self._indices[mask]
+        return self._edge_u, self._edge_v
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        """Iterate over labelled edges (canonical ``u < v`` index order)."""
+        label = self.label_of
+        u, v = self.edge_arrays()
+        for a, b in zip(u.tolist(), v.tolist()):
+            yield (label(a), label(b))
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over vertex labels in index order."""
+        return iter(self._label_iter())
+
+    def __len__(self) -> int:
+        return self.number_of_vertices()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompactGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+            and self.labels() == other.labels()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactGraph(n={self.number_of_vertices()}, "
+            f"m={self.number_of_edges()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Connected components (array union-find, Shiloach–Vishkin style)
+    # ------------------------------------------------------------------
+    def component_labels(self) -> np.ndarray:
+        """Return an array mapping each vertex index to its component's
+        minimum vertex index (the canonical component id).
+
+        Vectorized hook-and-compress union-find: alternate full pointer
+        jumping with a vectorized "hook every cross edge to the smaller
+        root" step (`np.minimum.at` resolves conflicting hooks).  Roots
+        only ever decrease, so the pointer structure stays acyclic and
+        the loop merges at least one pair of roots per round -- O(log n)
+        rounds in practice, each a constant number of O(n + m) array ops.
+        """
+        if self._component_labels is not None:
+            return self._component_labels
+        n = self.number_of_vertices()
+        parent = np.arange(n, dtype=np.int64)
+        u, v = self.edge_arrays()
+        while True:
+            # Full path compression by pointer doubling.
+            while True:
+                grandparent = parent[parent]
+                if np.array_equal(grandparent, parent):
+                    break
+                parent = grandparent
+            pu, pv = parent[u], parent[v]
+            cross = pu != pv
+            if not cross.any():
+                break
+            pu, pv = pu[cross], pv[cross]
+            np.minimum.at(parent, np.maximum(pu, pv), np.minimum(pu, pv))
+            # Edges already inside one component stay that way; drop them
+            # so later rounds touch only the still-merging frontier.
+            u, v = u[cross], v[cross]
+        self._component_labels = parent
+        return parent
+
+    def number_of_connected_components(self) -> int:
+        """``f_cc(G)`` -- the number of connected components."""
+        n = self.number_of_vertices()
+        if n == 0:
+            return 0
+        labels = self.component_labels()
+        # Labels are fully compressed: roots are exactly the fixed points.
+        return int(np.count_nonzero(labels == np.arange(n, dtype=np.int64)))
+
+    f_cc = number_of_connected_components
+
+    def spanning_forest_size(self) -> int:
+        """``f_sf(G) = |V| - f_cc(G)`` (Equation (1) of the paper)."""
+        return self.number_of_vertices() - self.number_of_connected_components()
+
+    f_sf = spanning_forest_size
+
+    def is_connected(self) -> bool:
+        """True when the graph has at most one component (empty counts)."""
+        return self.number_of_connected_components() <= 1
+
+    def component_index_sets(self) -> list[np.ndarray]:
+        """Component vertex-index arrays, ordered by minimum index."""
+        n = self.number_of_vertices()
+        if n == 0:
+            return []
+        roots = self.component_labels()
+        order = np.argsort(roots, kind="stable")
+        boundaries = np.nonzero(np.diff(roots[order]))[0] + 1
+        return np.split(order, boundaries)
+
+    def component_sets(self) -> list[set[Vertex]]:
+        """Components as sets of labels (reference-compatible output)."""
+        label = self.label_of
+        return [
+            {label(i) for i in part.tolist()}
+            for part in self.component_index_sets()
+        ]
+
+    def component_of_index(self, i: int) -> np.ndarray:
+        """Indices of the component containing vertex index ``i``."""
+        roots = self.component_labels()
+        return np.nonzero(roots == roots[i])[0]
+
+    # ------------------------------------------------------------------
+    # Spanning forests (vectorized Borůvka)
+    # ------------------------------------------------------------------
+    def spanning_forest_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(u, v)`` arrays of a spanning forest's edges.
+
+        Vectorized Borůvka with edge ids as (distinct) weights: each
+        round every component picks its minimum-id incident cross edge;
+        by the cut property those edges all belong to the unique
+        minimum spanning forest under id-weights, so the accumulated
+        selection is acyclic and finishes with exactly ``f_sf(G)``
+        edges.  O(log n) rounds of O(n + m) array work.
+        """
+        n = self.number_of_vertices()
+        u, v = self.edge_arrays()
+        m = u.size
+        chosen = np.zeros(m, dtype=bool)
+        if m == 0:
+            return u, v
+        comp = np.arange(n, dtype=np.int64)
+        edge_ids = np.arange(m, dtype=np.int64)
+        while True:
+            cu, cv = comp[u], comp[v]
+            cross = cu != cv
+            if not cross.any():
+                break
+            ids = edge_ids[cross]
+            best = np.full(n, m, dtype=np.int64)
+            np.minimum.at(best, cu[cross], ids)
+            np.minimum.at(best, cv[cross], ids)
+            selected = np.unique(best[best < m])
+            chosen[selected] = True
+            # Merge the endpoint components of the selected edges.
+            parent = np.arange(n, dtype=np.int64)
+            pu, pv = comp[u[selected]], comp[v[selected]]
+            np.minimum.at(
+                parent, np.maximum(pu, pv), np.minimum(pu, pv)
+            )
+            while True:
+                grandparent = parent[parent]
+                if np.array_equal(grandparent, parent):
+                    break
+                parent = grandparent
+            comp = parent[comp]
+        return u[chosen], v[chosen]
+
+    def spanning_forest(self) -> "CompactGraph":
+        """Return a spanning forest as a :class:`CompactGraph` on the
+        same vertex set (and labels)."""
+        fu, fv = self.spanning_forest_edges()
+        return CompactGraph.from_edge_arrays(
+            self.number_of_vertices(), fu, fv, labels=self._labels
+        )
+
+    def is_forest(self) -> bool:
+        """Acyclicity check: a graph is a forest iff ``m = n - f_cc``."""
+        return self.number_of_edges() == self.spanning_forest_size()
+
+    # ------------------------------------------------------------------
+    # Degree-bounded spanning forests (Algorithm 3, int-indexed port)
+    # ------------------------------------------------------------------
+    def _leaf_elimination_order(self) -> list[int]:
+        """Peel leaves of a spanning forest (smallest index first), as in
+        :func:`repro.graphs.forests.leaf_elimination_order`."""
+        n = self.number_of_vertices()
+        fu, fv = self.spanning_forest_edges()
+        degree = np.bincount(
+            np.concatenate([fu, fv]), minlength=n
+        ).astype(np.int64)
+        adjacency: list[set[int]] = [set() for _ in range(n)]
+        for a, b in zip(fu.tolist(), fv.tolist()):
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        heap = [v for v in range(n) if degree[v] <= 1]
+        heapq.heapify(heap)
+        removed = np.zeros(n, dtype=bool)
+        order: list[int] = []
+        while heap:
+            v = heapq.heappop(heap)
+            if removed[v] or degree[v] > 1:
+                continue
+            removed[v] = True
+            order.append(v)
+            for w in adjacency[v]:
+                if removed[w]:
+                    continue
+                adjacency[w].discard(v)
+                degree[w] -= 1
+                if degree[w] <= 1:
+                    heapq.heappush(heap, w)
+        if len(order) != n:
+            raise RuntimeError("leaf elimination failed to exhaust the graph")
+        return order
+
+    def repair_spanning_forest(self, delta: int) -> CompactRepairResult:
+        """Algorithm 3 on the compact representation.
+
+        Same invariants as the reference implementation (Lemma 1.8):
+        succeeds whenever ``s(G) < delta``; on failure returns an
+        explicit induced delta-star certificate (labelled).  Iterative
+        rather than vectorized -- the win over the reference comes from
+        int indexing and binary-searched edge tests.
+        """
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        n = self.number_of_vertices()
+        if delta == 0:
+            if self.is_empty():
+                empty = CompactGraph.from_edge_arrays(
+                    n, np.empty(0, np.int64), np.empty(0, np.int64),
+                    labels=self._labels,
+                )
+                return CompactRepairResult(empty, None, 0)
+            return CompactRepairResult(None, None, 0)
+
+        insertion_order = list(reversed(self._leaf_elimination_order()))
+        inserted = np.zeros(n, dtype=bool)
+        inserted_count = 0
+        forest_adj: list[set[int]] = [set() for _ in range(n)]
+        repair_count = 0
+
+        for v0 in insertion_order:
+            inserted[v0] = True
+            inserted_count += 1
+            candidates = [
+                int(u) for u in self.neighbors(v0) if inserted[u]
+            ]
+            if not candidates:
+                continue
+            v1 = min(candidates)
+            forest_adj[v0].add(v1)
+            forest_adj[v1].add(v0)
+
+            # Local repair walk (Claim 4.1 bounds its length).
+            prev, current = v0, v1
+            max_iterations = inserted_count + 1
+            for _ in range(max_iterations):
+                if len(forest_adj[current]) <= delta:
+                    break
+                neighborhood = sorted(forest_adj[current] - {prev})[:delta]
+                pair = self._find_adjacent_pair(neighborhood)
+                if pair is None:
+                    label = self.label_of
+                    return CompactRepairResult(
+                        None,
+                        (
+                            label(current),
+                            tuple(label(w) for w in neighborhood),
+                        ),
+                        repair_count,
+                    )
+                a, b = pair
+                forest_adj[current].discard(b)
+                forest_adj[b].discard(current)
+                forest_adj[a].add(b)
+                forest_adj[b].add(a)
+                repair_count += 1
+                prev, current = current, a
+            else:  # pragma: no cover - guarded by Claim 4.1
+                raise RuntimeError("local repair walk did not terminate")
+
+        fu = [a for a in range(n) for b in forest_adj[a] if a < b]
+        fv = [b for a in range(n) for b in forest_adj[a] if a < b]
+        forest = CompactGraph.from_edge_arrays(
+            n,
+            np.array(fu, dtype=np.int64),
+            np.array(fv, dtype=np.int64),
+            labels=self._labels,
+        )
+        return CompactRepairResult(forest, None, repair_count)
+
+    def _find_adjacent_pair(
+        self, vertices: list[int]
+    ) -> Optional[tuple[int, int]]:
+        for a, b in combinations(vertices, 2):
+            if self.has_edge(a, b):
+                return a, b
+        return None
+
+    def spanning_forest_with_max_degree(
+        self, delta: int
+    ) -> Optional["CompactGraph"]:
+        """Spanning delta-forest, or ``None`` when Algorithm 3 fails."""
+        return self.repair_spanning_forest(delta).forest
+
+    # ------------------------------------------------------------------
+    # Star number (exact + bounds)
+    # ------------------------------------------------------------------
+    def _neighborhood_adjacency(self, i: int) -> dict[int, set[int]]:
+        """Adjacency of the subgraph induced by ``N(i)`` (sorted-array
+        intersections against the CSR rows)."""
+        hood = self.neighbors(i)
+        return {
+            int(u): {
+                int(w)
+                for w in np.intersect1d(
+                    self.neighbors(int(u)), hood, assume_unique=True
+                ).tolist()
+            }
+            for u in hood.tolist()
+        }
+
+    def star_number(self) -> int:
+        """``s(G)`` exactly: max over vertices of the independence number
+        of the induced neighborhood (branch-and-bound per neighborhood).
+
+        Vertices are visited in decreasing-degree order so the
+        ``degree <= best`` cutoff prunes as early as possible.
+        """
+        best = 0
+        degs = self.degrees()
+        for i in np.argsort(-degs, kind="stable").tolist():
+            if degs[i] <= best:
+                break
+            best = max(best, len(mis_of_adjacency(self._neighborhood_adjacency(i))))
+        return best
+
+    def find_max_induced_star(
+        self,
+    ) -> Optional[tuple[Vertex, frozenset[Vertex]]]:
+        """Labelled ``(center, leaves)`` of a maximum induced star, or
+        ``None`` for an edgeless graph."""
+        best: Optional[tuple[int, set[int]]] = None
+        best_size = 0
+        degs = self.degrees()
+        for i in np.argsort(-degs, kind="stable").tolist():
+            if degs[i] <= best_size:
+                break
+            leaves = mis_of_adjacency(self._neighborhood_adjacency(i))
+            if len(leaves) > best_size:
+                best_size = len(leaves)
+                best = (i, leaves)
+        if best is None:
+            return None
+        label = self.label_of
+        return label(best[0]), frozenset(label(w) for w in best[1])
+
+    def star_number_lower_bound(self) -> int:
+        """Greedy lower bound on ``s(G)`` (independent subset of each
+        neighborhood in index order)."""
+        best = 0
+        degs = self.degrees()
+        for i in range(self.number_of_vertices()):
+            if degs[i] <= best:
+                continue
+            picked: set[int] = set()
+            for u in self.neighbors(i).tolist():
+                if picked.isdisjoint(self.neighbors(u).tolist()):
+                    picked.add(u)
+            best = max(best, len(picked))
+        return best
+
+    def star_number_upper_bound(self) -> int:
+        """Matching-based upper bound on ``s(G)``: per neighborhood
+        ``H = G[N(v)]``, ``alpha(H) <= |V(H)| - |M|`` for any matching
+        ``M`` (greedy maximal, index order)."""
+        best = 0
+        degs = self.degrees()
+        for i in range(self.number_of_vertices()):
+            degree = int(degs[i])
+            if degree <= best:
+                continue
+            hood = self.neighbors(i)
+            members = set(hood.tolist())
+            matched: set[int] = set()
+            matching_size = 0
+            for u in hood.tolist():
+                if u in matched:
+                    continue
+                for w in self.neighbors(u).tolist():
+                    if w in members and w not in matched and w != u:
+                        matched.add(u)
+                        matched.add(w)
+                        matching_size += 1
+                        break
+            best = max(best, degree - matching_size)
+        return best
+
+    def max_independent_set(self) -> set[Vertex]:
+        """Exact maximum independent set of the whole graph (labelled);
+        exponential worst case, meant for modest instances."""
+        adjacency = {
+            i: set(self.neighbors(i).tolist())
+            for i in range(self.number_of_vertices())
+        }
+        label = self.label_of
+        return {label(i) for i in mis_of_adjacency(adjacency)}
+
+
+def as_compact(graph: "Graph | CompactGraph") -> CompactGraph:
+    """Coerce either graph representation to :class:`CompactGraph`."""
+    if isinstance(graph, CompactGraph):
+        return graph
+    return CompactGraph.from_graph(graph)
+
+
+def as_object_graph(graph: "Graph | CompactGraph") -> Graph:
+    """Coerce either graph representation to the reference :class:`Graph`."""
+    if isinstance(graph, CompactGraph):
+        return graph.to_graph()
+    return graph

@@ -9,6 +9,11 @@ spanning forest:
 where ``f_sf(G)`` is the number of edges in any spanning (i.e. maximal)
 forest of ``G``.  This module provides exact, non-private computation of
 both statistics plus the component decomposition they are built on.
+
+Fast path: every public function also accepts a
+:class:`repro.graphs.compact.CompactGraph` and then routes to its
+vectorized array kernels; the object-graph code below remains the
+reference implementation the kernels are differentially tested against.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable
 
+from .compact import CompactGraph, as_object_graph
 from .graph import Graph, Vertex
 
 __all__ = [
@@ -36,6 +42,8 @@ def connected_components(graph: Graph) -> list[set[Vertex]]:
     Components are reported in order of their first vertex (graph insertion
     order), so the output is deterministic.
     """
+    if isinstance(graph, CompactGraph):
+        return graph.component_sets()
     seen: set[Vertex] = set()
     components: list[set[Vertex]] = []
     for start in graph.vertices():
@@ -49,6 +57,10 @@ def connected_components(graph: Graph) -> list[set[Vertex]]:
 
 def component_of(graph: Graph, start: Vertex) -> set[Vertex]:
     """Return the vertex set of the component containing ``start`` (BFS)."""
+    if isinstance(graph, CompactGraph):
+        label = graph.label_of
+        members = graph.component_of_index(graph.index_of(start))
+        return {label(i) for i in members.tolist()}
     if not graph.has_vertex(start):
         raise KeyError(f"vertex {start!r} not in graph")
     seen = {start}
@@ -64,6 +76,8 @@ def component_of(graph: Graph, start: Vertex) -> set[Vertex]:
 
 def number_of_connected_components(graph: Graph) -> int:
     """Return ``f_cc(G)``, the number of connected components."""
+    if isinstance(graph, CompactGraph):
+        return graph.number_of_connected_components()
     return len(connected_components(graph))
 
 
@@ -86,6 +100,8 @@ def is_connected(graph: Graph) -> bool:
 
     The empty graph (no vertices) is considered connected.
     """
+    if isinstance(graph, CompactGraph):
+        return graph.is_connected()
     n = graph.number_of_vertices()
     if n <= 1:
         return True
@@ -112,6 +128,7 @@ def bfs_tree_edges(
     list of edges
         ``(parent, child)`` pairs; exactly ``f_sf(G)`` of them.
     """
+    graph = as_object_graph(graph)
     seen: set[Vertex] = set()
     edges: list[tuple[Vertex, Vertex]] = []
     root_order = graph.vertex_list()

@@ -18,6 +18,12 @@ Terminology: a *spanning forest* of ``G`` is a maximal forest, i.e. a
 subgraph with the same vertex set that is a forest with exactly one tree
 per connected component of ``G``.  A *spanning Δ-forest* is a spanning
 forest of maximum degree at most Δ.
+
+Fast path: :func:`spanning_forest`, :func:`is_forest` and
+:func:`repair_spanning_forest` accept a
+:class:`repro.graphs.compact.CompactGraph` and route to its array
+kernels (returning compact forests); the exhaustive validators coerce to
+the reference representation, since they only run on tiny graphs.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterable, NamedTuple, Optional
 
+from .compact import CompactGraph, as_object_graph
 from .components import (
     connected_components,
     number_of_connected_components,
@@ -60,8 +67,12 @@ def spanning_forest(graph: Graph) -> Graph:
     """Return a spanning forest of ``graph`` (Kruskal-style, union-find).
 
     The result is a :class:`Graph` on the same vertex set whose edges form
-    a maximal forest; it has exactly ``f_sf(G)`` edges.
+    a maximal forest; it has exactly ``f_sf(G)`` edges.  A
+    :class:`CompactGraph` input yields a :class:`CompactGraph` forest
+    (vectorized Borůvka).
     """
+    if isinstance(graph, CompactGraph):
+        return graph.spanning_forest()
     uf = UnionFind(graph.vertices())
     forest_edges = [e for e in graph.edges() if uf.union(*e)]
     return graph.subgraph_with_edges(forest_edges)
@@ -69,6 +80,8 @@ def spanning_forest(graph: Graph) -> Graph:
 
 def is_forest(graph: Graph) -> bool:
     """Return ``True`` if ``graph`` is acyclic."""
+    if isinstance(graph, CompactGraph):
+        return graph.is_forest()
     uf = UnionFind(graph.vertices())
     return all(uf.union(u, v) for u, v in graph.edges())
 
@@ -78,8 +91,11 @@ def is_spanning_forest_of(forest: Graph, graph: Graph) -> bool:
 
     Requires: same vertex set, forest edges are graph edges, acyclicity,
     and maximality (one tree per component, i.e. ``f_sf(G)`` edges that
-    induce the same component structure).
+    induce the same component structure).  Accepts either representation
+    for either argument.
     """
+    forest = as_object_graph(forest)
+    graph = as_object_graph(graph)
     if set(forest.vertices()) != set(graph.vertices()):
         return False
     if not all(graph.has_edge(u, v) for u, v in forest.edges()):
@@ -109,6 +125,9 @@ def leaf_elimination_order(graph: Graph) -> list[Vertex]:
     peeling, ``F`` minus the leaf remains a spanning forest of the smaller
     graph -- so the whole order can be extracted from a single forest.
     """
+    if isinstance(graph, CompactGraph):
+        label = graph.label_of
+        return [label(i) for i in graph._leaf_elimination_order()]
     forest = spanning_forest(graph)
     degree = forest.degrees()
     adjacency = {v: set(forest.neighbors(v)) for v in forest.vertices()}
@@ -181,7 +200,13 @@ def repair_spanning_forest(graph: Graph, delta: int) -> RepairResult:
     Returns
     -------
     RepairResult
+        For a :class:`CompactGraph` input the ``forest`` slot holds a
+        :class:`CompactGraph` (int-indexed Algorithm 3; same Lemma 1.8
+        guarantees, integer tie-breaking instead of ``repr`` order).
     """
+    if isinstance(graph, CompactGraph):
+        compact = graph.repair_spanning_forest(delta)
+        return RepairResult(compact.forest, compact.star, compact.repair_count)
     if delta < 0:
         raise ValueError(f"delta must be non-negative, got {delta}")
     if delta == 0:
@@ -278,6 +303,7 @@ def has_spanning_delta_forest_exact(graph: Graph, delta: int) -> bool:
     ValueError
         If the number of candidate subsets exceeds the enumeration limit.
     """
+    graph = as_object_graph(graph)
     target = spanning_forest_size(graph)
     if target == 0:
         return True
@@ -309,6 +335,7 @@ def min_spanning_forest_degree_exact(graph: Graph) -> int:
     ``Δ*`` is the smallest possible maximum degree of a spanning forest of
     ``graph``; it is 0 exactly when the graph has no edges.
     """
+    graph = as_object_graph(graph)
     if graph.is_empty():
         return 0
     # Delta* is the maximum over components: a spanning forest is a union
@@ -362,6 +389,7 @@ def delta_star_lower_bound(
     By default only singleton sets ``X = {v}`` are used (cheap, often
     tight for cut vertices); callers may pass additional sets.
     """
+    graph = as_object_graph(graph)
     if graph.number_of_vertices() == 0:
         return 0
     base = number_of_connected_components(graph)

@@ -22,6 +22,12 @@ deterministic families used in proofs, remarks, and our benchmarks:
 All random generators take an explicit ``numpy.random.Generator`` so that
 every experiment in the repository is reproducible by seed.  Vertices are
 the integers ``0..n-1``.
+
+Large-``n`` workloads should use the ``*_compact`` variants, which emit
+:class:`repro.graphs.compact.CompactGraph` directly from vectorized
+numpy sampling and never materialize per-vertex Python objects --
+``erdos_renyi_compact`` samples G(n, p) in O(m) array work versus the
+object generator's O(n·m) pair walking.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .compact import CompactGraph
 from .graph import Graph
 
 __all__ = [
@@ -55,6 +62,9 @@ __all__ = [
     "barabasi_albert",
     "planted_components",
     "random_graph_small",
+    "erdos_renyi_compact",
+    "grid_graph_compact",
+    "path_graph_compact",
 ]
 
 
@@ -453,6 +463,100 @@ def random_graph_small(
     """
     p = float(rng.random()) if edge_probability is None else edge_probability
     return erdos_renyi(n, p, rng)
+
+
+# ----------------------------------------------------------------------
+# Compact (array-native) generators for large n
+# ----------------------------------------------------------------------
+def erdos_renyi_compact(
+    n: int, p: float, rng: np.random.Generator
+) -> CompactGraph:
+    """Sample G(n, p) directly as a :class:`CompactGraph`.
+
+    Same skip-sampling distribution as :func:`erdos_renyi` (successive
+    selected pair indices differ by Geometric(p)), but fully vectorized:
+    geometric jumps are drawn in batches and the linear pair indices are
+    inverted to ``(i, j)`` endpoints with array arithmetic, so the cost
+    is O(m) array work instead of O(n·m) Python pair walking.  The two
+    generators draw from the RNG differently, so the same seed gives the
+    same *distribution*, not the same graph.
+    """
+    _check_size(n)
+    _check_probability(p)
+    total_pairs = n * (n - 1) // 2
+    empty = np.empty(0, dtype=np.int64)
+    if p == 0 or n < 2:
+        return CompactGraph.from_edge_arrays(n, empty, empty)
+    if p == 1:
+        i, j = np.triu_indices(n, k=1)
+        return CompactGraph.from_edge_arrays(n, i, j)
+    chunks: list[np.ndarray] = []
+    position = -1  # last selected linear pair index
+    while True:
+        expected = (total_pairs - position) * p
+        batch = max(1024, int(1.1 * expected + 5.0 * math.sqrt(expected + 1)))
+        jumps = rng.geometric(p, size=batch).astype(np.int64)
+        steps = position + np.cumsum(jumps)
+        inside = steps < total_pairs
+        chunks.append(steps[inside])
+        if not inside.all():
+            break
+        position = int(steps[-1])
+    selected = np.concatenate(chunks)
+    i, j = _pairs_from_indices(selected, n)
+    return CompactGraph.from_edge_arrays(n, i, j)
+
+
+def _pairs_from_indices(
+    index: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized inverse of :func:`_pair_from_index`: map linear indices
+    in ``[0, C(n,2))`` to pairs ``(i, j)``, ``i < j``, lexicographic.
+
+    The row ``i`` of index ``k`` satisfies ``row_start(i) <= k`` with
+    ``row_start(i) = i(2n - i - 1)/2``; a float64 quadratic-formula guess
+    is corrected by ±1 integer fix-up (exact for any ``n`` whose pair
+    count fits float64's 53-bit mantissa, and clamped anyway).
+    """
+    index = np.asarray(index, dtype=np.int64)
+    b = 2 * n - 1
+    i = ((b - np.sqrt(np.maximum(b * b - 8.0 * index, 0.0))) // 2).astype(
+        np.int64
+    )
+    i = np.clip(i, 0, n - 2)
+
+    def row_start(row: np.ndarray) -> np.ndarray:
+        return row * (2 * n - row - 1) // 2
+
+    # Fix-up float error: ensure row_start(i) <= index < row_start(i + 1).
+    i = np.where(row_start(i) > index, i - 1, i)
+    i = np.where(row_start(i + 1) <= index, i + 1, i)
+    j = index - row_start(i) + i + 1
+    return i, j
+
+
+def grid_graph_compact(rows: int, cols: int) -> CompactGraph:
+    """Vectorized ``rows × cols`` grid graph as a :class:`CompactGraph`
+    (same labelling as :func:`grid_graph`)."""
+    _check_size(rows)
+    _check_size(cols)
+    cells = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_u = cells[:, :-1].ravel()
+    right_v = cells[:, 1:].ravel()
+    down_u = cells[:-1, :].ravel()
+    down_v = cells[1:, :].ravel()
+    return CompactGraph.from_edge_arrays(
+        rows * cols,
+        np.concatenate([right_u, down_u]),
+        np.concatenate([right_v, down_v]),
+    )
+
+
+def path_graph_compact(n: int) -> CompactGraph:
+    """Vectorized path on ``n`` vertices as a :class:`CompactGraph`."""
+    _check_size(n)
+    steps = np.arange(max(n - 1, 0), dtype=np.int64)
+    return CompactGraph.from_edge_arrays(n, steps, steps + 1)
 
 
 def _relabel_to_integers(graph: Graph) -> Graph:

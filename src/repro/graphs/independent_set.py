@@ -1,0 +1,78 @@
+"""Exact maximum independent set on adjacency dictionaries.
+
+Branch-and-bound core shared by :mod:`repro.graphs.stars` (object-graph
+neighborhoods) and :mod:`repro.graphs.compact` (int-indexed
+neighborhoods).  It lives in its own dependency-free module so both the
+reference and the fast kernel can import it without cycles.
+
+The input is a plain ``{vertex: set(neighbors)}`` mapping over any
+hashable vertex type; the algorithm applies the standard degree-0/1
+reductions and branches on a maximum-degree vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+__all__ = ["mis_of_adjacency"]
+
+
+def mis_of_adjacency(adjacency: dict[Hashable, set[Hashable]]) -> set[Hashable]:
+    """Return a maximum independent set of the graph given as an
+    adjacency dictionary (the input is not mutated)."""
+    adjacency = {v: set(nbrs) for v, nbrs in adjacency.items()}
+    best: set[Hashable] = set()
+    _mis_branch(adjacency, set(), best)
+    return best
+
+
+def _mis_branch(
+    adjacency: dict[Hashable, set[Hashable]],
+    chosen: set[Hashable],
+    best: set[Hashable],
+) -> None:
+    """Recursive branch-and-bound helper mutating ``best`` in place."""
+    # Reductions: repeatedly take degree-0 and degree-1 vertices.
+    adjacency = {v: set(nbrs) for v, nbrs in adjacency.items()}
+    chosen = set(chosen)
+    reduced = True
+    while reduced:
+        reduced = False
+        for v in list(adjacency):
+            if v not in adjacency:
+                continue
+            degree = len(adjacency[v])
+            if degree == 0:
+                chosen.add(v)
+                del adjacency[v]
+                reduced = True
+            elif degree == 1:
+                chosen.add(v)
+                (u,) = adjacency[v]
+                _delete_vertex(adjacency, u)
+                _delete_vertex(adjacency, v)
+                reduced = True
+    if not adjacency:
+        if len(chosen) > len(best):
+            best.clear()
+            best.update(chosen)
+        return
+    # Bound: even taking every remaining vertex cannot beat `best`.
+    if len(chosen) + len(adjacency) <= len(best):
+        return
+    v = max(adjacency, key=lambda u: (len(adjacency[u]), repr(u)))
+    # Branch 1: include v, delete N[v].
+    with_v = {u: set(nbrs) for u, nbrs in adjacency.items()}
+    for u in list(with_v[v]):
+        _delete_vertex(with_v, u)
+    _delete_vertex(with_v, v)
+    _mis_branch(with_v, chosen | {v}, best)
+    # Branch 2: exclude v.
+    without_v = {u: set(nbrs) for u, nbrs in adjacency.items()}
+    _delete_vertex(without_v, v)
+    _mis_branch(without_v, chosen, best)
+
+
+def _delete_vertex(adjacency: dict[Hashable, set[Hashable]], v: Hashable) -> None:
+    for u in adjacency.pop(v, ()):  # type: ignore[arg-type]
+        adjacency[u].discard(v)

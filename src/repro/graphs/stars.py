@@ -23,7 +23,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .compact import CompactGraph, as_object_graph
 from .graph import Graph, Vertex
+from .independent_set import mis_of_adjacency
 
 __all__ = [
     "max_independent_set",
@@ -49,64 +51,14 @@ def max_independent_set(graph: Graph) -> set[Vertex]:
       ``v``, or include it and delete its closed neighborhood.
 
     Worst-case exponential; intended for the modest neighborhood subgraphs
-    used by :func:`star_number` and for validation on small graphs.
+    used by :func:`star_number` and for validation on small graphs.  The
+    branch-and-bound core lives in :mod:`repro.graphs.independent_set`,
+    shared with the fast kernel.
     """
+    if isinstance(graph, CompactGraph):
+        return graph.max_independent_set()
     adjacency = {v: set(graph.neighbors(v)) for v in graph.vertices()}
-    best: set[Vertex] = set()
-    _mis_branch(adjacency, set(), best)
-    return best
-
-
-def _mis_branch(
-    adjacency: dict[Vertex, set[Vertex]],
-    chosen: set[Vertex],
-    best: set[Vertex],
-) -> None:
-    """Recursive branch-and-bound helper mutating ``best`` in place."""
-    # Reductions: repeatedly take degree-0 and degree-1 vertices.
-    adjacency = {v: set(nbrs) for v, nbrs in adjacency.items()}
-    chosen = set(chosen)
-    reduced = True
-    while reduced:
-        reduced = False
-        for v in list(adjacency):
-            if v not in adjacency:
-                continue
-            degree = len(adjacency[v])
-            if degree == 0:
-                chosen.add(v)
-                del adjacency[v]
-                reduced = True
-            elif degree == 1:
-                chosen.add(v)
-                (u,) = adjacency[v]
-                _delete_vertex(adjacency, u)
-                _delete_vertex(adjacency, v)
-                reduced = True
-    if not adjacency:
-        if len(chosen) > len(best):
-            best.clear()
-            best.update(chosen)
-        return
-    # Bound: even taking every remaining vertex cannot beat `best`.
-    if len(chosen) + len(adjacency) <= len(best):
-        return
-    v = max(adjacency, key=lambda u: (len(adjacency[u]), repr(u)))
-    # Branch 1: include v, delete N[v].
-    with_v = {u: set(nbrs) for u, nbrs in adjacency.items()}
-    for u in list(with_v[v]):
-        _delete_vertex(with_v, u)
-    _delete_vertex(with_v, v)
-    _mis_branch(with_v, chosen | {v}, best)
-    # Branch 2: exclude v.
-    without_v = {u: set(nbrs) for u, nbrs in adjacency.items()}
-    _delete_vertex(without_v, v)
-    _mis_branch(without_v, chosen, best)
-
-
-def _delete_vertex(adjacency: dict[Vertex, set[Vertex]], v: Vertex) -> None:
-    for u in adjacency.pop(v, ()):  # type: ignore[arg-type]
-        adjacency[u].discard(v)
+    return mis_of_adjacency(adjacency)
 
 
 def independence_number(graph: Graph) -> int:
@@ -121,6 +73,8 @@ def star_number(graph: Graph) -> int:
     star centered at ``v`` has exactly ``α(G[N(v)])`` leaves, where α is
     the independence number.  Edgeless graphs have ``s(G) = 0``.
     """
+    if isinstance(graph, CompactGraph):
+        return graph.star_number()
     best = 0
     for v in graph.vertices():
         degree = graph.degree(v)
@@ -134,6 +88,8 @@ def star_number(graph: Graph) -> int:
 def find_max_induced_star(graph: Graph) -> Optional[tuple[Vertex, frozenset[Vertex]]]:
     """Return ``(center, leaves)`` of a maximum induced star, or ``None``
     for an edgeless graph."""
+    if isinstance(graph, CompactGraph):
+        return graph.find_max_induced_star()
     best: Optional[tuple[Vertex, frozenset[Vertex]]] = None
     best_size = 0
     for v in graph.vertices():
@@ -151,8 +107,12 @@ def star_number_lower_bound(graph: Graph) -> int:
     """Return a greedy lower bound on ``s(G)`` (fast, for large graphs).
 
     For each vertex, greedily build an independent subset of its
-    neighborhood in sorted order.
+    neighborhood in sorted order.  (The compact path greedily scans in
+    index order rather than ``repr`` order; both are valid lower bounds
+    but can differ on the same graph.)
     """
+    if isinstance(graph, CompactGraph):
+        return graph.star_number_lower_bound()
     best = 0
     for v in graph.vertices():
         if graph.degree(v) <= best:
@@ -180,6 +140,8 @@ def star_number_upper_bound(graph: Graph) -> int:
     Always at least :func:`star_number`; cost ``O(Σ_v deg(v)²)`` worst
     case, no exponential independent-set search.
     """
+    if isinstance(graph, CompactGraph):
+        return graph.star_number_upper_bound()
     best = 0
     for v in graph.vertices():
         degree = graph.degree(v)
@@ -209,7 +171,9 @@ def has_induced_star(graph: Graph, k: int) -> bool:
 
 
 def is_induced_star(graph: Graph, center: Vertex, leaves: tuple[Vertex, ...]) -> bool:
-    """Verify an induced-star certificate against ``graph``."""
+    """Verify an induced-star certificate against ``graph`` (labels are
+    used for :class:`CompactGraph` inputs too)."""
+    graph = as_object_graph(graph)
     if len(set(leaves)) != len(leaves) or center in leaves:
         return False
     if not all(graph.has_edge(center, leaf) for leaf in leaves):

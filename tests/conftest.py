@@ -5,12 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from hypothesis import settings
-
-# Keep property-based tests snappy by default; individual tests can
-# override with their own @settings.
-settings.register_profile("repro", max_examples=50, deadline=None)
-settings.load_profile("repro")
+# The shared "repro" hypothesis profile is registered in the repo-root
+# conftest.py (selected via addopts in pyproject.toml).
 
 
 @pytest.fixture

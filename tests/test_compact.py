@@ -1,0 +1,316 @@
+"""Differential tests: CompactGraph fast kernel vs the reference Graph.
+
+Every hot statistic must agree *exactly* with the object-graph
+implementation; these tests pin that with hypothesis over random small
+graphs plus the deterministic corpus.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import components, forests, stars
+from repro.graphs.compact import (
+    CompactGraph,
+    as_compact,
+    as_object_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    erdos_renyi,
+    erdos_renyi_compact,
+    grid_graph,
+    grid_graph_compact,
+    path_graph_compact,
+)
+
+from tests.strategies import deterministic_corpus, small_graphs
+
+
+# ----------------------------------------------------------------------
+# Construction and conversion
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_round_trip_preserves_graph(self):
+        g = Graph(vertices=range(5), edges=[(0, 1), (1, 2), (3, 4)])
+        assert CompactGraph.from_graph(g).to_graph() == g
+
+    def test_round_trip_arbitrary_labels(self):
+        g = Graph(vertices=["a", "b", "c"], edges=[("a", "c")])
+        cg = CompactGraph.from_graph(g)
+        assert cg.labels() == ["a", "b", "c"]
+        assert cg.to_graph() == g
+        assert cg.index_of("c") == 2
+        with pytest.raises(KeyError):
+            cg.index_of("z")
+
+    def test_identity_labels_are_implicit(self):
+        cg = CompactGraph.from_edges(3, [(0, 1)])
+        assert cg.labels() == [0, 1, 2]
+        assert cg.label_of(2) == 2
+        assert cg.index_of(1) == 1
+        with pytest.raises(KeyError):
+            cg.index_of(3)
+
+    def test_duplicate_edges_are_merged(self):
+        cg = CompactGraph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert cg.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CompactGraph.from_edges(3, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CompactGraph.from_edges(3, [(0, 3)])
+        with pytest.raises(ValueError):
+            CompactGraph.from_edges(3, [(-1, 0)])
+
+    def test_empty_graph(self):
+        cg = CompactGraph.from_edges(0, [])
+        assert cg.number_of_vertices() == 0
+        assert cg.number_of_edges() == 0
+        assert cg.number_of_connected_components() == 0
+        assert cg.spanning_forest_size() == 0
+        assert cg.star_number() == 0
+
+    def test_neighbors_sorted_and_readonly(self):
+        cg = CompactGraph.from_edges(4, [(2, 0), (2, 3), (2, 1)])
+        assert cg.neighbors(2).tolist() == [0, 1, 3]
+        with pytest.raises(ValueError):
+            cg.neighbors(2)[0] = 9
+
+    def test_csr_arrays_are_frozen(self):
+        """The memoized kernels rely on immutability, so the exposed CSR
+        arrays must reject writes."""
+        cg = CompactGraph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            cg.indices[0] = 3
+        with pytest.raises(ValueError):
+            cg.indptr[0] = 1
+
+    def test_has_edge(self):
+        cg = CompactGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert cg.has_edge(0, 1) and cg.has_edge(1, 0)
+        assert not cg.has_edge(0, 2)
+
+    def test_coercion_helpers(self):
+        g = Graph(vertices=range(3), edges=[(0, 2)])
+        cg = as_compact(g)
+        assert isinstance(cg, CompactGraph)
+        assert as_compact(cg) is cg
+        assert as_object_graph(g) is g
+        assert as_object_graph(cg) == g
+
+    @given(small_graphs())
+    def test_round_trip_random(self, g):
+        assert CompactGraph.from_graph(g).to_graph() == g
+
+
+# ----------------------------------------------------------------------
+# Differential: components / f_cc / f_sf
+# ----------------------------------------------------------------------
+class TestComponentsDifferential:
+    @given(small_graphs())
+    def test_f_cc_and_f_sf_agree(self, g):
+        cg = CompactGraph.from_graph(g)
+        assert cg.number_of_connected_components() == components.f_cc(g)
+        assert cg.spanning_forest_size() == components.f_sf(g)
+
+    @given(small_graphs())
+    def test_component_sets_agree(self, g):
+        cg = CompactGraph.from_graph(g)
+        assert cg.component_sets() == components.connected_components(g)
+
+    @given(small_graphs())
+    def test_routing_dispatches(self, g):
+        cg = CompactGraph.from_graph(g)
+        assert components.f_cc(cg) == components.f_cc(g)
+        assert components.f_sf(cg) == components.f_sf(g)
+        assert components.is_connected(cg) == components.is_connected(g)
+        assert components.connected_components(cg) == components.connected_components(g)
+
+    @given(small_graphs())
+    def test_component_of_agrees(self, g):
+        cg = CompactGraph.from_graph(g)
+        for v in g.vertices():
+            assert components.component_of(cg, v) == components.component_of(g, v)
+
+    @pytest.mark.parametrize(
+        "name,graph", deterministic_corpus(), ids=lambda x: x if isinstance(x, str) else ""
+    )
+    def test_corpus_f_cc(self, name, graph):
+        cg = CompactGraph.from_graph(graph)
+        assert cg.f_cc() == components.f_cc(graph)
+        assert cg.f_sf() == components.f_sf(graph)
+
+
+# ----------------------------------------------------------------------
+# Differential: spanning forests
+# ----------------------------------------------------------------------
+class TestForestsDifferential:
+    @given(small_graphs())
+    def test_spanning_forest_is_valid(self, g):
+        cg = CompactGraph.from_graph(g)
+        forest = forests.spanning_forest(cg)
+        assert isinstance(forest, CompactGraph)
+        assert forest.number_of_edges() == components.f_sf(g)
+        assert forests.is_spanning_forest_of(forest, g)
+
+    @given(small_graphs())
+    def test_is_forest_agrees(self, g):
+        cg = CompactGraph.from_graph(g)
+        assert forests.is_forest(cg) == forests.is_forest(g)
+
+    @given(small_graphs())
+    def test_leaf_elimination_order_is_valid(self, g):
+        cg = CompactGraph.from_graph(g)
+        order = forests.leaf_elimination_order(cg)
+        assert sorted(order, key=repr) == sorted(g.vertices(), key=repr)
+
+    @given(small_graphs())
+    @settings(max_examples=30)
+    def test_degree_bounded_forest_agrees(self, g):
+        cg = CompactGraph.from_graph(g)
+        s = stars.star_number(g)
+        for delta in range(0, min(s + 3, 7)):
+            result = forests.repair_spanning_forest(cg, delta)
+            reference = forests.repair_spanning_forest(g, delta)
+            if delta > s:
+                # Lemma 1.8: both constructions must succeed.
+                assert result.forest is not None
+                assert reference.forest is not None
+            if result.forest is not None:
+                assert forests.is_spanning_forest_of(result.forest, g)
+                assert result.forest.max_degree() <= delta
+                assert (
+                    result.forest.number_of_edges() == components.f_sf(g)
+                )
+            if result.star is not None:
+                center, leaves = result.star
+                assert stars.is_induced_star(g, center, leaves)
+                assert len(leaves) == delta
+
+    @given(small_graphs())
+    @settings(max_examples=25)
+    def test_approx_min_degree_on_compact(self, g):
+        cg = CompactGraph.from_graph(g)
+        forest, delta = forests.approx_min_degree_spanning_forest(cg)
+        assert forests.is_spanning_forest_of(forest, g)
+        assert forest.max_degree() == delta
+
+
+# ----------------------------------------------------------------------
+# Differential: star numbers
+# ----------------------------------------------------------------------
+class TestStarsDifferential:
+    @given(small_graphs())
+    def test_star_number_agrees(self, g):
+        cg = CompactGraph.from_graph(g)
+        assert cg.star_number() == stars.star_number(g)
+        assert stars.star_number(cg) == stars.star_number(g)
+
+    @given(small_graphs())
+    def test_bounds_bracket_exact_value(self, g):
+        cg = CompactGraph.from_graph(g)
+        s = stars.star_number(g)
+        assert stars.star_number_lower_bound(cg) <= s
+        assert stars.star_number_upper_bound(cg) >= s
+
+    @given(small_graphs())
+    @settings(max_examples=30)
+    def test_max_induced_star_certificate(self, g):
+        cg = CompactGraph.from_graph(g)
+        found = stars.find_max_induced_star(cg)
+        if g.is_empty():
+            assert found is None
+        else:
+            center, leaves = found
+            assert stars.is_induced_star(g, center, tuple(leaves))
+            assert len(leaves) == stars.star_number(g)
+
+    @given(small_graphs())
+    @settings(max_examples=30)
+    def test_independence_number_agrees(self, g):
+        cg = CompactGraph.from_graph(g)
+        assert stars.independence_number(cg) == stars.independence_number(g)
+        mis = stars.max_independent_set(cg)
+        # Verify it is an independent set of the right size.
+        assert len(mis) == stars.independence_number(g)
+        for a in mis:
+            for b in mis:
+                assert a == b or not g.has_edge(a, b)
+
+
+# ----------------------------------------------------------------------
+# Compact generators
+# ----------------------------------------------------------------------
+class TestCompactGenerators:
+    def test_erdos_renyi_compact_edge_cases(self, rng):
+        assert erdos_renyi_compact(0, 0.5, rng).number_of_vertices() == 0
+        assert erdos_renyi_compact(1, 0.5, rng).number_of_edges() == 0
+        assert erdos_renyi_compact(6, 0.0, rng).number_of_edges() == 0
+        assert erdos_renyi_compact(6, 1.0, rng).number_of_edges() == 15
+
+    def test_erdos_renyi_compact_is_simple(self, rng):
+        cg = erdos_renyi_compact(60, 0.2, rng)
+        u, v = cg.edge_arrays()
+        assert (u < v).all()
+        pairs = set(zip(u.tolist(), v.tolist()))
+        assert len(pairs) == u.size  # no duplicate edges
+        assert u.size == cg.number_of_edges()
+
+    def test_erdos_renyi_compact_edge_count_plausible(self, rng):
+        n, p = 400, 0.05
+        total = n * (n - 1) // 2
+        counts = [
+            erdos_renyi_compact(n, p, rng).number_of_edges() for _ in range(20)
+        ]
+        expected = p * total
+        std = np.sqrt(total * p * (1 - p))
+        assert abs(np.mean(counts) - expected) < 5 * std
+
+    def test_erdos_renyi_compact_matches_reference_statistics(self, rng):
+        """Same model: mean f_cc of G(n, c/n) close between generators."""
+        n, c, reps = 150, 1.0, 25
+        compact_cc = [
+            erdos_renyi_compact(n, c / n, rng).f_cc() for _ in range(reps)
+        ]
+        object_cc = [
+            components.f_cc(erdos_renyi(n, c / n, rng)) for _ in range(reps)
+        ]
+        assert abs(np.mean(compact_cc) - np.mean(object_cc)) < 12
+
+    def test_grid_graph_compact_matches_reference(self):
+        for rows, cols in [(1, 1), (1, 5), (3, 4), (5, 2)]:
+            assert grid_graph_compact(rows, cols).to_graph() == grid_graph(
+                rows, cols
+            )
+
+    def test_path_graph_compact(self):
+        cg = path_graph_compact(6)
+        assert cg.number_of_edges() == 5
+        assert cg.f_cc() == 1
+        assert path_graph_compact(0).number_of_vertices() == 0
+        assert path_graph_compact(1).f_cc() == 1
+
+
+# ----------------------------------------------------------------------
+# Kernel behavior at (moderately) larger scale
+# ----------------------------------------------------------------------
+class TestModerateScale:
+    def test_sparse_random_graph_consistency(self, rng):
+        cg = erdos_renyi_compact(5000, 1.5 / 5000, rng)
+        g = cg.to_graph()
+        assert cg.f_cc() == components.f_cc(g)
+        forest = cg.spanning_forest()
+        assert forest.number_of_edges() == cg.f_sf()
+        assert forests.is_forest(forest)
+        assert forest.f_cc() == cg.f_cc()
+
+    def test_component_labels_are_min_indices(self, rng):
+        cg = erdos_renyi_compact(500, 2.0 / 500, rng)
+        labels = cg.component_labels()
+        for part in cg.component_index_sets():
+            assert labels[part[0]] == part.min()
+            assert (labels[part] == part.min()).all()

@@ -1,4 +1,10 @@
-"""Tests for the Dinic max-flow substrate (cross-checked vs networkx)."""
+"""Tests for the Dinic max-flow substrate.
+
+Cross-checked three ways: hand-built instances, networkx, and an
+independent brute-force minimum-cut enumeration (max-flow = min-cut).
+"""
+
+from itertools import combinations
 
 import networkx as nx
 import numpy as np
@@ -6,6 +12,26 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.flow.maxflow import INFINITY, FlowNetwork
+
+
+def _brute_force_min_cut(nodes, capacities, source, sink):
+    """Minimum cut by enumerating every source-side subset.
+
+    ``capacities`` maps directed ``(u, v)`` pairs to total capacity.
+    Exponential in ``len(nodes)``; for tests only.
+    """
+    others = [x for x in nodes if x not in (source, sink)]
+    best = float("inf")
+    for k in range(len(others) + 1):
+        for subset in combinations(others, k):
+            side = set(subset) | {source}
+            value = sum(
+                c
+                for (u, v), c in capacities.items()
+                if u in side and v not in side
+            )
+            best = min(best, value)
+    return best
 
 
 class TestBasics:
@@ -101,6 +127,88 @@ class TestMinCut:
             c for (u, v), c in capacities.items() if u in side and v not in side
         )
         assert flow == pytest.approx(cut_value, abs=1e-9)
+
+
+class TestAgainstBruteForce:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_flow_equals_enumerated_min_cut(self, seed):
+        """Max-flow = min over *all* cuts, enumerated exhaustively, on
+        small random networks with fractional capacities."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        net = FlowNetwork()
+        capacities = {}
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < 0.5:
+                    c = float(np.round(rng.random(), 3))
+                    net.add_edge(u, v, c)
+                    capacities[(u, v)] = capacities.get((u, v), 0.0) + c
+        expected = _brute_force_min_cut(range(n), capacities, 0, n - 1)
+        assert net.max_flow(0, n - 1) == pytest.approx(expected, abs=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25)
+    def test_certifying_cut_is_a_minimum_cut(self, seed):
+        """The residual-reachability cut has exactly the brute-force
+        minimum value."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        net = FlowNetwork()
+        capacities = {}
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < 0.6:
+                    c = float(np.round(rng.random(), 3)) + 0.001
+                    net.add_edge(u, v, c)
+                    capacities[(u, v)] = capacities.get((u, v), 0.0) + c
+        net.max_flow(0, n - 1)
+        side = net.min_cut_source_side(0)
+        cut_value = sum(
+            c for (u, v), c in capacities.items() if u in side and v not in side
+        )
+        expected = _brute_force_min_cut(range(n), capacities, 0, n - 1)
+        assert cut_value == pytest.approx(expected, abs=1e-9)
+
+
+class TestTolerance:
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(tolerance=0.0)
+        with pytest.raises(ValueError):
+            FlowNetwork(tolerance=-1e-9)
+
+    def test_sub_tolerance_capacity_is_zero(self):
+        """Residual capacity below the tolerance cannot carry flow."""
+        net = FlowNetwork(tolerance=1e-3)
+        net.add_edge("s", "t", 1e-4)
+        assert net.max_flow("s", "t") == 0.0
+
+    def test_sub_tolerance_bottleneck_blocks_path(self):
+        net = FlowNetwork(tolerance=1e-3)
+        net.add_edge("s", "a", 5.0)
+        net.add_edge("a", "t", 1e-6)
+        assert net.max_flow("s", "t") == 0.0
+        # The cut then keeps t unreachable through the dead edge.
+        assert "t" not in net.min_cut_source_side("s")
+
+    def test_above_tolerance_flows_normally(self):
+        net = FlowNetwork(tolerance=1e-3)
+        net.add_edge("s", "a", 0.5)
+        net.add_edge("a", "t", 0.25)
+        assert net.max_flow("s", "t") == pytest.approx(0.25)
+
+    def test_tolerance_cleans_lp_style_capacities(self):
+        """Capacities polluted by LP-solver noise: values within the
+        tolerance of zero act like absent edges."""
+        noise = 1e-10
+        net = FlowNetwork(tolerance=1e-6)
+        net.add_edge("s", "a", 1.0)
+        net.add_edge("a", "t", noise)
+        net.add_edge("s", "b", 1.0)
+        net.add_edge("b", "t", 0.75)
+        assert net.max_flow("s", "t") == pytest.approx(0.75)
 
 
 class TestAgainstNetworkx:

@@ -234,6 +234,50 @@ class TestGEM:
                 assert abs(s1 - s2) <= 1.0 + 1e-9
 
 
+class TestExponentialDistributionSanity:
+    def test_probabilities_follow_exact_ratios(self):
+        """Every pairwise ratio matches exp(eps * (s_j - s_i) / 2)."""
+        scores = [0.0, 0.7, 1.9, 3.0]
+        eps, sens = 1.3, 1.0
+        p = exponential_mechanism_probabilities(scores, sens, eps)
+        for i, si in enumerate(scores):
+            for j, sj in enumerate(scores):
+                assert p[i] / p[j] == pytest.approx(
+                    math.exp(eps * (sj - si) / (2 * sens))
+                )
+
+    def test_sensitivity_flattens_distribution(self):
+        """Doubling the sensitivity halves the effective epsilon."""
+        scores = [0.0, 1.0]
+        sharp = exponential_mechanism_probabilities(scores, 1.0, 2.0)
+        flat = exponential_mechanism_probabilities(scores, 2.0, 2.0)
+        assert sharp[0] > flat[0] > 0.5
+
+    def test_three_candidate_sampling_frequencies(self, rng):
+        scores = [0.0, 0.5, 2.0]
+        expected = exponential_mechanism_probabilities(scores, 1.0, 2.0)
+        draws = np.array(
+            [
+                exponential_mechanism(scores, 1.0, 2.0, rng)
+                for _ in range(6_000)
+            ]
+        )
+        for k in range(3):
+            assert float(np.mean(draws == k)) == pytest.approx(
+                expected[k], abs=0.03
+            )
+
+    def test_gem_selected_always_a_candidate(self, rng):
+        candidates = [1, 2, 4, 8]
+        for _ in range(20):
+            result = generalized_exponential_mechanism(
+                candidates, lambda d: float(d % 3), 0.7, 0.2, rng
+            )
+            assert result.selected in candidates
+            assert sum(result.probabilities) == pytest.approx(1.0)
+            assert all(p >= 0 for p in result.probabilities)
+
+
 class TestAccountant:
     def test_spend_and_remaining(self):
         acct = PrivacyAccountant(1.0)
@@ -261,9 +305,44 @@ class TestAccountant:
         with pytest.raises(ValueError):
             acct.spend(-0.1)
 
+    def test_remaining_tracks_partial_spends(self):
+        acct = PrivacyAccountant(2.0)
+        assert acct.remaining() == pytest.approx(2.0)
+        acct.spend(0.25, "first")
+        assert acct.remaining() == pytest.approx(1.75)
+        acct.spend(1.0, "second")
+        assert acct.remaining() == pytest.approx(0.75)
+        assert acct.spent() == pytest.approx(1.25)
+
+    def test_failed_spend_leaves_ledger_unchanged(self):
+        acct = PrivacyAccountant(1.0)
+        acct.spend(0.7, "ok")
+        with pytest.raises(BudgetExceededError):
+            acct.spend(0.5, "too much")
+        assert acct.spent() == pytest.approx(0.7)
+        assert [label for label, _ in acct.ledger()] == ["ok"]
+        # The budget freed by the rejection is still spendable.
+        acct.spend(0.3, "fits")
+        assert acct.remaining() == pytest.approx(0.0)
+
+    def test_exact_budget_exhaustion_then_any_spend_fails(self):
+        acct = PrivacyAccountant(1.0)
+        acct.spend(1.0)
+        with pytest.raises(BudgetExceededError):
+            acct.spend(1e-6)
+
     def test_split_budget(self):
         parts = split_budget(2.0, {"select": 0.5, "noise": 0.5})
         assert parts == {"select": 1.0, "noise": 1.0}
+
+    def test_split_budget_uneven_fractions(self):
+        parts = split_budget(4.0, {"a": 0.25, "b": 0.75})
+        assert parts == {"a": 1.0, "b": 3.0}
+        # The parts fit the accountant exactly.
+        acct = PrivacyAccountant(4.0)
+        for label, eps in parts.items():
+            acct.spend(eps, label)
+        assert acct.remaining() == pytest.approx(0.0)
 
     def test_split_budget_validation(self):
         with pytest.raises(ValueError):

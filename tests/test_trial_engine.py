@@ -1,0 +1,196 @@
+"""Tests for the batched trial engine (repro.analysis.trials)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trials import (
+    BatchTrialResult,
+    TrialConfig,
+    run_trial_batch,
+    run_trials,
+    summarize_errors,
+)
+from repro.core.algorithm import PrivateConnectedComponents
+from repro.graphs.compact import CompactGraph
+from repro.graphs.generators import erdos_renyi_compact, planted_components
+from repro.graphs.graph import Graph
+from repro.mechanisms.laplace import LaplaceMechanism
+
+
+class _LaplaceOnTruth:
+    """Minimal mechanism: exact statistic plus Laplace(1/epsilon) noise."""
+
+    def __init__(self, epsilon: float) -> None:
+        self._mech = LaplaceMechanism(sensitivity=1.0, epsilon=epsilon)
+
+    def release(self, graph, rng):
+        from repro.graphs.components import number_of_connected_components
+
+        return self._mech.release(
+            float(number_of_connected_components(graph)), rng
+        )
+
+
+def _factory(config: TrialConfig) -> _LaplaceOnTruth:
+    """Module-level factory so the process-pool path can pickle it."""
+    return _LaplaceOnTruth(config.epsilon)
+
+
+def _private_cc_factory(config: TrialConfig) -> PrivateConnectedComponents:
+    return PrivateConnectedComponents(epsilon=config.epsilon)
+
+
+@pytest.fixture
+def small_graph():
+    return Graph(vertices=range(6), edges=[(0, 1), (1, 2), (3, 4)])
+
+
+class TestTrialConfig:
+    def test_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            TrialConfig(graph=small_graph, epsilon=0.0, seed=1)
+        with pytest.raises(ValueError):
+            TrialConfig(graph=small_graph, epsilon=-1.0, seed=1)
+        with pytest.raises(ValueError):
+            TrialConfig(graph=small_graph, epsilon=1.0, seed=1, n_trials=0)
+
+    def test_defaults(self, small_graph):
+        cfg = TrialConfig(graph=small_graph, epsilon=1.0, seed=7)
+        assert cfg.n_trials == 100
+        assert cfg.name == ""
+
+
+class TestSerialEngine:
+    def test_results_keep_input_order_and_names(self, small_graph):
+        configs = [
+            TrialConfig(small_graph, epsilon=e, seed=s, n_trials=5, name=f"e{e}-s{s}")
+            for e in (0.5, 2.0)
+            for s in (1, 2)
+        ]
+        results = run_trial_batch(_factory, configs)
+        assert [r.name for r in results] == [c.name for c in configs]
+        for r, c in zip(results, configs):
+            assert isinstance(r, BatchTrialResult)
+            assert r.config is c
+            assert r.errors.shape == (c.n_trials,)
+            assert r.summary.n_trials == c.n_trials
+
+    def test_same_seed_is_deterministic(self, small_graph):
+        cfg = TrialConfig(small_graph, epsilon=1.0, seed=42, n_trials=8)
+        first = run_trial_batch(_factory, [cfg])[0]
+        second = run_trial_batch(_factory, [cfg])[0]
+        assert np.array_equal(first.errors, second.errors)
+
+    def test_different_seeds_differ(self, small_graph):
+        a, b = run_trial_batch(
+            _factory,
+            [
+                TrialConfig(small_graph, epsilon=1.0, seed=1, n_trials=8),
+                TrialConfig(small_graph, epsilon=1.0, seed=2, n_trials=8),
+            ],
+        )
+        assert not np.array_equal(a.errors, b.errors)
+
+    def test_per_trial_rngs_are_independent_of_batch_shape(self, small_graph):
+        """Trial i of a config depends only on (seed, i), not on what else
+        is in the batch."""
+        cfg = TrialConfig(small_graph, epsilon=1.0, seed=9, n_trials=6)
+        other = TrialConfig(small_graph, epsilon=0.3, seed=5, n_trials=4)
+        alone = run_trial_batch(_factory, [cfg])[0]
+        mixed = run_trial_batch(_factory, [other, cfg])[1]
+        assert np.array_equal(alone.errors, mixed.errors)
+
+    def test_summary_matches_manual_summary(self, small_graph):
+        cfg = TrialConfig(small_graph, epsilon=1.0, seed=3, n_trials=16)
+        result = run_trial_batch(_factory, [cfg])[0]
+        expected = summarize_errors(result.errors, result.summary.true_value)
+        assert result.summary == expected
+        assert result.summary.true_value == 3.0  # components of the fixture
+
+    def test_noise_scales_with_epsilon(self, small_graph):
+        tight, loose = run_trial_batch(
+            _factory,
+            [
+                TrialConfig(small_graph, epsilon=50.0, seed=1, n_trials=60),
+                TrialConfig(small_graph, epsilon=0.05, seed=1, n_trials=60),
+            ],
+        )
+        assert tight.summary.mean_abs_error < loose.summary.mean_abs_error
+
+    def test_empty_batch(self):
+        assert run_trial_batch(_factory, []) == []
+
+
+class TestCompactGraphConfigs:
+    def test_compact_graph_default_statistic(self, rng):
+        cg = erdos_renyi_compact(300, 2.0 / 300, rng)
+        cfg = TrialConfig(graph=cg, epsilon=10.0, seed=0, n_trials=5)
+        result = run_trial_batch(_factory, [cfg])[0]
+        assert result.summary.true_value == cg.f_cc()
+
+    def test_full_algorithm_accepts_compact_graph(self, rng):
+        """Algorithm 1 (extension + GEM + Laplace) must run on a
+        CompactGraph config by coercing internally."""
+        cg = erdos_renyi_compact(40, 0.08, rng)
+        cfg = TrialConfig(graph=cg, epsilon=2.0, seed=4, n_trials=2)
+        result = run_trial_batch(_private_cc_factory, [cfg])[0]
+        assert result.summary.true_value == cg.f_cc()
+        # Identical truths and noise streams vs the object-graph path.
+        twin = TrialConfig(graph=cg.to_graph(), epsilon=2.0, seed=4, n_trials=2)
+        twin_result = run_trial_batch(_private_cc_factory, [twin])[0]
+        assert np.array_equal(result.errors, twin_result.errors)
+
+    def test_compact_and_object_graphs_see_same_truth(self, rng):
+        cg = erdos_renyi_compact(120, 2.0 / 120, rng)
+        g = cg.to_graph()
+        res_c, res_g = run_trial_batch(
+            _factory,
+            [
+                TrialConfig(cg, epsilon=1.0, seed=11, n_trials=4),
+                TrialConfig(g, epsilon=1.0, seed=11, n_trials=4),
+            ],
+        )
+        assert res_c.summary.true_value == res_g.summary.true_value
+        # Identical seeds and truths: identical noise streams too.
+        assert np.array_equal(res_c.errors, res_g.errors)
+
+
+class TestProcessPool:
+    def test_parallel_matches_serial(self, small_graph):
+        configs = [
+            TrialConfig(small_graph, epsilon=e, seed=s, n_trials=6)
+            for e in (0.5, 1.0, 4.0)
+            for s in (0, 1)
+        ]
+        serial = run_trial_batch(_factory, configs)
+        parallel = run_trial_batch(_factory, configs, max_workers=2)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.errors, b.errors)
+            assert a.summary == b.summary
+
+    def test_parallel_full_algorithm(self, rng):
+        graph = planted_components([8, 10, 6], 0.4, rng)
+        configs = [
+            TrialConfig(graph, epsilon=2.0, seed=s, n_trials=3) for s in (0, 1)
+        ]
+        serial = run_trial_batch(_private_cc_factory, configs)
+        parallel = run_trial_batch(_private_cc_factory, configs, max_workers=2)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.errors, b.errors)
+
+    def test_invalid_max_workers(self, small_graph):
+        cfg = TrialConfig(small_graph, epsilon=1.0, seed=1, n_trials=2)
+        with pytest.raises(ValueError):
+            run_trial_batch(_factory, [cfg], max_workers=0)
+
+
+class TestLegacyRunner:
+    def test_run_trials_still_works(self, small_graph, rng):
+        mech = _LaplaceOnTruth(epsilon=5.0)
+        errors = run_trials(mech, small_graph, 10, rng)
+        assert errors.shape == (10,)
+
+    def test_run_trials_accepts_compact(self, rng):
+        cg = erdos_renyi_compact(50, 0.05, rng)
+        errors = run_trials(_LaplaceOnTruth(epsilon=5.0), cg, 5, rng)
+        assert errors.shape == (5,)
