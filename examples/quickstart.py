@@ -1,7 +1,7 @@
-"""Quickstart: private f_cc releases, the fast graph kernel, and the
-batched trial engine.
+"""Quickstart: private f_cc releases, the fast graph kernel, the
+batched trial engine, and durable sweeps.
 
-Three stops:
+Four stops:
 
 1. the minimal flow -- build a graph, construct a
    :class:`PrivateConnectedComponents` estimator, release with an
@@ -10,12 +10,18 @@ Three stops:
    :class:`CompactGraph` (numpy CSR) and compute its statistics through
    the vectorized array kernels;
 3. the batched engine -- sweep ``(epsilon, seed)`` cells in one
-   :func:`run_trial_batch` call with per-trial seeded RNGs.
+   :func:`run_trial_batch` call with per-trial seeded RNGs;
+4. durable sweeps -- the same grid as a declarative
+   :class:`~repro.experiments.SweepSpec` run against an on-disk result
+   store, so a rerun (or a resumed kill) recomputes nothing.  For the
+   full workflow (JSON specs, `repro sweep` / `resume` / `report`, CSV
+   artifacts) see examples/sweep_paper_figures.py and the README.
 
 Run:  PYTHONPATH=src python examples/quickstart.py
 (or `pip install -e .` once, then plain `python examples/quickstart.py`)
 """
 
+import tempfile
 import time
 
 import numpy as np
@@ -89,11 +95,35 @@ def batched_sweep(graph):
     print("graph's small adaptive delta (Theorem 1.3).")
 
 
+def durable_sweep():
+    # The orchestration layer: the grid as data, every cell cached in a
+    # content-addressed store, so only missing work is ever computed.
+    from repro.experiments import GraphGrid, ResultStore, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="quickstart",
+        graphs=(GraphGrid("er", (40,), (("c", 1.0),)),),
+        epsilons=(0.5, 1.0),
+        mechanisms=("private_cc", "edge_dp"),
+        replicates=2,
+        n_trials=10,
+        base_seed=7,
+    )
+    store = ResultStore(tempfile.mkdtemp(prefix="repro-quickstart-"))
+    first = run_sweep(spec, store)
+    second = run_sweep(spec, store)  # a rerun is pure cache hits
+    print(f"\ndurable sweep of {spec.cell_count()} cells: "
+          f"first run computed {first.n_computed}, "
+          f"rerun computed {second.n_computed} (all cached)")
+    print(f"store: {store.root}")
+
+
 def main() -> None:
     rng = np.random.default_rng(7)
     graph = private_release_basics(rng)
     fast_kernel(rng)
     batched_sweep(graph)
+    durable_sweep()
 
 
 if __name__ == "__main__":

@@ -95,6 +95,17 @@ from .analysis import (
     run_trial_batch,
 )
 
+# The sweep orchestration layer (also after __version__: result-store
+# cache keys fold the library version in).
+from .experiments import (
+    SweepSpec,
+    ResultStore,
+    SweepResult,
+    load_sweep_spec,
+    run_sweep,
+    report_from_store,
+)
+
 __all__ = [
     "Graph",
     "CompactGraph",
@@ -103,6 +114,12 @@ __all__ = [
     "TrialConfig",
     "BatchTrialResult",
     "run_trial_batch",
+    "SweepSpec",
+    "ResultStore",
+    "SweepResult",
+    "load_sweep_spec",
+    "run_sweep",
+    "report_from_store",
     "connected_components",
     "number_of_connected_components",
     "spanning_forest_size",

@@ -6,6 +6,16 @@ Subcommands
               components of a graph stored as an edge list.
 ``stats``     Print exact (non-private) structural statistics of a graph.
 ``generate``  Sample a graph from a built-in family and write it out.
+``sweep``     Run a config-driven experiment sweep into a resumable
+              on-disk result store.
+``resume``    Continue an interrupted sweep (stored cells are reused).
+``report``    Assemble report JSON / CSV from a store without computing.
+
+``count`` and ``stats`` load integer-labelled edge lists straight into
+the array-backed :class:`~repro.graphs.compact.CompactGraph`, so the
+statistics run through the vectorized kernels; string-labelled inputs
+fall back to the reference object graph automatically.  Paths ending in
+``.gz`` are read and written through gzip.
 
 Examples
 --------
@@ -13,6 +23,10 @@ Examples
         --seed 7 --output contacts.edges
     python -m repro count --input contacts.edges --epsilon 1.0 --seed 1
     python -m repro stats --input contacts.edges
+    python -m repro generate --family er --n 100000 --p 2e-5 --seed 1 \
+        --engine compact --output big.edges.gz
+    python -m repro sweep --spec sweep.json --store results/store \
+        --workers 4 --report results/report.json --csv results/table.csv
 """
 
 from __future__ import annotations
@@ -23,10 +37,11 @@ import sys
 import numpy as np
 
 from .core.algorithm import PrivateConnectedComponents
+from .experiments import cli as experiments_cli
 from .graphs import generators
 from .graphs.components import number_of_connected_components, spanning_forest_size
 from .graphs.forests import approx_min_degree_spanning_forest
-from .graphs.io import read_edge_list, write_edge_list
+from .graphs.io import read_edge_list_auto, write_edge_list
 from .graphs.stars import star_number_lower_bound, star_number_upper_bound
 
 
@@ -41,7 +56,7 @@ def _build_parser() -> argparse.ArgumentParser:
     count = subparsers.add_parser(
         "count", help="node-private estimate of the number of components"
     )
-    count.add_argument("--input", required=True, help="edge-list file")
+    count.add_argument("--input", required=True, help="edge-list file (.gz ok)")
     count.add_argument("--epsilon", type=float, default=1.0, help="privacy budget")
     count.add_argument("--seed", type=int, default=None, help="RNG seed")
     count.add_argument(
@@ -51,7 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     stats = subparsers.add_parser("stats", help="exact, non-private statistics")
-    stats.add_argument("--input", required=True, help="edge-list file")
+    stats.add_argument("--input", required=True, help="edge-list file (.gz ok)")
 
     generate = subparsers.add_parser("generate", help="sample a graph family")
     generate.add_argument(
@@ -67,12 +82,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--components", type=int, default=5, help="planted component count"
     )
     generate.add_argument("--seed", type=int, default=None)
-    generate.add_argument("--output", required=True)
+    generate.add_argument(
+        "--engine",
+        choices=["object", "compact"],
+        default="object",
+        help="compact = vectorized array sampling (er/grid only); "
+        "needed for n >= 1e5, where the object path's O(n*m) walk stalls",
+    )
+    generate.add_argument("--output", required=True, help="output path (.gz ok)")
+
+    experiments_cli.add_subparsers(subparsers)
     return parser
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
-    graph = read_edge_list(args.input)
+    graph = read_edge_list_auto(args.input)
     if graph.number_of_vertices() == 0:
         print("error: graph has no vertices", file=sys.stderr)
         return 1
@@ -90,7 +114,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    graph = read_edge_list(args.input)
+    graph = read_edge_list_auto(args.input)
     _, delta_upper = approx_min_degree_spanning_forest(graph)
     print(f"vertices:                 {graph.number_of_vertices()}")
     print(f"edges:                    {graph.number_of_edges()}")
@@ -105,7 +129,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
-    if args.family == "er":
+    if args.engine == "compact":
+        if args.family == "er":
+            graph = generators.erdos_renyi_compact(args.n, args.p, rng)
+        elif args.family == "grid":
+            side = max(int(round(args.n**0.5)), 1)
+            graph = generators.grid_graph_compact(side, side)
+        else:
+            print(
+                f"error: --engine compact supports families er and grid, "
+                f"not {args.family!r}",
+                file=sys.stderr,
+            )
+            return 1
+    elif args.family == "er":
         graph = generators.erdos_renyi(args.n, args.p, rng)
     elif args.family == "geometric":
         graph = generators.random_geometric_graph(args.n, args.radius, rng)
@@ -141,6 +178,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command in ("sweep", "resume"):
+        return experiments_cli.cmd_sweep(args, resuming=args.command == "resume")
+    if args.command == "report":
+        return experiments_cli.cmd_report(args)
     raise AssertionError(args.command)  # pragma: no cover
 
 

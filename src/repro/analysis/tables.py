@@ -2,14 +2,17 @@
 
 The benchmark harness prints paper-style rows; this module renders them
 as aligned ASCII tables so `pytest benchmarks/ --benchmark-only` output
-is directly readable and diffable.
+is directly readable and diffable.  The sweep orchestrator reuses the
+same row shape for its CSV artifacts (:func:`write_csv`).
 """
 
 from __future__ import annotations
 
+import csv
+import os
 from typing import Sequence
 
-__all__ = ["format_table", "format_cell", "print_table"]
+__all__ = ["format_table", "format_cell", "print_table", "write_csv"]
 
 
 def format_cell(value) -> str:
@@ -45,6 +48,28 @@ def format_table(
     for row in rendered:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def write_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    path: str | os.PathLike,
+) -> None:
+    """Write rows as CSV (values verbatim, not display-rounded, so the
+    file is a faithful machine-readable artifact; parent dirs created).
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
 
 
 def print_table(

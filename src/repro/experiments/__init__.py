@@ -1,0 +1,52 @@
+"""Config-driven sweep orchestration with a resumable on-disk store.
+
+The layer above the batched trial engine: declare a grid of
+``{graph family × size × epsilon × mechanism × replicate}`` cells as a
+:class:`SweepSpec` (plain data, loadable from JSON/TOML), run it with
+:func:`run_sweep`, and every completed cell lands atomically in a
+content-addressed :class:`ResultStore` — so a killed sweep resumes
+exactly where it stopped and nothing stored is ever recomputed.
+
+Minimal flow::
+
+    from repro.experiments import (
+        ResultStore, SweepSpec, load_sweep_spec, run_sweep,
+    )
+
+    spec = load_sweep_spec("sweep.json")
+    result = run_sweep(spec, ResultStore("results/store"), max_workers=4)
+    result.to_report().write("results/report.json")
+
+The CLI wraps the same machinery: ``repro sweep``, ``repro resume``,
+``repro report``.
+"""
+
+from .config import GraphGrid, SweepCell, SweepSpec, load_sweep_spec
+from .runner import (
+    CSV_HEADERS,
+    CellResult,
+    SweepResult,
+    build_mechanism,
+    materialize_graph,
+    report_from_store,
+    run_cell,
+    run_sweep,
+)
+from .store import ResultStore, cell_key
+
+__all__ = [
+    "GraphGrid",
+    "SweepCell",
+    "SweepSpec",
+    "load_sweep_spec",
+    "ResultStore",
+    "cell_key",
+    "CellResult",
+    "SweepResult",
+    "CSV_HEADERS",
+    "run_sweep",
+    "run_cell",
+    "report_from_store",
+    "materialize_graph",
+    "build_mechanism",
+]

@@ -1,0 +1,152 @@
+"""CLI handlers for ``repro sweep`` / ``repro resume`` / ``repro report``.
+
+Kept out of ``repro.__main__`` so the orchestration surface (argument
+wiring, progress printing, exit codes) is importable and testable
+without going through argparse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis.tables import format_table, write_csv
+from .config import load_sweep_spec
+from .runner import CSV_HEADERS, SweepResult, report_from_store, run_sweep
+from .store import ResultStore
+
+__all__ = ["add_subparsers", "cmd_sweep", "cmd_report"]
+
+
+def add_subparsers(subparsers) -> None:
+    """Register the experiment subcommands on the main parser."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--spec", required=True, help="sweep spec file (.json or .toml)"
+    )
+    common.add_argument(
+        "--store", required=True, help="result-store directory"
+    )
+    common.add_argument("--report", help="write the report JSON here")
+    common.add_argument("--csv", help="write the summary CSV here")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        parents=[common],
+        help="run a config-driven sweep (cached cells are never recomputed)",
+    )
+    resume = subparsers.add_parser(
+        "resume",
+        parents=[common],
+        help="resume an interrupted sweep from its result store",
+    )
+    for sub in (sweep, resume):
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="process-pool width (1 = serial; results are identical)",
+        )
+        sub.add_argument(
+            "--max-cells",
+            type=int,
+            default=None,
+            help="compute at most this many pending cells, then stop",
+        )
+        sub.add_argument(
+            "--quiet", action="store_true", help="suppress progress lines"
+        )
+
+    report = subparsers.add_parser(
+        "report",
+        parents=[common],
+        help="assemble report/CSV from stored cells without computing",
+    )
+    report.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="emit a report even when some cells are missing from the store",
+    )
+    report.add_argument(
+        "--table",
+        action="store_true",
+        help="also print the summary as an ASCII table",
+    )
+
+
+def _emit_outputs(result: SweepResult, args: argparse.Namespace) -> None:
+    if args.report:
+        result.to_report().write(args.report)
+        print(f"report: {args.report}")
+    if args.csv:
+        write_csv(CSV_HEADERS, result.summary_rows(), args.csv)
+        print(f"csv:    {args.csv}")
+
+
+def cmd_sweep(args: argparse.Namespace, *, resuming: bool) -> int:
+    """Shared implementation of ``sweep`` and ``resume``."""
+    try:
+        spec = load_sweep_spec(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"error: bad sweep spec: {exc}", file=sys.stderr)
+        return 1
+    store = ResultStore(args.store)
+    if resuming and len(store) == 0:
+        print(
+            f"error: nothing to resume: store {args.store!r} is empty "
+            "(run `repro sweep` first)",
+            file=sys.stderr,
+        )
+        return 1
+    store.clean_tmp()
+
+    def progress(done: int, total: int, cell, cached: bool) -> None:
+        if args.quiet:
+            return
+        tag = "cached  " if cached else "computed"
+        print(f"[{done}/{total}] {tag} {cell.label()}", file=sys.stderr)
+
+    result = run_sweep(
+        spec,
+        store,
+        max_workers=args.workers,
+        max_cells=args.max_cells,
+        progress=progress,
+    )
+    print(
+        f"sweep {spec.name!r}: {len(result.results)} of "
+        f"{spec.cell_count()} cells done "
+        f"({result.n_cached} cached, {result.n_computed} computed, "
+        f"{result.n_pending} pending)"
+    )
+    _emit_outputs(result, args)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    try:
+        spec = load_sweep_spec(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"error: bad sweep spec: {exc}", file=sys.stderr)
+        return 1
+    result = report_from_store(spec, ResultStore(args.store))
+    if result.n_pending and not args.allow_partial:
+        print(
+            f"error: {result.n_pending} of {spec.cell_count()} cells are "
+            "missing from the store; run `repro resume` to fill them or "
+            "pass --allow-partial",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"report for {spec.name!r}: {result.n_cached} stored cells, "
+        f"{result.n_pending} missing"
+    )
+    _emit_outputs(result, args)
+    if args.table:
+        print(
+            format_table(
+                CSV_HEADERS, result.summary_rows(), title=spec.name
+            )
+        )
+    return 0

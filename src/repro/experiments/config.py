@@ -1,0 +1,337 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` describes a full experimental grid — graph families
+and sizes, privacy budgets, mechanism variants, replicate count — as
+plain data.  It loads from JSON or TOML, validates eagerly, and expands
+*deterministically* into :class:`SweepCell` objects: the same spec
+always produces the same cells with the same seeds, regardless of how
+the grid is later sharded or in what order cells execute.
+
+Seeding discipline
+------------------
+Every cell carries two integer seeds drawn from
+:class:`numpy.random.SeedSequence` spawn keys rooted at the spec's
+``base_seed``.  The spawn key is a hash of the cell's *content*, not its
+position in the grid, so:
+
+* ``graph_seed`` depends only on ``(family, size, params, replicate)``
+  — all epsilons and mechanism variants of one replicate see the *same
+  sampled graph*, making accuracy-vs-epsilon curves paired comparisons
+  rather than noise between fresh samples;
+* ``trial_seed`` additionally folds in ``(epsilon, mechanism)``, so
+  repeated releases in different cells are independent;
+* neither changes when grid axes are reordered or extended, so growing
+  a spec (another epsilon, a new mechanism) never invalidates cells an
+  earlier sweep already stored.
+
+Both are materialized as plain ints: hashable (they enter the result
+store's content address), picklable (they cross process boundaries),
+and JSON-serializable (they appear in reports).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["GraphGrid", "SweepCell", "SweepSpec", "load_sweep_spec"]
+
+# Families the runner knows how to materialize; kept here (as data) so a
+# spec fails at load time, not hours into a sweep.
+KNOWN_FAMILIES = frozenset(
+    {"er", "grid", "path", "tree", "forest", "geometric", "planted", "star"}
+)
+
+# Mechanism variants the runner can build; see runner.MECHANISMS.
+KNOWN_MECHANISMS = frozenset(
+    {"private_cc", "edge_dp", "naive_node_dp", "non_private"}
+)
+
+
+def _content_seed(base_seed: int, namespace: str, payload: Mapping) -> int:
+    """Derive one integer seed from the spec's root entropy and a
+    content-addressed SeedSequence spawn key.
+
+    ``SeedSequence(entropy, spawn_key=k)`` is exactly the child that
+    ``spawn()`` would produce at coordinate ``k``, so seeds derived this
+    way are mutually independent streams of ``base_seed``.  The key is
+    the SHA-256 of the canonical payload JSON (as uint32 words), which
+    ties the stream to *what* the cell is rather than *where* it sits in
+    one particular grid enumeration.
+    """
+    blob = json.dumps([namespace, payload], sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    spawn_key = tuple(
+        int.from_bytes(digest[i : i + 4], "big") for i in range(0, 16, 4)
+    )
+    sequence = np.random.SeedSequence(base_seed, spawn_key=spawn_key)
+    return int(sequence.generate_state(2, dtype=np.uint64)[0])
+
+
+@dataclass(frozen=True)
+class GraphGrid:
+    """One graph-family axis of the grid: a family, sizes, parameters."""
+
+    family: str
+    sizes: tuple[int, ...]
+    params: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.family not in KNOWN_FAMILIES:
+            raise ValueError(
+                f"unknown graph family {self.family!r}; "
+                f"known: {sorted(KNOWN_FAMILIES)}"
+            )
+        if not self.sizes:
+            raise ValueError(f"family {self.family!r} lists no sizes")
+        for n in self.sizes:
+            if not isinstance(n, int) or n < 1:
+                raise ValueError(
+                    f"sizes must be positive ints, got {n!r} for {self.family!r}"
+                )
+        # Normalize params so identity is independent of how the grid was
+        # built: (("trees", 5),) constructed in code must hash/seed the
+        # same as {"trees": 5.0} loaded from JSON.
+        object.__setattr__(
+            self,
+            "params",
+            tuple(sorted((str(k), float(v)) for k, v in self.params)),
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GraphGrid":
+        unknown = set(data) - {"family", "sizes", "params"}
+        if unknown:
+            raise ValueError(f"unknown graph-grid keys: {sorted(unknown)}")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValueError(f"params must be a table/object, got {params!r}")
+        return cls(
+            family=data.get("family", ""),
+            sizes=tuple(data.get("sizes", ())),
+            params=tuple(sorted((str(k), float(v)) for k, v in params.items())),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "sizes": list(self.sizes),
+            "params": {k: v for k, v in self.params},
+        }
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully-resolved cell of the grid.
+
+    Everything the runner needs to recompute the cell from scratch is in
+    here (and nothing else), so the tuple of fields *is* the cell's
+    identity: the result store hashes :meth:`key_dict` plus the library
+    version to decide whether a stored result is still valid.
+    """
+
+    index: int
+    family: str
+    n: int
+    params: tuple[tuple[str, float], ...]
+    epsilon: float
+    mechanism: str
+    replicate: int
+    n_trials: int
+    graph_seed: int
+    trial_seed: int
+
+    def key_dict(self) -> dict:
+        """The cell's identity as a canonical plain dict.
+
+        ``index`` is deliberately excluded: it is a position in one
+        particular spec's enumeration, not part of what was computed, so
+        reordering a spec's grid axes never invalidates stored cells.
+        """
+        return {
+            "family": self.family,
+            "n": self.n,
+            "params": {k: v for k, v in self.params},
+            "epsilon": self.epsilon,
+            "mechanism": self.mechanism,
+            "replicate": self.replicate,
+            "n_trials": self.n_trials,
+            "graph_seed": self.graph_seed,
+            "trial_seed": self.trial_seed,
+        }
+
+    def label(self) -> str:
+        """Compact human-readable tag for progress lines and tables."""
+        return (
+            f"{self.family}/n={self.n}/eps={self.epsilon:g}"
+            f"/{self.mechanism}/r={self.replicate}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: the full grid plus seeding and trial counts.
+
+    Expansion order is the deterministic nested loop
+    ``graphs × sizes × epsilons × mechanisms × replicates`` (outermost
+    to innermost), so cell indices — and therefore reports — are stable
+    across runs and machines.
+    """
+
+    name: str
+    graphs: tuple[GraphGrid, ...]
+    epsilons: tuple[float, ...]
+    mechanisms: tuple[str, ...] = ("private_cc",)
+    replicates: int = 1
+    n_trials: int = 100
+    base_seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sweep needs a non-empty name")
+        if not self.graphs:
+            raise ValueError("sweep lists no graph families")
+        if not self.epsilons:
+            raise ValueError("sweep lists no epsilons")
+        for eps in self.epsilons:
+            if not eps > 0:
+                raise ValueError(f"epsilon must be > 0, got {eps}")
+        if not self.mechanisms:
+            raise ValueError("sweep lists no mechanisms")
+        for mech in self.mechanisms:
+            if mech not in KNOWN_MECHANISMS:
+                raise ValueError(
+                    f"unknown mechanism {mech!r}; "
+                    f"known: {sorted(KNOWN_MECHANISMS)}"
+                )
+        if self.replicates < 1:
+            raise ValueError(f"replicates must be >= 1, got {self.replicates}")
+        if self.n_trials < 1:
+            raise ValueError(f"n_trials must be >= 1, got {self.n_trials}")
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def cell_count(self) -> int:
+        sizes = sum(len(g.sizes) for g in self.graphs)
+        return (
+            sizes * len(self.epsilons) * len(self.mechanisms) * self.replicates
+        )
+
+    def expand(self) -> list[SweepCell]:
+        """Expand the grid into its cells, deterministically."""
+        cells: list[SweepCell] = []
+        index = 0
+        for grid in self.graphs:
+            for n in grid.sizes:
+                for epsilon in self.epsilons:
+                    for mechanism in self.mechanisms:
+                        for replicate in range(self.replicates):
+                            graph_coord = {
+                                "family": grid.family,
+                                "n": n,
+                                "params": {k: v for k, v in grid.params},
+                                "replicate": replicate,
+                            }
+                            # Graph seed is shared across epsilon and
+                            # mechanism: one sampled graph per
+                            # (family, size, params, replicate) coordinate.
+                            graph_seed = _content_seed(
+                                self.base_seed, "graph", graph_coord
+                            )
+                            trial_seed = _content_seed(
+                                self.base_seed,
+                                "trials",
+                                {
+                                    **graph_coord,
+                                    "epsilon": float(epsilon),
+                                    "mechanism": mechanism,
+                                },
+                            )
+                            cells.append(
+                                SweepCell(
+                                    index=index,
+                                    family=grid.family,
+                                    n=n,
+                                    params=grid.params,
+                                    epsilon=float(epsilon),
+                                    mechanism=mechanism,
+                                    replicate=replicate,
+                                    n_trials=self.n_trials,
+                                    graph_seed=graph_seed,
+                                    trial_seed=trial_seed,
+                                )
+                            )
+                            index += 1
+        return cells
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        known = {
+            "name",
+            "description",
+            "graphs",
+            "epsilons",
+            "mechanisms",
+            "replicates",
+            "n_trials",
+            "base_seed",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown sweep keys: {sorted(unknown)}")
+        graphs = data.get("graphs", ())
+        if not isinstance(graphs, Sequence) or isinstance(graphs, (str, bytes)):
+            raise ValueError("graphs must be an array of family tables")
+        return cls(
+            name=str(data.get("name", "")),
+            description=str(data.get("description", "")),
+            graphs=tuple(GraphGrid.from_dict(g) for g in graphs),
+            epsilons=tuple(float(e) for e in data.get("epsilons", ())),
+            mechanisms=tuple(data.get("mechanisms", ("private_cc",))),
+            replicates=int(data.get("replicates", 1)),
+            n_trials=int(data.get("n_trials", 100)),
+            base_seed=int(data.get("base_seed", 0)),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "graphs": [g.to_dict() for g in self.graphs],
+            "epsilons": list(self.epsilons),
+            "mechanisms": list(self.mechanisms),
+            "replicates": self.replicates,
+            "n_trials": self.n_trials,
+            "base_seed": self.base_seed,
+        }
+
+
+def load_sweep_spec(path: str | os.PathLike) -> SweepSpec:
+    """Load a :class:`SweepSpec` from a ``.json`` or ``.toml`` file."""
+    text_path = os.fspath(path)
+    if text_path.endswith(".toml"):
+        try:
+            import tomllib
+        except ModuleNotFoundError as exc:  # pragma: no cover - py3.10 only
+            raise RuntimeError(
+                "TOML specs need Python >= 3.11 (tomllib); "
+                "use a JSON spec instead"
+            ) from exc
+        with open(text_path, "rb") as handle:
+            data = tomllib.load(handle)
+    else:
+        with open(text_path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"spec root must be an object/table, got {type(data)}")
+    return SweepSpec.from_dict(data)

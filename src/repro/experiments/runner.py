@@ -1,0 +1,351 @@
+"""Sharded sweep execution over the batched trial engine.
+
+:func:`run_sweep` takes a :class:`~repro.experiments.config.SweepSpec`
+and a :class:`~repro.experiments.store.ResultStore`, materializes each
+pending cell's graph, runs its repeated private releases through
+:func:`repro.analysis.trials.run_trial_batch`, and persists every
+completed cell *immediately and atomically* — so progress survives a
+kill at any instant and a rerun recomputes only what is missing.
+
+Determinism: each cell is self-seeding (its ``graph_seed`` and
+``trial_seed`` are part of its identity), so results are bit-identical
+whether the grid runs serially, across a process pool of any width, or
+split across several interrupted invocations.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import __version__
+from ..analysis.report import ExperimentReport
+from ..analysis.trials import TrialConfig, run_trial_batch
+from ..core.baselines import (
+    EdgeDPConnectedComponents,
+    NaiveNodeDPConnectedComponents,
+    NonPrivateBaseline,
+)
+from ..core.algorithm import PrivateConnectedComponents
+from ..graphs import generators
+from .config import SweepCell, SweepSpec
+from .store import ResultStore, cell_key
+
+__all__ = [
+    "CellResult",
+    "SweepResult",
+    "run_sweep",
+    "report_from_store",
+    "materialize_graph",
+    "build_mechanism",
+    "run_cell",
+    "SUMMARY_FIELDS",
+    "CSV_HEADERS",
+]
+
+SUMMARY_FIELDS = (
+    "n_trials",
+    "true_value",
+    "mean_abs_error",
+    "median_abs_error",
+    "q90_abs_error",
+    "max_abs_error",
+    "mean_signed_error",
+)
+
+CSV_HEADERS = (
+    "family",
+    "n",
+    "epsilon",
+    "mechanism",
+    "replicate",
+) + SUMMARY_FIELDS
+
+ProgressCallback = Callable[[int, int, SweepCell, bool], None]
+
+
+# ----------------------------------------------------------------------
+# Cell materialization
+# ----------------------------------------------------------------------
+def materialize_graph(cell: SweepCell, rng: np.random.Generator):
+    """Build the cell's graph (compact representation where available).
+
+    Random families draw from ``rng``; deterministic families ignore it.
+    """
+    params = dict(cell.params)
+    n = cell.n
+    family = cell.family
+    if family == "er":
+        # Accept either an absolute probability `p` or the sparse-regime
+        # average degree `c` (the paper's np = c parameterization).
+        p = params["p"] if "p" in params else params.get("c", 1.0) / max(n, 1)
+        return generators.erdos_renyi_compact(n, min(p, 1.0), rng)
+    if family == "grid":
+        side = max(int(round(math.sqrt(n))), 1)
+        return generators.grid_graph_compact(side, side)
+    if family == "path":
+        return generators.path_graph_compact(n)
+    if family == "tree":
+        return generators.random_tree(n, rng)
+    if family == "forest":
+        trees = int(params.get("trees", 5))
+        return generators.random_forest(n, min(trees, n), rng)
+    if family == "geometric":
+        return generators.random_geometric_graph(
+            n, params.get("radius", 0.1), rng
+        )
+    if family == "planted":
+        k = max(int(params.get("components", 5)), 1)
+        sizes = [max(n // k, 1)] * k
+        return generators.planted_components(
+            sizes, params.get("internal_p", 0.3), rng
+        )
+    if family == "star":
+        return generators.star_graph(max(n - 1, 1))
+    raise ValueError(f"unknown graph family {family!r}")
+
+
+def build_mechanism(name: str, epsilon: float, graph):
+    """Construct one mechanism variant for a given budget and input."""
+    if name == "private_cc":
+        return PrivateConnectedComponents(epsilon=epsilon)
+    if name == "edge_dp":
+        return EdgeDPConnectedComponents(epsilon=epsilon)
+    if name == "naive_node_dp":
+        return NaiveNodeDPConnectedComponents(
+            epsilon=epsilon, n_max=max(graph.number_of_vertices(), 1)
+        )
+    if name == "non_private":
+        return NonPrivateBaseline()
+    raise ValueError(f"unknown mechanism {name!r}")
+
+
+def _mechanism_factory(config: TrialConfig):
+    """`run_trial_batch` factory: the mechanism name rides in the
+    config's ``name`` slot (module-level so process pools can pickle)."""
+    return build_mechanism(config.name, config.epsilon, config.graph)
+
+
+def run_cell(cell: SweepCell, version: str = __version__) -> dict:
+    """Compute one cell from scratch and return its store record."""
+    graph_rng = np.random.default_rng(np.random.SeedSequence(cell.graph_seed))
+    graph = materialize_graph(cell, graph_rng)
+    config = TrialConfig(
+        graph=graph,
+        epsilon=cell.epsilon,
+        seed=cell.trial_seed,
+        n_trials=cell.n_trials,
+        name=cell.mechanism,
+    )
+    result = run_trial_batch(_mechanism_factory, [config])[0]
+    summary = result.summary
+    return {
+        "cell": cell.key_dict(),
+        "version": version,
+        "label": cell.label(),
+        "summary": {name: getattr(summary, name) for name in SUMMARY_FIELDS},
+        "errors": result.errors.tolist(),
+    }
+
+
+def _run_and_store(cell: SweepCell, store_root: str, version: str) -> dict:
+    """Pool worker: compute one cell and persist it before returning, so
+    durability does not depend on the parent surviving."""
+    record = run_cell(cell, version)
+    ResultStore(store_root).put(cell_key(cell, version), record)
+    return record
+
+
+# ----------------------------------------------------------------------
+# Sweep driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellResult:
+    """One cell's outcome within a sweep run."""
+
+    cell: SweepCell
+    record: dict
+    cached: bool
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one :func:`run_sweep` invocation."""
+
+    spec: SweepSpec
+    results: tuple[CellResult, ...]
+    n_cached: int
+    n_computed: int
+    n_pending: int
+
+    @property
+    def complete(self) -> bool:
+        return self.n_pending == 0
+
+    def to_report(self) -> ExperimentReport:
+        return _build_report(self.spec, self.results)
+
+    def summary_rows(self) -> list[list]:
+        """Rows matching :data:`CSV_HEADERS`, in cell order."""
+        rows = []
+        for item in self.results:
+            cell, summary = item.cell, item.record["summary"]
+            rows.append(
+                [cell.family, cell.n, cell.epsilon, cell.mechanism,
+                 cell.replicate]
+                + [summary[name] for name in SUMMARY_FIELDS]
+            )
+        return rows
+
+
+def _build_report(spec: SweepSpec, results) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id=spec.name,
+        description=spec.description or f"sweep of {spec.cell_count()} cells",
+        seed=spec.base_seed,
+    )
+    for item in results:
+        summary = item.record["summary"]
+        # Rebuild the metrics dict in canonical field order: records read
+        # back from the store arrive with sorted keys, and the report
+        # must be byte-identical either way.
+        report.add(
+            params=item.cell.key_dict(),
+            metrics={name: summary[name] for name in SUMMARY_FIELDS},
+        )
+    return report
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: ResultStore,
+    *,
+    max_workers: Optional[int] = None,
+    max_cells: Optional[int] = None,
+    version: str = __version__,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Run (or resume) a sweep against a result store.
+
+    Parameters
+    ----------
+    spec:
+        The declarative grid.  Expansion is deterministic, so calling
+        this repeatedly with the same spec and store converges: every
+        already-stored cell is reused, every missing cell is computed.
+    store:
+        Durable cell cache.  Completed cells are written atomically the
+        moment they finish, in the worker process itself when sharded.
+    max_workers:
+        ``None``/``1`` runs serially; larger values shard pending cells
+        across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+        Results are bit-identical for any width.
+    max_cells:
+        Compute at most this many *pending* cells, then return (cached
+        cells are always collected).  Useful for smoke runs and for
+        testing resume behaviour.
+    version:
+        Library version folded into cache keys; override only in tests.
+    progress:
+        ``progress(done, total, cell, cached)`` called once per cell.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    cells = spec.expand()
+    keys = [cell_key(cell, version) for cell in cells]
+
+    collected: dict[int, CellResult] = {}
+    pending: list[tuple[SweepCell, str]] = []
+    for cell, key in zip(cells, keys):
+        record = store.get(key)
+        if record is not None:
+            collected[cell.index] = CellResult(cell, record, cached=True)
+        else:
+            pending.append((cell, key))
+    n_cached = len(collected)
+
+    skipped = 0
+    if max_cells is not None:
+        if max_cells < 0:
+            raise ValueError(f"max_cells must be >= 0, got {max_cells}")
+        skipped = max(len(pending) - max_cells, 0)
+        pending = pending[:max_cells]
+
+    total = n_cached + len(pending)
+    done = n_cached
+    if progress is not None:
+        for step, index in enumerate(sorted(collected), start=1):
+            progress(step, total + skipped, collected[index].cell, True)
+
+    if pending and (
+        max_workers is None or max_workers == 1 or len(pending) == 1
+    ):
+        for cell, key in pending:
+            record = run_cell(cell, version)
+            store.put(key, record)
+            collected[cell.index] = CellResult(cell, record, cached=False)
+            done += 1
+            if progress is not None:
+                progress(done, total + skipped, cell, False)
+    elif pending:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_run_and_store, cell, store.root, version): cell
+                for cell, _ in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    cell = futures[future]
+                    record = future.result()  # re-raises worker errors
+                    collected[cell.index] = CellResult(
+                        cell, record, cached=False
+                    )
+                    done += 1
+                    if progress is not None:
+                        progress(done, total + skipped, cell, False)
+
+    ordered = tuple(collected[i] for i in sorted(collected))
+    return SweepResult(
+        spec=spec,
+        results=ordered,
+        n_cached=n_cached,
+        n_computed=len(collected) - n_cached,
+        n_pending=skipped,
+    )
+
+
+def report_from_store(
+    spec: SweepSpec,
+    store: ResultStore,
+    *,
+    version: str = __version__,
+) -> SweepResult:
+    """Assemble a :class:`SweepResult` purely from stored cells.
+
+    Never computes anything; cells missing from the store are counted in
+    ``n_pending`` so callers can refuse to publish partial reports.
+    """
+    collected: dict[int, CellResult] = {}
+    missing = 0
+    for cell in spec.expand():
+        record = store.get(cell_key(cell, version))
+        if record is None:
+            missing += 1
+        else:
+            collected[cell.index] = CellResult(cell, record, cached=True)
+    ordered = tuple(collected[i] for i in sorted(collected))
+    return SweepResult(
+        spec=spec,
+        results=ordered,
+        n_cached=len(ordered),
+        n_computed=0,
+        n_pending=missing,
+    )

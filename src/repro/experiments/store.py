@@ -1,0 +1,146 @@
+"""Content-addressed on-disk result store for sweep cells.
+
+Each completed :class:`~repro.experiments.config.SweepCell` is persisted
+as one small JSON file whose name is the SHA-256 of the cell's canonical
+identity (its :meth:`key_dict`) plus the library version.  Consequences:
+
+* a killed sweep resumes exactly where it stopped — completed cells are
+  found by key and never recomputed;
+* changing *anything* that affects the computation (epsilon, seeds,
+  trial count, graph parameters, or the library version) changes the
+  key, so stale results can never be silently reused;
+* two specs that share cells (same family/size/seed coordinates) share
+  storage automatically.
+
+Writes are atomic: the record is written to a temporary file in the
+destination directory, fsynced, then ``os.replace``-d into place, so a
+kill mid-write leaves either the old state or the new state, never a
+torn file.  Stray ``*.tmp`` files from a kill are ignored by readers
+and cleaned opportunistically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Iterator
+
+from .. import __version__
+from .config import SweepCell
+
+__all__ = ["ResultStore", "cell_key"]
+
+
+def cell_key(cell: SweepCell, version: str = __version__) -> str:
+    """The cell's content address: SHA-256 of identity + code version."""
+    payload = json.dumps(
+        {"cell": cell.key_dict(), "version": version},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A directory of content-addressed cell records.
+
+    Layout: ``root/<key[:2]>/<key>.json`` (fan-out keeps directories
+    small for multi-thousand-cell sweeps).
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def get(self, key: str) -> dict | None:
+        """Return the stored record for ``key``, or ``None``.
+
+        A torn/corrupt file (only possible if written by something other
+        than :meth:`put`) is treated as absent, so the cell is simply
+        recomputed rather than crashing the sweep.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            return None
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Iterate over all stored keys (sorted, for determinism)."""
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[: -len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clean_tmp(self, max_age_seconds: float = 3600.0) -> int:
+        """Remove stale ``*.tmp`` files left by a kill; return the count.
+
+        Only files older than ``max_age_seconds`` are touched: a fresh
+        ``.tmp`` may belong to another sweep process concurrently
+        writing to this store, and unlinking it mid-:meth:`put` would
+        make that writer's ``os.replace`` fail.
+        """
+        removed = 0
+        now = time.time()
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    if now - os.path.getmtime(path) >= max_age_seconds:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.root!r}, {len(self)} records)"

@@ -50,7 +50,14 @@ from .distance import (
     all_vertex_subsets,
     down_neighbor_pairs,
 )
-from .io import read_edge_list, write_edge_list, parse_edge_list, format_edge_list
+from .io import (
+    read_edge_list,
+    read_edge_list_auto,
+    write_edge_list,
+    parse_edge_list,
+    parse_edge_list_auto,
+    format_edge_list,
+)
 from . import generators
 from . import convert
 
@@ -100,8 +107,10 @@ __all__ = [
     "all_vertex_subsets",
     "down_neighbor_pairs",
     "read_edge_list",
+    "read_edge_list_auto",
     "write_edge_list",
     "parse_edge_list",
+    "parse_edge_list_auto",
     "format_edge_list",
     "generators",
     "convert",

@@ -9,16 +9,38 @@ A minimal, line-oriented text format:
   cannot represent).
 
 Vertex labels are read back as ``int`` when possible, otherwise ``str``.
+
+Paths ending in ``.gz`` are read and written through :mod:`gzip`
+transparently, so real-world compressed edge lists need no staging.
+
+Two parse targets:
+
+* :func:`read_edge_list` builds the reference object :class:`Graph`;
+* :func:`read_edge_list_auto` builds a
+  :class:`~repro.graphs.compact.CompactGraph` directly from endpoint
+  arrays when every label is an integer (the fast path the vectorized
+  kernels want), and falls back to the object graph for string labels.
 """
 
 from __future__ import annotations
 
+import gzip
 import os
-from typing import Iterable, TextIO
+from typing import IO, Iterable, Sequence, TextIO, Union
 
+import numpy as np
+
+from .compact import CompactGraph
 from .graph import Graph
 
-__all__ = ["read_edge_list", "write_edge_list", "parse_edge_list", "format_edge_list"]
+__all__ = [
+    "read_edge_list",
+    "read_edge_list_auto",
+    "write_edge_list",
+    "parse_edge_list",
+    "parse_edge_list_auto",
+    "format_edge_list",
+]
 
 
 def _parse_label(token: str):
@@ -26,6 +48,14 @@ def _parse_label(token: str):
         return int(token)
     except ValueError:
         return token
+
+
+def _open_text(path: str | os.PathLike, mode: str) -> IO[str]:
+    """Open a text handle; ``.gz`` paths go through gzip transparently."""
+    name = os.fspath(path)
+    if isinstance(name, str) and name.endswith(".gz"):
+        return gzip.open(name, mode + "t", encoding="utf-8")
+    return open(name, mode, encoding="utf-8")
 
 
 def parse_edge_list(lines: Iterable[str]) -> Graph:
@@ -47,31 +77,140 @@ def parse_edge_list(lines: Iterable[str]) -> Graph:
     return g
 
 
-def format_edge_list(graph: Graph) -> str:
-    """Serialize a graph to the edge-list format (deterministic order)."""
+class _NonIntegerLabel(Exception):
+    """Internal: the input has a label the compact fast path can't take."""
+
+
+def _parse_compact_lines(lines: Iterable[str]) -> CompactGraph:
+    """Single streaming pass building endpoint arrays from int tokens.
+
+    Raises :class:`_NonIntegerLabel` on the first non-integer label so
+    callers can fall back to the object-graph parser (re-reading the
+    input however suits them — a path-based caller re-opens the file
+    instead of buffering every line).
+    """
+    edges_u: list[int] = []
+    edges_v: list[int] = []
+    isolated: list[int] = []
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        if len(tokens) > 2:
+            raise ValueError(
+                f"line {line_number}: expected 1 or 2 tokens, "
+                f"got {len(tokens)}: {line!r}"
+            )
+        try:
+            if len(tokens) == 1:
+                isolated.append(int(tokens[0]))
+            else:
+                edges_u.append(int(tokens[0]))
+                edges_v.append(int(tokens[1]))
+        except ValueError:
+            raise _NonIntegerLabel from None
+    u = np.array(edges_u, dtype=np.int64)
+    v = np.array(edges_v, dtype=np.int64)
+    iso = np.array(isolated, dtype=np.int64)
+    labels = np.unique(np.concatenate([u, v, iso]))
+    n = int(labels.size)
+    if n == 0:
+        return CompactGraph.from_edge_arrays(0, u, v)
+    # unique() is sorted, so identity labelling <=> endpoints 0 and n-1.
+    if labels[0] == 0 and labels[-1] == n - 1:
+        return CompactGraph.from_edge_arrays(n, u, v)
+    return CompactGraph.from_edge_arrays(
+        n,
+        np.searchsorted(labels, u),
+        np.searchsorted(labels, v),
+        labels=labels.tolist(),
+    )
+
+
+def parse_edge_list_auto(
+    lines: Iterable[str],
+) -> Union[CompactGraph, Graph]:
+    """Parse into a :class:`CompactGraph` when all labels are integers.
+
+    Integer-labelled inputs (the overwhelmingly common case for large
+    graphs) go straight to endpoint arrays — no per-vertex Python
+    objects — so downstream statistics hit the vectorized kernels.
+    Vertices are the sorted distinct labels; when those are exactly
+    ``0..n-1`` no label table is kept.  Any non-integer token falls back
+    to the reference object :class:`Graph`, labels preserved.
+
+    The iterable is buffered to survive the fallback re-read; pass a
+    path to :func:`read_edge_list_auto` instead for a streaming parse
+    of large files.
+    """
+    lines = list(lines)
+    try:
+        return _parse_compact_lines(lines)
+    except _NonIntegerLabel:
+        return parse_edge_list(lines)
+
+
+def format_edge_list(graph: Union[Graph, CompactGraph]) -> str:
+    """Serialize a graph to the edge-list format (deterministic order).
+
+    Accepts both representations; compact graphs are emitted from their
+    arrays without materializing per-vertex objects.
+    """
     lines = [f"# vertices: {graph.number_of_vertices()}"]
     lines.append(f"# edges: {graph.number_of_edges()}")
-    isolated = [v for v in graph.vertices() if graph.degree(v) == 0]
-    for v in isolated:
-        lines.append(str(v))
-    for u, v in graph.edges():
-        lines.append(f"{u} {v}")
+    if isinstance(graph, CompactGraph):
+        labels: Sequence = graph.labels()
+        degrees = graph.degrees()
+        for i in np.nonzero(degrees == 0)[0].tolist():
+            lines.append(str(labels[i]))
+        u, v = graph.edge_arrays()
+        for a, b in zip(u.tolist(), v.tolist()):
+            lines.append(f"{labels[a]} {labels[b]}")
+    else:
+        isolated = [v for v in graph.vertices() if graph.degree(v) == 0]
+        for v in isolated:
+            lines.append(str(v))
+        for u, v in graph.edges():
+            lines.append(f"{u} {v}")
     return "\n".join(lines) + "\n"
 
 
 def read_edge_list(path: str | os.PathLike | TextIO) -> Graph:
-    """Read a graph from a path or an open text file."""
+    """Read a graph from a path (``.gz`` ok) or an open text file."""
     if hasattr(path, "read"):
         return parse_edge_list(path)  # type: ignore[arg-type]
-    with open(path, "r", encoding="utf-8") as handle:
+    with _open_text(path, "r") as handle:
         return parse_edge_list(handle)
 
 
-def write_edge_list(graph: Graph, path: str | os.PathLike | TextIO) -> None:
-    """Write a graph to a path or an open text file."""
+def read_edge_list_auto(
+    path: str | os.PathLike | TextIO,
+) -> Union[CompactGraph, Graph]:
+    """Read a graph, preferring the compact representation.
+
+    See :func:`parse_edge_list_auto` for the fallback rules.  Path
+    inputs stream line-by-line (the file is re-opened, not buffered, in
+    the rare string-label fallback), so peak memory on large
+    integer-labelled inputs is the endpoint arrays, not the text.
+    """
+    if hasattr(path, "read"):
+        return parse_edge_list_auto(path)  # type: ignore[arg-type]
+    try:
+        with _open_text(path, "r") as handle:
+            return _parse_compact_lines(handle)
+    except _NonIntegerLabel:
+        with _open_text(path, "r") as handle:
+            return parse_edge_list(handle)
+
+
+def write_edge_list(
+    graph: Union[Graph, CompactGraph], path: str | os.PathLike | TextIO
+) -> None:
+    """Write a graph to a path (``.gz`` ok) or an open text file."""
     text = format_edge_list(graph)
     if hasattr(path, "write"):
         path.write(text)  # type: ignore[union-attr]
         return
-    with open(path, "w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         handle.write(text)

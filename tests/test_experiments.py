@@ -1,0 +1,246 @@
+"""Tests for the sweep spec (config) and the content-addressed store."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.config import (
+    GraphGrid,
+    SweepSpec,
+    load_sweep_spec,
+)
+from repro.experiments.store import ResultStore, cell_key
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    base = dict(
+        name="tiny",
+        graphs=(
+            GraphGrid("er", (20, 30), (("c", 1.0),)),
+            GraphGrid("grid", (16,)),
+        ),
+        epsilons=(0.5, 1.0),
+        mechanisms=("edge_dp", "non_private"),
+        replicates=2,
+        n_trials=5,
+        base_seed=11,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestSpecExpansion:
+    def test_cell_count_matches_grid(self):
+        spec = tiny_spec()
+        cells = spec.expand()
+        assert len(cells) == spec.cell_count() == 3 * 2 * 2 * 2
+
+    def test_expansion_is_deterministic(self):
+        a = tiny_spec().expand()
+        b = tiny_spec().expand()
+        assert a == b
+        assert [c.index for c in a] == list(range(len(a)))
+
+    def test_graph_seed_paired_across_epsilon_and_mechanism(self):
+        by_coord = {}
+        for cell in tiny_spec().expand():
+            coord = (cell.family, cell.n, cell.replicate)
+            by_coord.setdefault(coord, set()).add(cell.graph_seed)
+        # One sampled graph per (family, size, replicate): every epsilon
+        # and mechanism variant shares it.
+        assert all(len(seeds) == 1 for seeds in by_coord.values())
+
+    def test_trial_seeds_unique_per_cell(self):
+        cells = tiny_spec().expand()
+        assert len({c.trial_seed for c in cells}) == len(cells)
+
+    def test_replicates_get_distinct_graphs(self):
+        seeds = {
+            (c.family, c.n, c.replicate): c.graph_seed
+            for c in tiny_spec().expand()
+        }
+        assert seeds[("er", 20, 0)] != seeds[("er", 20, 1)]
+
+    def test_base_seed_changes_everything(self):
+        a = tiny_spec().expand()
+        b = tiny_spec(base_seed=12).expand()
+        assert all(
+            x.graph_seed != y.graph_seed and x.trial_seed != y.trial_seed
+            for x, y in zip(a, b)
+        )
+
+    def test_index_not_part_of_identity(self):
+        cell = tiny_spec().expand()[5]
+        assert "index" not in cell.key_dict()
+
+
+class TestSpecValidation:
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown graph family"):
+            GraphGrid("smallworld", (10,))
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            tiny_spec(mechanisms=("magic",))
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            tiny_spec(epsilons=(0.0,))
+
+    def test_bad_replicates(self):
+        with pytest.raises(ValueError, match="replicates"):
+            tiny_spec(replicates=0)
+
+    def test_no_sizes(self):
+        with pytest.raises(ValueError, match="no sizes"):
+            GraphGrid("er", ())
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep keys"):
+            SweepSpec.from_dict({"name": "x", "graphz": []})
+
+
+class TestSpecSerialization:
+    def test_dict_roundtrip(self):
+        spec = tiny_spec()
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_load_json(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert load_sweep_spec(path) == spec
+
+    def test_load_toml(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "tiny"',
+                    "epsilons = [0.5, 1.0]",
+                    'mechanisms = ["edge_dp", "non_private"]',
+                    "replicates = 2",
+                    "n_trials = 5",
+                    "base_seed = 11",
+                    "[[graphs]]",
+                    'family = "er"',
+                    "sizes = [20, 30]",
+                    "[graphs.params]",
+                    "c = 1.0",
+                    "[[graphs]]",
+                    'family = "grid"',
+                    "sizes = [16]",
+                ]
+            )
+        )
+        assert load_sweep_spec(path) == tiny_spec()
+
+
+class TestStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cell = tiny_spec().expand()[0]
+        key = cell_key(cell)
+        assert key not in store
+        record = {"cell": cell.key_dict(), "summary": {"mean_abs_error": 1.5}}
+        store.put(key, record)
+        assert key in store
+        assert store.get(key) == record
+        assert len(store) == 1
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cell = tiny_spec().expand()[0]
+        store.put(cell_key(cell), {"x": 1})
+        leftovers = [
+            name
+            for _, _, files in os.walk(store.root)
+            for name in files
+            if not name.endswith(".json")
+        ]
+        assert leftovers == []
+
+    def test_corrupt_record_treated_as_missing(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cell = tiny_spec().expand()[0]
+        key = cell_key(cell)
+        store.put(key, {"x": 1})
+        with open(store.path_for(key), "w") as handle:
+            handle.write("{torn")
+        assert store.get(key) is None
+
+    def test_clean_tmp_removes_stale_only(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        shard = os.path.join(store.root, "ab")
+        os.makedirs(shard)
+        stale = os.path.join(shard, "dead.tmp")
+        fresh = os.path.join(shard, "live.tmp")
+        for path in (stale, fresh):
+            with open(path, "w") as handle:
+                handle.write("partial")
+        os.utime(stale, (0, 0))
+        # A fresh tmp may belong to a concurrent writer: left alone.
+        assert store.clean_tmp() == 1
+        assert os.listdir(shard) == ["live.tmp"]
+        assert store.clean_tmp(max_age_seconds=0.0) == 1
+        assert os.listdir(shard) == []
+
+    def test_keys_sorted_and_complete(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cells = tiny_spec().expand()[:5]
+        keys = sorted(cell_key(c) for c in cells)
+        for c in cells:
+            store.put(cell_key(c), {"i": c.index})
+        assert list(store.keys()) == keys
+
+
+class TestCacheKeys:
+    def test_key_stable(self):
+        cell = tiny_spec().expand()[0]
+        assert cell_key(cell) == cell_key(cell)
+
+    def test_key_changes_with_epsilon(self):
+        a = tiny_spec().expand()
+        b = tiny_spec(epsilons=(0.7, 1.0)).expand()
+        assert cell_key(a[0]) != cell_key(b[0])
+
+    def test_key_changes_with_n_trials(self):
+        a = tiny_spec().expand()[0]
+        b = tiny_spec(n_trials=6).expand()[0]
+        assert cell_key(a) != cell_key(b)
+
+    def test_key_changes_with_version(self):
+        cell = tiny_spec().expand()[0]
+        assert cell_key(cell, "1.0.0") != cell_key(cell, "1.0.1")
+
+    def test_key_changes_with_base_seed(self):
+        a = tiny_spec().expand()[0]
+        b = tiny_spec(base_seed=99).expand()[0]
+        assert cell_key(a) != cell_key(b)
+
+    def test_key_independent_of_param_value_type(self):
+        # (("trees", 5),) built in code and {"trees": 5.0} loaded from
+        # JSON are the same grid: identical seeds and store keys.
+        int_params = tiny_spec(
+            graphs=(GraphGrid("forest", (20,), (("trees", 3),)),)
+        ).expand()
+        float_params = tiny_spec(
+            graphs=(
+                GraphGrid.from_dict(
+                    {"family": "forest", "sizes": [20], "params": {"trees": 3.0}}
+                ),
+            )
+        ).expand()
+        assert [cell_key(c) for c in int_params] == [
+            cell_key(c) for c in float_params
+        ]
+
+    def test_key_ignores_grid_position(self):
+        # The same cell reached through a reordered grid keeps its key:
+        # identity is content, not position.
+        a = tiny_spec(epsilons=(0.5, 1.0)).expand()
+        b = tiny_spec(epsilons=(1.0, 0.5)).expand()
+        keys_a = {cell_key(c) for c in a}
+        keys_b = {cell_key(c) for c in b}
+        assert keys_a == keys_b

@@ -1,0 +1,192 @@
+"""CLI smoke tests for ``repro sweep`` / ``resume`` / ``report`` and the
+compact-engine ``generate`` path."""
+
+import csv
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.report import ExperimentReport
+from repro.graphs.io import read_edge_list
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "cli-sweep",
+                "description": "CLI smoke sweep",
+                "graphs": [
+                    {"family": "er", "sizes": [20], "params": {"c": 1.0}},
+                    {"family": "grid", "sizes": [16]},
+                ],
+                "epsilons": [0.5, 1.0],
+                "mechanisms": ["edge_dp"],
+                "replicates": 2,
+                "n_trials": 4,
+                "base_seed": 9,
+            }
+        )
+    )
+    return str(path)
+
+
+class TestSweepCommand:
+    def test_sweep_writes_report_and_csv(self, tmp_path, spec_file, capsys):
+        report = tmp_path / "out" / "report.json"
+        table = tmp_path / "out" / "table.csv"
+        code = main(
+            ["sweep", "--spec", spec_file, "--store", str(tmp_path / "store"),
+             "--report", str(report), "--csv", str(table), "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 of 8 cells done" in out
+        data = ExperimentReport.read(report)
+        assert data["experiment_id"] == "cli-sweep"
+        assert len(data["records"]) == 8
+        with open(table) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "family"
+        assert len(rows) == 9
+
+    def test_sweep_then_resume_recomputes_nothing(
+        self, tmp_path, spec_file, capsys
+    ):
+        store = str(tmp_path / "store")
+        main(["sweep", "--spec", spec_file, "--store", store, "--quiet",
+              "--max-cells", "3"])
+        capsys.readouterr()
+        code = main(["resume", "--spec", spec_file, "--store", store, "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(3 cached, 5 computed, 0 pending)" in out
+
+    def test_resume_on_empty_store_fails(self, tmp_path, spec_file, capsys):
+        code = main(
+            ["resume", "--spec", spec_file, "--store", str(tmp_path / "none"),
+             "--quiet"]
+        )
+        assert code == 1
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_bad_spec_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x"}')
+        code = main(
+            ["sweep", "--spec", str(bad), "--store", str(tmp_path / "s")]
+        )
+        assert code == 1
+        assert "bad sweep spec" in capsys.readouterr().err
+
+    def test_progress_lines_on_stderr(self, tmp_path, spec_file, capsys):
+        main(["sweep", "--spec", spec_file, "--store", str(tmp_path / "store")])
+        err = capsys.readouterr().err
+        assert "computed" in err and "[8/8]" in err
+
+
+class TestReportCommand:
+    def test_report_from_complete_store(self, tmp_path, spec_file, capsys):
+        store = str(tmp_path / "store")
+        main(["sweep", "--spec", spec_file, "--store", store, "--quiet"])
+        capsys.readouterr()
+        report = tmp_path / "report.json"
+        code = main(
+            ["report", "--spec", spec_file, "--store", store,
+             "--report", str(report), "--table"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 missing" in out
+        assert "mean_abs_error" in out  # the --table output
+        assert len(ExperimentReport.read(report)["records"]) == 8
+
+    def test_partial_store_refused_without_flag(
+        self, tmp_path, spec_file, capsys
+    ):
+        store = str(tmp_path / "store")
+        main(["sweep", "--spec", spec_file, "--store", store, "--quiet",
+              "--max-cells", "2"])
+        capsys.readouterr()
+        code = main(["report", "--spec", spec_file, "--store", store])
+        assert code == 1
+        assert "missing from the store" in capsys.readouterr().err
+
+    def test_partial_store_allowed_with_flag(self, tmp_path, spec_file, capsys):
+        store = str(tmp_path / "store")
+        main(["sweep", "--spec", spec_file, "--store", store, "--quiet",
+              "--max-cells", "2"])
+        capsys.readouterr()
+        report = tmp_path / "partial.json"
+        code = main(
+            ["report", "--spec", spec_file, "--store", store,
+             "--allow-partial", "--report", str(report)]
+        )
+        assert code == 0
+        assert len(ExperimentReport.read(report)["records"]) == 2
+
+    def test_report_identical_to_sweep_report(self, tmp_path, spec_file, capsys):
+        store = str(tmp_path / "store")
+        sweep_report = tmp_path / "sweep.json.out"
+        main(["sweep", "--spec", spec_file, "--store", store, "--quiet",
+              "--report", str(sweep_report)])
+        assemble_report = tmp_path / "assemble.json.out"
+        main(["report", "--spec", spec_file, "--store", store,
+              "--report", str(assemble_report)])
+        assert sweep_report.read_bytes() == assemble_report.read_bytes()
+
+
+class TestCompactGenerate:
+    def test_er_compact_roundtrips(self, tmp_path, capsys):
+        out = tmp_path / "er.edges"
+        code = main(
+            ["generate", "--family", "er", "--n", "500", "--p", "0.004",
+             "--seed", "1", "--engine", "compact", "--output", str(out)]
+        )
+        assert code == 0
+        graph = read_edge_list(out)
+        assert graph.number_of_vertices() == 500
+
+    def test_grid_compact_matches_object(self, tmp_path, capsys):
+        compact_out = tmp_path / "grid_compact.edges"
+        object_out = tmp_path / "grid_object.edges"
+        main(["generate", "--family", "grid", "--n", "16", "--seed", "1",
+              "--engine", "compact", "--output", str(compact_out)])
+        main(["generate", "--family", "grid", "--n", "16", "--seed", "1",
+              "--output", str(object_out)])
+        assert read_edge_list(compact_out) == read_edge_list(object_out)
+
+    def test_unsupported_family_fails(self, tmp_path, capsys):
+        code = main(
+            ["generate", "--family", "tree", "--n", "10", "--engine",
+             "compact", "--output", str(tmp_path / "t.edges")]
+        )
+        assert code == 1
+        assert "er and grid" in capsys.readouterr().err
+
+    def test_gzip_output_pipeline(self, tmp_path, capsys):
+        out = tmp_path / "g.edges.gz"
+        main(["generate", "--family", "er", "--n", "200", "--p", "0.01",
+              "--seed", "3", "--engine", "compact", "--output", str(out)])
+        assert out.read_bytes()[:2] == b"\x1f\x8b"
+        assert main(["stats", "--input", str(out)]) == 0
+        assert "vertices:                 200" in capsys.readouterr().out
+
+
+class TestCompactFastPathCLI:
+    def test_stats_on_string_labels_still_works(self, tmp_path, capsys):
+        path = tmp_path / "named.edges"
+        path.write_text("alice bob\ncarol\n")
+        assert main(["stats", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:                 3" in out
+        assert "connected components:     2" in out
+
+    def test_count_on_compact_input(self, tmp_path, capsys):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n2 3\n4\n")
+        assert main(["count", "--input", path.as_posix(), "--seed", "7"]) == 0
+        assert "private estimate" in capsys.readouterr().out

@@ -1,0 +1,233 @@
+"""Tests for the sharded sweep runner: resume, caching, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import runner as runner_module
+from repro.experiments.config import GraphGrid, SweepSpec
+from repro.experiments.runner import (
+    build_mechanism,
+    materialize_graph,
+    report_from_store,
+    run_cell,
+    run_sweep,
+)
+from repro.experiments.store import ResultStore, cell_key
+from repro.graphs.compact import CompactGraph
+from repro.graphs.components import number_of_connected_components
+
+
+def cheap_spec(**overrides) -> SweepSpec:
+    base = dict(
+        name="runner-test",
+        graphs=(
+            GraphGrid("er", (20,), (("c", 1.0),)),
+            GraphGrid("planted", (24,), (("components", 3.0),)),
+        ),
+        epsilons=(0.5, 1.0),
+        mechanisms=("edge_dp", "naive_node_dp"),
+        replicates=2,
+        n_trials=6,
+        base_seed=5,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestMaterialize:
+    @pytest.mark.parametrize(
+        "family,params",
+        [
+            ("er", (("c", 1.0),)),
+            ("grid", ()),
+            ("path", ()),
+            ("tree", ()),
+            ("forest", (("trees", 3.0),)),
+            ("geometric", (("radius", 0.2),)),
+            ("planted", (("components", 3.0),)),
+            ("star", ()),
+        ],
+    )
+    def test_every_family_materializes(self, family, params):
+        spec = cheap_spec(graphs=(GraphGrid(family, (16,), params),))
+        cell = spec.expand()[0]
+        rng = np.random.default_rng(0)
+        graph = materialize_graph(cell, rng)
+        assert graph.number_of_vertices() >= 1
+
+    def test_deterministic_given_seed(self):
+        cell = cheap_spec().expand()[0]
+        a = materialize_graph(
+            cell, np.random.default_rng(np.random.SeedSequence(cell.graph_seed))
+        )
+        b = materialize_graph(
+            cell, np.random.default_rng(np.random.SeedSequence(cell.graph_seed))
+        )
+        assert isinstance(a, CompactGraph)
+        assert a == b
+
+    def test_er_uses_compact_representation(self):
+        cell = cheap_spec().expand()[0]
+        graph = materialize_graph(cell, np.random.default_rng(0))
+        assert isinstance(graph, CompactGraph)
+
+
+class TestMechanisms:
+    @pytest.mark.parametrize(
+        "name", ["private_cc", "edge_dp", "naive_node_dp", "non_private"]
+    )
+    def test_release_works(self, name):
+        cell = cheap_spec().expand()[0]
+        graph = materialize_graph(cell, np.random.default_rng(0))
+        mechanism = build_mechanism(name, 1.0, graph)
+        rng = np.random.default_rng(1)
+        release = mechanism.release(graph, rng)
+        value = release.value if hasattr(release, "value") else release
+        assert np.isfinite(float(value))
+
+    def test_non_private_is_exact(self):
+        cell = cheap_spec().expand()[0]
+        graph = materialize_graph(cell, np.random.default_rng(0))
+        mechanism = build_mechanism("non_private", 1.0, graph)
+        value = mechanism.release(graph, np.random.default_rng(1))
+        assert value == number_of_connected_components(graph)
+
+
+class TestRunSweep:
+    def test_full_run_stores_every_cell(self, tmp_path):
+        spec = cheap_spec()
+        store = ResultStore(tmp_path / "store")
+        result = run_sweep(spec, store)
+        assert result.complete
+        assert result.n_computed == spec.cell_count()
+        assert len(store) == spec.cell_count()
+
+    def test_rerun_recomputes_nothing(self, tmp_path, monkeypatch):
+        spec = cheap_spec()
+        store = ResultStore(tmp_path / "store")
+        first = run_sweep(spec, store)
+
+        def boom(cell, version):  # pragma: no cover - must not run
+            raise AssertionError(f"recomputed stored cell {cell.label()}")
+
+        monkeypatch.setattr(runner_module, "run_cell", boom)
+        second = run_sweep(spec, store)
+        assert second.n_computed == 0
+        assert second.n_cached == spec.cell_count()
+        assert second.to_report().to_json() == first.to_report().to_json()
+
+    def test_resume_after_partial_run(self, tmp_path):
+        spec = cheap_spec()
+        interrupted = ResultStore(tmp_path / "interrupted")
+        partial = run_sweep(spec, interrupted, max_cells=5)
+        assert partial.n_computed == 5
+        assert partial.n_pending == spec.cell_count() - 5
+        assert not partial.complete
+
+        resumed = run_sweep(spec, interrupted)
+        assert resumed.n_cached == 5
+        assert resumed.n_computed == spec.cell_count() - 5
+
+        # Byte-identical to an uninterrupted run in a fresh store.
+        clean = run_sweep(spec, ResultStore(tmp_path / "clean"))
+        assert resumed.to_report().to_json() == clean.to_report().to_json()
+
+    def test_shard_count_does_not_change_results(self, tmp_path):
+        spec = cheap_spec()
+        serial = run_sweep(spec, ResultStore(tmp_path / "serial"))
+        sharded = run_sweep(
+            spec, ResultStore(tmp_path / "sharded"), max_workers=3
+        )
+        assert sharded.to_report().to_json() == serial.to_report().to_json()
+        assert sharded.n_computed == spec.cell_count()
+
+    def test_version_change_invalidates_cache(self, tmp_path):
+        spec = cheap_spec()
+        store = ResultStore(tmp_path / "store")
+        run_sweep(spec, store, version="0.0.1")
+        rerun = run_sweep(spec, store, version="0.0.2")
+        assert rerun.n_cached == 0
+        assert rerun.n_computed == spec.cell_count()
+
+    def test_spec_change_only_recomputes_new_cells(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_sweep(cheap_spec(), store)
+        grown = cheap_spec(epsilons=(0.5, 1.0, 2.0))
+        result = run_sweep(grown, store)
+        # Content-addressed seeds: the original 16 cells are reused, only
+        # the epsilon=2.0 slice is new.
+        assert result.n_cached == cheap_spec().cell_count()
+        assert result.n_computed == grown.cell_count() - cheap_spec().cell_count()
+
+    def test_progress_callback_sees_every_cell(self, tmp_path):
+        spec = cheap_spec()
+        seen = []
+        run_sweep(
+            spec,
+            ResultStore(tmp_path / "store"),
+            progress=lambda done, total, cell, cached: seen.append(
+                (done, total, cell.index, cached)
+            ),
+        )
+        assert len(seen) == spec.cell_count()
+        assert all(not cached for _, _, _, cached in seen)
+        assert seen[-1][0] == spec.cell_count()
+
+    def test_errors_persist_in_store(self, tmp_path):
+        spec = cheap_spec()
+        store = ResultStore(tmp_path / "store")
+        run_sweep(spec, store)
+        cell = spec.expand()[0]
+        record = store.get(cell_key(cell))
+        assert len(record["errors"]) == spec.n_trials
+        assert record["summary"]["n_trials"] == spec.n_trials
+
+
+class TestRunCell:
+    def test_record_shape(self):
+        cell = cheap_spec().expand()[0]
+        record = run_cell(cell)
+        assert record["cell"] == cell.key_dict()
+        assert set(record["summary"]) == set(runner_module.SUMMARY_FIELDS)
+        assert record["label"] == cell.label()
+
+    def test_deterministic(self):
+        cell = cheap_spec().expand()[0]
+        assert run_cell(cell) == run_cell(cell)
+
+    def test_private_cc_cell_runs(self):
+        spec = cheap_spec(
+            graphs=(GraphGrid("er", (15,), (("c", 1.0),)),),
+            mechanisms=("private_cc",),
+            epsilons=(1.0,),
+            replicates=1,
+            n_trials=3,
+        )
+        record = run_cell(spec.expand()[0])
+        assert np.isfinite(record["summary"]["mean_abs_error"])
+
+
+class TestReportFromStore:
+    def test_missing_cells_counted(self, tmp_path):
+        spec = cheap_spec()
+        store = ResultStore(tmp_path / "store")
+        run_sweep(spec, store, max_cells=3)
+        result = report_from_store(spec, store)
+        assert result.n_cached == 3
+        assert result.n_pending == spec.cell_count() - 3
+        assert result.n_computed == 0
+
+    def test_report_matches_run(self, tmp_path):
+        spec = cheap_spec()
+        store = ResultStore(tmp_path / "store")
+        live = run_sweep(spec, store)
+        stored = report_from_store(spec, store)
+        assert stored.to_report().to_json() == live.to_report().to_json()
+
+    def test_csv_rows_align_with_headers(self, tmp_path):
+        spec = cheap_spec()
+        store = ResultStore(tmp_path / "store")
+        result = run_sweep(spec, store)
+        rows = result.summary_rows()
+        assert len(rows) == spec.cell_count()
+        assert all(len(row) == len(runner_module.CSV_HEADERS) for row in rows)

@@ -9,10 +9,13 @@ from hypothesis import given
 from repro.graphs.convert import from_networkx, to_networkx
 from repro.graphs.generators import empty_graph, path_graph, star_plus_isolated
 from repro.graphs.graph import Graph
+from repro.graphs.compact import CompactGraph
 from repro.graphs.io import (
     format_edge_list,
     parse_edge_list,
+    parse_edge_list_auto,
     read_edge_list,
+    read_edge_list_auto,
     write_edge_list,
 )
 
@@ -60,6 +63,87 @@ class TestRoundTrip:
         write_edge_list(g, buffer)
         buffer.seek(0)
         assert read_edge_list(buffer) == g
+
+
+class TestAutoParse:
+    def test_int_labels_give_compact(self):
+        g = parse_edge_list_auto(["# c", "0 1", "2", "1 3"])
+        assert isinstance(g, CompactGraph)
+        assert g.number_of_vertices() == 4
+        assert g.has_edge(0, 1) and g.has_edge(1, 3)
+        assert g.degree(2) == 0
+
+    def test_string_labels_fall_back_to_object(self):
+        g = parse_edge_list_auto(["alice bob", "3"])
+        assert isinstance(g, Graph)
+        assert g.has_edge("alice", "bob")
+
+    def test_sparse_int_labels_keep_label_table(self):
+        g = parse_edge_list_auto(["10 20", "30"])
+        assert isinstance(g, CompactGraph)
+        assert sorted(g.labels()) == [10, 20, 30]
+        assert g.has_edge(g.index_of(10), g.index_of(20))
+
+    def test_too_many_tokens(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_edge_list_auto(["0 1 2"])
+
+    def test_empty(self):
+        g = parse_edge_list_auto([])
+        assert isinstance(g, CompactGraph)
+        assert g.number_of_vertices() == 0
+
+    @given(small_graphs())
+    def test_agrees_with_object_parse(self, g):
+        text = format_edge_list(g)
+        auto = parse_edge_list_auto(text.splitlines())
+        reference = parse_edge_list(text.splitlines())
+        assert isinstance(auto, CompactGraph)
+        assert auto.to_graph() == reference
+
+    def test_file_roundtrip(self, tmp_path):
+        g = star_plus_isolated(2, 3)
+        path = tmp_path / "graph.edges"
+        write_edge_list(g, path)
+        auto = read_edge_list_auto(path)
+        assert isinstance(auto, CompactGraph)
+        assert auto.to_graph() == g
+
+
+class TestGzip:
+    def test_roundtrip_object(self, tmp_path):
+        g = star_plus_isolated(3, 2)
+        path = tmp_path / "graph.edges.gz"
+        write_edge_list(g, path)
+        # The file really is gzip, not plain text.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert read_edge_list(path) == g
+
+    def test_roundtrip_auto(self, tmp_path):
+        g = path_graph(5)
+        path = tmp_path / "graph.edges.gz"
+        write_edge_list(g, path)
+        auto = read_edge_list_auto(path)
+        assert isinstance(auto, CompactGraph)
+        assert auto.to_graph() == g
+
+
+class TestCompactFormat:
+    def test_write_compact_matches_object(self, tmp_path):
+        g = star_plus_isolated(3, 2)
+        compact = CompactGraph.from_graph(g)
+        assert parse_edge_list(
+            format_edge_list(compact).splitlines()
+        ) == g
+
+    def test_compact_roundtrip_with_labels(self):
+        g = Graph()
+        g.add_edge(10, 30)
+        g.add_vertex(20)
+        compact = CompactGraph.from_graph(g)
+        parsed = parse_edge_list_auto(format_edge_list(compact).splitlines())
+        assert isinstance(parsed, CompactGraph)
+        assert parsed.to_graph() == g
 
 
 class TestNetworkxConvert:
