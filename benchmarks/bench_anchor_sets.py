@@ -13,7 +13,6 @@ Regenerates the anchor-set claims as tables:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.down_sensitivity import down_sensitivity_spanning_forest
 from repro.core.extension import evaluate_lipschitz_extension

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from itertools import combinations
 
-import numpy as np
 
 from repro.core.down_sensitivity import (
     down_sensitivity_brute_force,

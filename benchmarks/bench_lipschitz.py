@@ -8,7 +8,6 @@ directions of Lemma 3.3's Lipschitzness proof).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.extension import evaluate_lipschitz_extension
 from repro.graphs.generators import empty_graph, erdos_renyi, with_hub

@@ -11,7 +11,6 @@ design choice called out in DESIGN.md.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.algorithm import PrivateSpanningForestSize
 from repro.core.bounds import theorem_1_3_bound

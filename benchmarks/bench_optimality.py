@@ -13,7 +13,6 @@ shatters ``S`` into at least ``|X|(Δ−2)+2`` components.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.optimal_extension import check_theorem_1_11
 from repro.graphs.components import number_of_connected_components

@@ -8,7 +8,6 @@ that forces a repair.  Also reports the repair-count cost measure.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.graphs.forests import (
     forest_max_degree,

@@ -13,6 +13,13 @@ Run:  PYTHONPATH=src python examples/sweep_paper_figures.py
 Equivalent CLI:
       python -m repro sweep --spec <spec.json> --store <dir> \
           --report report.json --csv table.csv
+
+Graph families: beyond the `er`/`grid`/`planted` grid below, the sweep
+layer now drives every Section 1.1.4 random model compact-natively —
+`geometric` (param `radius`), `sbm` (params `blocks`, `p_in`/`c_in`,
+`p_out`/`c_out`), and `ba` (param `m`) all sample straight into the
+CSR kernel, and the whole private pipeline stays array-native, so grids
+at n = 1e5–1e6 are practical; see `examples/specs/sweep_largen.json`.
 """
 
 import argparse

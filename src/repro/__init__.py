@@ -66,7 +66,11 @@ from .graphs import (
     write_edge_list,
 )
 
-__version__ = "1.1.0"
+# Bumped whenever cell semantics change: the result store folds the
+# version into its content-addressed keys, so stored sweeps are never
+# silently reused across releases that sample or compute differently
+# (1.2.0: geometric/planted cells now draw from the compact samplers).
+__version__ = "1.2.0"
 
 from .core import (
     SpanningForestExtension,

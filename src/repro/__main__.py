@@ -72,7 +72,17 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--family",
         required=True,
-        choices=["er", "geometric", "tree", "forest", "grid", "star", "planted"],
+        choices=[
+            "er",
+            "geometric",
+            "tree",
+            "forest",
+            "grid",
+            "star",
+            "planted",
+            "sbm",
+            "ba",
+        ],
     )
     generate.add_argument("--n", type=int, required=True)
     generate.add_argument("--p", type=float, default=0.1, help="edge probability (er)")
@@ -81,13 +91,26 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--components", type=int, default=5, help="planted component count"
     )
+    generate.add_argument(
+        "--blocks", type=int, default=4, help="block count (sbm)"
+    )
+    generate.add_argument(
+        "--p-in", type=float, default=0.05, help="within-block probability (sbm)"
+    )
+    generate.add_argument(
+        "--p-out", type=float, default=0.001, help="cross-block probability (sbm)"
+    )
+    generate.add_argument(
+        "--m", type=int, default=2, help="attachments per vertex (ba)"
+    )
     generate.add_argument("--seed", type=int, default=None)
     generate.add_argument(
         "--engine",
         choices=["object", "compact"],
         default="object",
-        help="compact = vectorized array sampling (er/grid only); "
-        "needed for n >= 1e5, where the object path's O(n*m) walk stalls",
+        help="compact = vectorized array sampling straight into the CSR "
+        "kernel (er, grid, geometric, planted, sbm, ba); needed for "
+        "n >= 1e5, where the object path's per-pair walk stalls",
     )
     generate.add_argument("--output", required=True, help="output path (.gz ok)")
 
@@ -127,7 +150,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+_COMPACT_FAMILIES = ("er", "grid", "geometric", "planted", "sbm", "ba")
+
+
+def _sbm_inputs(args: argparse.Namespace) -> tuple[list[int], list[list[float]]]:
+    k = max(args.blocks, 1)
+    sizes = [max(args.n // k, 1)] * k
+    p_matrix = [
+        [args.p_in if a == b else args.p_out for b in range(k)] for a in range(k)
+    ]
+    return sizes, p_matrix
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
+    try:
+        return _cmd_generate_inner(args)
+    except ValueError as exc:
+        # Invalid family parameters (e.g. ba with n < m + 1) fail loudly
+        # rather than writing a graph whose size does not match --n.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_generate_inner(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     if args.engine == "compact":
         if args.family == "er":
@@ -135,10 +180,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         elif args.family == "grid":
             side = max(int(round(args.n**0.5)), 1)
             graph = generators.grid_graph_compact(side, side)
+        elif args.family == "geometric":
+            graph = generators.random_geometric_graph_compact(
+                args.n, args.radius, rng
+            )
+        elif args.family == "planted":
+            base = max(args.n // args.components, 1)
+            graph = generators.planted_components_compact(
+                [base] * args.components, 0.3, rng
+            )
+        elif args.family == "sbm":
+            sizes, p_matrix = _sbm_inputs(args)
+            graph = generators.stochastic_block_model_compact(
+                sizes, p_matrix, rng
+            )
+        elif args.family == "ba":
+            graph = generators.barabasi_albert_compact(args.n, args.m, rng)
         else:
+            supported = ", ".join(_COMPACT_FAMILIES)
             print(
-                f"error: --engine compact supports families er and grid, "
-                f"not {args.family!r}",
+                f"error: --engine compact supports families {supported}; "
+                f"{args.family!r} has no vectorized sampler yet — "
+                "rerun with --engine object",
                 file=sys.stderr,
             )
             return 1
@@ -159,6 +222,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         base = max(args.n // args.components, 1)
         sizes = [base] * args.components
         graph = generators.planted_components(sizes, 0.3, rng)
+    elif args.family == "sbm":
+        sizes, p_matrix = _sbm_inputs(args)
+        graph = generators.stochastic_block_model(sizes, p_matrix, rng)
+    elif args.family == "ba":
+        graph = generators.barabasi_albert(args.n, args.m, rng)
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.family)
     write_edge_list(graph, args.output)

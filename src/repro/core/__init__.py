@@ -1,6 +1,11 @@
 """Core: the paper's contribution — Lipschitz extensions and Algorithm 1."""
 
-from .extension import SpanningForestExtension, evaluate_lipschitz_extension
+from .extension import (
+    CompactSpanningForestExtension,
+    SpanningForestExtension,
+    evaluate_lipschitz_extension,
+    extension_for,
+)
 from .algorithm import (
     PrivateSpanningForestSize,
     PrivateConnectedComponents,
@@ -41,6 +46,8 @@ from .baselines import (
 
 __all__ = [
     "SpanningForestExtension",
+    "CompactSpanningForestExtension",
+    "extension_for",
     "evaluate_lipschitz_extension",
     "PrivateSpanningForestSize",
     "PrivateConnectedComponents",

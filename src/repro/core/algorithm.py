@@ -34,9 +34,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..graphs.compact import as_object_graph
 from ..graphs.components import spanning_forest_size
-from ..graphs.graph import Graph
 from ..mechanisms.accountant import PrivacyAccountant
 from ..mechanisms.gem import (
     GEMResult,
@@ -44,7 +42,7 @@ from ..mechanisms.gem import (
     power_of_two_grid,
 )
 from ..mechanisms.laplace import LaplaceMechanism, laplace_noise
-from .extension import SpanningForestExtension
+from .extension import extension_for
 
 __all__ = [
     "SpanningForestRelease",
@@ -151,13 +149,7 @@ class PrivateSpanningForestSize:
     use_fast_paths: bool = True
     separation_tolerance: float = 1e-7
     max_rounds: int = 60
-    _cached_extension: Optional[SpanningForestExtension] = field(
-        init=False, repr=False, default=None, compare=False
-    )
-    _cached_source: Optional[object] = field(
-        init=False, repr=False, default=None, compare=False
-    )
-    _cached_object_graph: Optional[Graph] = field(
+    _cached_extension: Optional[object] = field(
         init=False, repr=False, default=None, compare=False
     )
 
@@ -171,23 +163,12 @@ class PrivateSpanningForestSize:
         if self.beta is not None and not 0 < self.beta < 1:
             raise ValueError(f"beta must be in (0, 1), got {self.beta}")
 
-    def _object_graph(self, graph) -> Graph:
-        """Coerce a :class:`CompactGraph` input to the reference
-        representation the LP/extension machinery needs, memoizing the
-        conversion so repeated releases on the same compact graph keep
-        the extension cache warm."""
-        if isinstance(graph, Graph):
-            return graph
-        if self._cached_source is graph and self._cached_object_graph is not None:
-            return self._cached_object_graph
-        converted = as_object_graph(graph)
-        self._cached_source = graph
-        self._cached_object_graph = converted
-        return converted
-
-    def _extension_for(self, graph: Graph) -> SpanningForestExtension:
+    def _extension_for(self, graph):
         """Return a (cached) extension family bound to ``graph``.
 
+        Object graphs get :class:`~repro.core.extension.SpanningForestExtension`;
+        :class:`~repro.graphs.compact.CompactGraph` inputs get the
+        compact-native front end — no object-graph round trip anywhere.
         The extension values ``f_Δ(G)`` are deterministic, so repeated
         releases on the *same graph object* reuse one evaluation cache.
         Graphs are treated as immutable once released against.
@@ -195,7 +176,7 @@ class PrivateSpanningForestSize:
         cached = self._cached_extension
         if cached is not None and cached.graph is graph:
             return cached
-        extension = SpanningForestExtension(
+        extension = extension_for(
             graph,
             use_fast_paths=self.use_fast_paths,
             separation_tolerance=self.separation_tolerance,
@@ -204,13 +185,12 @@ class PrivateSpanningForestSize:
         self._cached_extension = extension
         return extension
 
-    def release(self, graph: Graph, rng: np.random.Generator) -> SpanningForestRelease:
+    def release(self, graph, rng: np.random.Generator) -> SpanningForestRelease:
         """Run Algorithm 1 once and return the release with diagnostics.
 
-        Accepts either graph representation; compact inputs are
-        converted once and memoized.
+        Accepts either graph representation natively; compact inputs run
+        the whole pipeline on the array kernels.
         """
-        graph = self._object_graph(graph)
         n = graph.number_of_vertices()
         if n == 0:
             raise ValueError("graph must have at least one vertex")
@@ -224,10 +204,19 @@ class PrivateSpanningForestSize:
         true_fsf = extension.true_value
         candidates = power_of_two_grid(max(delta_max, 1))
 
+        # One shared-work pass over the whole grid: the extension reuses
+        # its component split, Algorithm-3 certificates and LP solves
+        # across every candidate instead of recomputing per Δ.
+        grid_values = extension.values_for_grid(candidates)
+        q_by_candidate = {
+            float(c): max(true_fsf - grid_values[i], 0.0) + c / epsilon_noise
+            for i, c in enumerate(candidates)
+        }
+
         def q_function(delta: float) -> float:
             # err proxy of Equation (7), with the noise budget actually
             # used for the final Laplace release.
-            return extension.gap(delta) + delta / epsilon_noise
+            return q_by_candidate[float(delta)]
 
         gem_result = generalized_exponential_mechanism(
             candidates, q_function, epsilon_select, beta, rng
@@ -235,7 +224,9 @@ class PrivateSpanningForestSize:
         accountant.spend(epsilon_select, "gem selection")
 
         delta_hat = gem_result.selected
-        extension_value = extension.value(delta_hat)
+        # list.index compares with ==, so the float delta_hat matches its
+        # (possibly int) grid candidate without any truncation.
+        extension_value = float(grid_values[candidates.index(delta_hat)])
         scale = delta_hat / epsilon_noise
         value = extension_value + laplace_noise(scale, rng)
         accountant.spend(epsilon_noise, "laplace release")
@@ -301,9 +292,14 @@ class PrivateConnectedComponents:
         )
 
     def release(
-        self, graph: Graph, rng: np.random.Generator
+        self, graph, rng: np.random.Generator
     ) -> ConnectedComponentsRelease:
-        """Release a private estimate of ``f_cc(G)``."""
+        """Release a private estimate of ``f_cc(G)``.
+
+        Accepts either a :class:`~repro.graphs.graph.Graph` or a
+        :class:`~repro.graphs.compact.CompactGraph`; compact inputs stay
+        on the array kernels end to end.
+        """
         n = graph.number_of_vertices()
         if n == 0:
             raise ValueError("graph must have at least one vertex")

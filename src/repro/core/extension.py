@@ -1,8 +1,22 @@
 """The Lipschitz-extension family ``{f_Δ}`` for the spanning-forest size.
 
-Wraps the forest-polytope LP (:mod:`repro.lp.forest_lp`) in a cached,
-graph-bound object implementing Algorithm 2 (``EvalLipschitzExtension``)
-for a whole family of Δ values, as Algorithm 1 / Algorithm 4 require.
+Implements Algorithm 2 (``EvalLipschitzExtension``) for a whole family
+of Δ values, as Algorithm 1 / Algorithm 4 require, in two front ends
+that share one component-wise evaluation engine:
+
+* :class:`SpanningForestExtension` — bound to a reference object
+  :class:`~repro.graphs.graph.Graph`;
+* :class:`CompactSpanningForestExtension` — bound to an array-backed
+  :class:`~repro.graphs.compact.CompactGraph`, with the component
+  split, degree scan and exactness test done as vectorized kernel work
+  shared across every Δ in the candidate grid, and **zero object-graph
+  coercion** anywhere on the path.
+
+Both front ends take identical per-component decisions (max-degree
+check, Algorithm-3 repair at ⌊Δ⌋ with monotone memoization, then the
+shared int-native LP core of :mod:`repro.lp.forest_core`), so for
+int-indexed graphs the two produce bit-identical values — the property
+the compact-vs-reference differential tests pin.
 
 Lemma 3.3 properties (all verified by the test suite):
 
@@ -15,11 +29,26 @@ Lemma 3.3 properties (all verified by the test suite):
 
 from __future__ import annotations
 
-from ..graphs.components import spanning_forest_size
-from ..graphs.graph import Graph
-from ..lp.forest_lp import ForestLPResult, forest_polytope_value
+from typing import Optional, Sequence
 
-__all__ = ["SpanningForestExtension", "evaluate_lipschitz_extension"]
+import numpy as np
+
+from ..graphs.compact import CompactGraph
+from ..graphs.components import connected_components, spanning_forest_size
+from ..graphs.graph import Graph
+from ..lp.forest_core import EXACT_THRESHOLD, solve_component
+from ..lp.forest_lp import (
+    ForestLPResult,
+    canonical_component_arrays,
+    forest_polytope_value,
+)
+
+__all__ = [
+    "SpanningForestExtension",
+    "CompactSpanningForestExtension",
+    "extension_for",
+    "evaluate_lipschitz_extension",
+]
 
 
 def evaluate_lipschitz_extension(graph: Graph, delta: float, **lp_options) -> float:
@@ -31,8 +60,180 @@ def evaluate_lipschitz_extension(graph: Graph, delta: float, **lp_options) -> fl
     return forest_polytope_value(graph, delta, **lp_options).value
 
 
-class SpanningForestExtension:
-    """The family ``{f_Δ}_{Δ > 0}`` bound to one input graph, with caching.
+class _ComponentwiseExtension:
+    """Shared engine: per-component evaluation with monotone memoization.
+
+    Subclasses populate, in :meth:`_prepare` (idempotent, lazy):
+
+    * ``self._sizes`` / ``self._maxdeg`` — int64 arrays over the
+      edge-bearing components;
+
+    and implement ``_component_arrays(i) -> (n, u, v)`` — the canonical
+    local index arrays handed to the shared LP core.  Algorithm-3 repair
+    runs on a :class:`CompactGraph` built from those same arrays for
+    *both* front ends, so the success/failure decision (and hence every
+    released value) is identical by construction regardless of the input
+    representation.
+
+    Per-component bookkeeping exploits monotonicity: a spanning
+    ⌊Δ⌋-forest certifies exactness for every Δ' ≥ ⌊Δ⌋ (``_exact_from``),
+    and a failed repair at a given cap is never retried.  Values are
+    cached per Δ at both the component and the graph level.
+    """
+
+    def __init__(
+        self,
+        *,
+        use_fast_paths: bool = True,
+        separation_tolerance: float = 1e-7,
+        max_rounds: int = 200,
+        exact_threshold: int = EXACT_THRESHOLD,
+        cg_max_iterations: int = 120,
+        assume_half_integral: bool = True,
+    ) -> None:
+        self._use_fast_paths = use_fast_paths
+        self._separation_tolerance = separation_tolerance
+        self._max_rounds = max_rounds
+        self._exact_threshold = exact_threshold
+        self._cg_max_iterations = cg_max_iterations
+        self._assume_half_integral = assume_half_integral
+        self._prepared = False
+        self._sizes = np.zeros(0, dtype=np.int64)
+        self._maxdeg = np.zeros(0, dtype=np.int64)
+        self._exact_from: np.ndarray = np.zeros(0)
+        self._repair_failed: list[set[int]] = []
+        self._lp_cache: list[dict[float, float]] = []
+        self._compact_cache: list[Optional[CompactGraph]] = []
+        self._value_cache: dict[float, float] = {}
+        self._true_fsf = 0
+
+    # -- subclass interface -------------------------------------------------
+    def _prepare(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _component_arrays(
+        self, i: int
+    ) -> tuple[int, np.ndarray, np.ndarray]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _finish_prepare(self, sizes, maxdeg) -> None:
+        """Install the per-component tables (called by subclasses)."""
+        self._sizes = np.asarray(sizes, dtype=np.int64)
+        self._maxdeg = np.asarray(maxdeg, dtype=np.int64)
+        self._exact_from = np.full(self._sizes.size, np.inf)
+        self._repair_failed = [set() for _ in range(self._sizes.size)]
+        self._lp_cache = [{} for _ in range(self._sizes.size)]
+        self._compact_cache: list[Optional[CompactGraph]] = [
+            None
+        ] * self._sizes.size
+        self._prepared = True
+
+    def _component_graph(self, i: int) -> CompactGraph:
+        """Component ``i`` as a (cached) local-index :class:`CompactGraph`."""
+        cached = self._compact_cache[i]
+        if cached is None:
+            n, u, v = self._component_arrays(i)
+            cached = CompactGraph.from_edge_arrays(n, u, v)
+            self._compact_cache[i] = cached
+        return cached
+
+    def _attempt_repair(self, i: int, floor_delta: int) -> bool:
+        """Algorithm 3 at cap ``floor_delta`` on the canonical component.
+
+        Runs on the local-index compact kernel for both front ends so the
+        decision is representation-independent.
+        """
+        return (
+            self._component_graph(i).repair_spanning_forest(floor_delta).forest
+            is not None
+        )
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def true_value(self) -> int:
+        """The exact (non-private) ``f_sf(G)``."""
+        return self._true_fsf
+
+    def value(self, delta: float) -> float:
+        """Return ``f_Δ(G)``."""
+        key = float(delta)
+        if key <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        cached = self._value_cache.get(key)
+        if cached is not None:
+            return cached
+        if not self._prepared:
+            self._prepare()
+        if self._sizes.size == 0:
+            total = 0.0
+        else:
+            exact = (self._maxdeg <= key) | (self._exact_from <= key)
+            total = float((self._sizes[exact] - 1).sum())
+            for i in np.nonzero(~exact)[0].tolist():
+                total += self._component_value(i, key)
+        self._value_cache[key] = total
+        return total
+
+    def values_for_grid(self, candidates: Sequence[float]) -> np.ndarray:
+        """Evaluate ``f_Δ`` for a whole candidate grid in one pass.
+
+        Candidates are processed ascending so that every Algorithm-3
+        success at a small cap certifies all larger candidates for its
+        component (the forest work is shared, never recomputed per Δ);
+        the returned array follows the input order.
+        """
+        order = np.argsort(np.asarray(candidates, dtype=float), kind="stable")
+        values = np.empty(len(candidates))
+        for pos in order.tolist():
+            values[pos] = self.value(candidates[pos])
+        return values
+
+    def gap(self, delta: float) -> float:
+        """Return the approximation gap ``f_sf(G) − f_Δ(G) ≥ 0``."""
+        return max(self._true_fsf - self.value(delta), 0.0)
+
+    def is_exact_at(self, delta: float, tolerance: float = 1e-6) -> bool:
+        """Return ``True`` if ``f_Δ(G) = f_sf(G)`` (G is in the anchor set
+        ``S_Δ``), up to numerical tolerance."""
+        return self.gap(delta) <= tolerance
+
+    def evaluated_deltas(self) -> list[float]:
+        """Δ values whose values are currently cached (ascending)."""
+        return sorted(self._value_cache)
+
+    # -- engine internals ---------------------------------------------------
+    def _component_value(self, i: int, delta: float) -> float:
+        cached = self._lp_cache[i].get(delta)
+        if cached is not None:
+            return cached
+        if self._use_fast_paths:
+            floor_delta = int(delta)
+            if floor_delta >= 1 and floor_delta not in self._repair_failed[i]:
+                if self._attempt_repair(i, floor_delta):
+                    self._exact_from[i] = min(
+                        self._exact_from[i], float(floor_delta)
+                    )
+                    return float(self._sizes[i] - 1)
+                self._repair_failed[i].add(floor_delta)
+        n, u, v = self._component_arrays(i)
+        core = solve_component(
+            n,
+            u,
+            v,
+            delta,
+            separation_tolerance=self._separation_tolerance,
+            max_rounds=self._max_rounds,
+            exact_threshold=self._exact_threshold,
+            cg_max_iterations=self._cg_max_iterations,
+            assume_half_integral=self._assume_half_integral,
+            use_fast_paths=self._use_fast_paths,
+        )
+        self._lp_cache[i][delta] = core.value
+        return core.value
+
+
+class SpanningForestExtension(_ComponentwiseExtension):
+    """The family ``{f_Δ}_{Δ > 0}`` bound to one object graph, with caching.
 
     Parameters
     ----------
@@ -62,50 +263,153 @@ class SpanningForestExtension:
         use_fast_paths: bool = True,
         separation_tolerance: float = 1e-7,
         max_rounds: int = 200,
+        exact_threshold: int = EXACT_THRESHOLD,
+        cg_max_iterations: int = 120,
+        assume_half_integral: bool = True,
     ) -> None:
+        super().__init__(
+            use_fast_paths=use_fast_paths,
+            separation_tolerance=separation_tolerance,
+            max_rounds=max_rounds,
+            exact_threshold=exact_threshold,
+            cg_max_iterations=cg_max_iterations,
+            assume_half_integral=assume_half_integral,
+        )
         self._graph = graph
-        self._use_fast_paths = use_fast_paths
-        self._separation_tolerance = separation_tolerance
-        self._max_rounds = max_rounds
-        self._cache: dict[float, ForestLPResult] = {}
         self._true_fsf = spanning_forest_size(graph)
+        self._components: list[Graph] = []
+        self._arrays: list[Optional[tuple[int, np.ndarray, np.ndarray]]] = []
+        self._result_cache: dict[float, ForestLPResult] = {}
 
     @property
     def graph(self) -> Graph:
         """The bound input graph."""
         return self._graph
 
-    @property
-    def true_value(self) -> int:
-        """The exact (non-private) ``f_sf(G)``."""
-        return self._true_fsf
+    def _prepare(self) -> None:
+        sizes: list[int] = []
+        maxdeg: list[int] = []
+        for members in connected_components(self._graph):
+            sub = self._graph.induced_subgraph(members)
+            if sub.number_of_edges() == 0:
+                continue
+            self._components.append(sub)
+            sizes.append(sub.number_of_vertices())
+            maxdeg.append(sub.max_degree())
+        self._arrays = [None] * len(self._components)
+        self._finish_prepare(sizes, maxdeg)
+
+    def _component_arrays(self, i: int) -> tuple[int, np.ndarray, np.ndarray]:
+        cached = self._arrays[i]
+        if cached is None:
+            component = self._components[i]
+            _, u, v = canonical_component_arrays(component)
+            cached = (component.number_of_vertices(), u, v)
+            self._arrays[i] = cached
+        return cached
 
     def result(self, delta: float) -> ForestLPResult:
-        """Full LP result for ``f_Δ(G)`` (cached per Δ)."""
+        """Full LP result for ``f_Δ(G)`` (cached per Δ).
+
+        Diagnostic companion to :meth:`value`: re-evaluates through
+        :func:`forest_polytope_value` to materialize a feasible point
+        ``x``; the scalar value may differ from :meth:`value` by solver
+        round-off on components resolved by different strategies.
+        """
         key = float(delta)
-        if key not in self._cache:
-            self._cache[key] = forest_polytope_value(
+        if key not in self._result_cache:
+            self._result_cache[key] = forest_polytope_value(
                 self._graph,
                 key,
                 use_fast_paths=self._use_fast_paths,
                 separation_tolerance=self._separation_tolerance,
                 max_rounds=self._max_rounds,
             )
-        return self._cache[key]
+        return self._result_cache[key]
 
-    def value(self, delta: float) -> float:
-        """Return ``f_Δ(G)``."""
-        return self.result(delta).value
 
-    def gap(self, delta: float) -> float:
-        """Return the approximation gap ``f_sf(G) − f_Δ(G) ≥ 0``."""
-        return max(self._true_fsf - self.value(delta), 0.0)
+class CompactSpanningForestExtension(_ComponentwiseExtension):
+    """``{f_Δ}`` bound to a :class:`CompactGraph` — the fast pipeline.
 
-    def is_exact_at(self, delta: float, tolerance: float = 1e-6) -> bool:
-        """Return ``True`` if ``f_Δ(G) = f_sf(G)`` (G is in the anchor set
-        ``S_Δ``), up to numerical tolerance."""
-        return self.gap(delta) <= tolerance
+    The shared kernel pass runs once, entirely on int arrays: component
+    labels (Shiloach–Vishkin union-find), degree table, per-component
+    vertex and edge slices (grouped by a stable argsort over component
+    roots), and the local reindexing used by both Algorithm 3 and the
+    LP core.  Every Δ in the grid then reuses that work: exactness for
+    ``Δ ≥ maxdeg`` is a vectorized mask, Algorithm-3 certificates are
+    shared monotonically across candidates, and only the (typically few)
+    stubborn components reach the LP core.  No object :class:`Graph` is
+    ever materialized.
+    """
 
-    def evaluated_deltas(self) -> list[float]:
-        """Δ values whose results are currently cached (ascending)."""
-        return sorted(self._cache)
+    def __init__(
+        self,
+        graph: CompactGraph,
+        *,
+        use_fast_paths: bool = True,
+        separation_tolerance: float = 1e-7,
+        max_rounds: int = 200,
+        exact_threshold: int = EXACT_THRESHOLD,
+        cg_max_iterations: int = 120,
+        assume_half_integral: bool = True,
+    ) -> None:
+        super().__init__(
+            use_fast_paths=use_fast_paths,
+            separation_tolerance=separation_tolerance,
+            max_rounds=max_rounds,
+            exact_threshold=exact_threshold,
+            cg_max_iterations=cg_max_iterations,
+            assume_half_integral=assume_half_integral,
+        )
+        self._graph = graph
+        self._true_fsf = graph.spanning_forest_size()
+        self._edges: list[tuple[int, np.ndarray, np.ndarray]] = []
+
+    @property
+    def graph(self) -> CompactGraph:
+        """The bound input graph."""
+        return self._graph
+
+    def _prepare(self) -> None:
+        graph = self._graph
+        u, v = graph.edge_arrays()
+        sizes: list[int] = []
+        maxdeg: list[int] = []
+        if u.size:
+            labels = graph.component_labels()
+            degrees = graph.degrees()
+            edge_root = labels[u]
+            edge_order = np.argsort(edge_root, kind="stable")
+            eu, ev = u[edge_order], v[edge_order]
+            sorted_roots = edge_root[edge_order]
+            cuts = np.nonzero(np.diff(sorted_roots))[0] + 1
+            starts = np.concatenate([[0], cuts, [eu.size]])
+            # Vertex slices per component, grouped by the same roots.
+            vertex_order = np.argsort(labels, kind="stable")
+            vroots = labels[vertex_order]
+            vcuts = np.nonzero(np.diff(vroots))[0] + 1
+            vstarts = np.concatenate([[0], vcuts, [vroots.size]])
+            vgroup_roots = vroots[vstarts[:-1]]
+            for g in range(starts.size - 1):
+                lo, hi = int(starts[g]), int(starts[g + 1])
+                root = int(sorted_roots[lo])
+                vg = int(np.searchsorted(vgroup_roots, root))
+                verts = vertex_order[vstarts[vg] : vstarts[vg + 1]]
+                verts = np.sort(verts)
+                lu = np.searchsorted(verts, eu[lo:hi])
+                lv = np.searchsorted(verts, ev[lo:hi])
+                order = np.lexsort((lv, lu))
+                self._edges.append((int(verts.size), lu[order], lv[order]))
+                sizes.append(int(verts.size))
+                maxdeg.append(int(degrees[verts].max()))
+        self._finish_prepare(sizes, maxdeg)
+
+    def _component_arrays(self, i: int) -> tuple[int, np.ndarray, np.ndarray]:
+        return self._edges[i]
+
+
+def extension_for(graph, **options):
+    """Build the extension front end matching the graph representation."""
+    if isinstance(graph, CompactGraph):
+        return CompactSpanningForestExtension(graph, **options)
+    return SpanningForestExtension(graph, **options)

@@ -42,9 +42,23 @@ import numpy as np
 __all__ = ["GraphGrid", "SweepCell", "SweepSpec", "load_sweep_spec"]
 
 # Families the runner knows how to materialize; kept here (as data) so a
-# spec fails at load time, not hours into a sweep.
+# spec fails at load time, not hours into a sweep.  "er", "grid", "path",
+# "geometric", "planted", "sbm" and "ba" are fully compact-native
+# (vectorized sampling straight into CompactGraph), covering every
+# Section 1.1.4 random model at n = 1e5..1e6.
 KNOWN_FAMILIES = frozenset(
-    {"er", "grid", "path", "tree", "forest", "geometric", "planted", "star"}
+    {
+        "er",
+        "grid",
+        "path",
+        "tree",
+        "forest",
+        "geometric",
+        "planted",
+        "star",
+        "sbm",
+        "ba",
+    }
 )
 
 # Mechanism variants the runner can build; see runner.MECHANISMS.

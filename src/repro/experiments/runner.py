@@ -95,15 +95,32 @@ def materialize_graph(cell: SweepCell, rng: np.random.Generator):
         trees = int(params.get("trees", 5))
         return generators.random_forest(n, min(trees, n), rng)
     if family == "geometric":
-        return generators.random_geometric_graph(
+        return generators.random_geometric_graph_compact(
             n, params.get("radius", 0.1), rng
         )
     if family == "planted":
         k = max(int(params.get("components", 5)), 1)
         sizes = [max(n // k, 1)] * k
-        return generators.planted_components(
+        return generators.planted_components_compact(
             sizes, params.get("internal_p", 0.3), rng
         )
+    if family == "sbm":
+        k = max(int(params.get("blocks", 4)), 1)
+        p_in = params.get("p_in", params.get("c_in", 2.0) / max(n, 1))
+        p_out = params.get("p_out", params.get("c_out", 0.1) / max(n, 1))
+        sizes = [max(n // k, 1)] * k
+        p_matrix = [
+            [min(p_in if a == b else p_out, 1.0) for b in range(k)]
+            for a in range(k)
+        ]
+        return generators.stochastic_block_model_compact(sizes, p_matrix, rng)
+    if family == "ba":
+        attach = max(int(params.get("m", 2)), 1)
+        if n < attach + 1:
+            raise ValueError(
+                f"family 'ba' needs n >= m + 1, got n={n}, m={attach}"
+            )
+        return generators.barabasi_albert_compact(n, attach, rng)
     if family == "star":
         return generators.star_graph(max(n - 1, 1))
     raise ValueError(f"unknown graph family {family!r}")

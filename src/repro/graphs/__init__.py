@@ -6,7 +6,14 @@ from scratch (networkx appears only in optional converters and tests).
 
 from .graph import Graph, Vertex, Edge, canonical_edge
 from .union_find import UnionFind
-from .compact import CompactGraph, CompactRepairResult, as_compact, as_object_graph
+from .compact import (
+    CompactGraph,
+    CompactRepairResult,
+    as_compact,
+    as_object_graph,
+    forbid_object_coercion,
+    object_coercion_count,
+)
 from .independent_set import mis_of_adjacency
 from .components import (
     connected_components,
@@ -71,6 +78,8 @@ __all__ = [
     "CompactRepairResult",
     "as_compact",
     "as_object_graph",
+    "forbid_object_coercion",
+    "object_coercion_count",
     "mis_of_adjacency",
     "connected_components",
     "component_of",

@@ -32,6 +32,7 @@ calls here when handed a :class:`CompactGraph`.  Differential tests in
 from __future__ import annotations
 
 import heapq
+from contextlib import contextmanager
 from itertools import combinations
 from typing import Iterable, Iterator, NamedTuple, Optional, Sequence
 
@@ -40,7 +41,53 @@ import numpy as np
 from .graph import Graph, Vertex
 from .independent_set import mis_of_adjacency
 
-__all__ = ["CompactGraph", "CompactRepairResult", "as_compact", "as_object_graph"]
+__all__ = [
+    "CompactGraph",
+    "CompactRepairResult",
+    "as_compact",
+    "as_object_graph",
+    "object_coercion_count",
+    "forbid_object_coercion",
+]
+
+# Telemetry for the compact-native pipeline: every conversion of a
+# CompactGraph back to the reference object Graph bumps this counter.
+# Tests and benchmarks snapshot it around a compact run to *prove* the
+# fast path never silently falls back to the object representation.
+_object_coercions = 0
+_coercion_forbidden = False
+
+
+def object_coercion_count() -> int:
+    """Number of ``CompactGraph -> Graph`` conversions so far (process-wide)."""
+    return _object_coercions
+
+
+@contextmanager
+def forbid_object_coercion():
+    """Context manager that makes any compact→object conversion raise.
+
+    Used by tests and benchmarks as a hard guard that a code path is
+    compact-native end to end.
+    """
+    global _coercion_forbidden
+    previous = _coercion_forbidden
+    _coercion_forbidden = True
+    try:
+        yield
+    finally:
+        _coercion_forbidden = previous
+
+
+def _record_coercion() -> None:
+    global _object_coercions
+    if _coercion_forbidden:
+        raise RuntimeError(
+            "CompactGraph was coerced to an object Graph inside a "
+            "forbid_object_coercion() block — a compact-native path "
+            "fell back to the reference representation"
+        )
+    _object_coercions += 1
 
 
 class CompactRepairResult(NamedTuple):
@@ -188,7 +235,13 @@ class CompactGraph:
         )
 
     def to_graph(self) -> Graph:
-        """Convert back to a reference :class:`Graph` (original labels)."""
+        """Convert back to a reference :class:`Graph` (original labels).
+
+        Counted by :func:`object_coercion_count` (and rejected inside
+        :func:`forbid_object_coercion` blocks) so compact-native paths
+        can prove they never round-trip through the object graph.
+        """
+        _record_coercion()
         g = Graph(vertices=self._label_iter())
         label = self.label_of
         u, v = self.edge_arrays()

@@ -33,7 +33,7 @@ object generator's O(n·m) pair walking.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -65,6 +65,10 @@ __all__ = [
     "erdos_renyi_compact",
     "grid_graph_compact",
     "path_graph_compact",
+    "stochastic_block_model_compact",
+    "barabasi_albert_compact",
+    "random_geometric_graph_compact",
+    "planted_components_compact",
 ]
 
 
@@ -247,9 +251,13 @@ def erdos_renyi(n: int, p: float, rng: np.random.Generator) -> Graph:
     log1p = math.log1p(-p)
     while True:
         u = rng.random()
-        # Geometric jump >= 1; guard against u == 0.
-        jump = 1 + int(math.log(max(u, 1e-300)) / log1p)
-        index += jump
+        # Geometric jump >= 1; guard against u == 0, and against the
+        # subnormal-p regime where the ratio overflows to infinity (any
+        # such jump lands past the last pair index anyway).
+        raw = math.log(max(u, 1e-300)) / log1p
+        if raw >= total_pairs:
+            break
+        index += 1 + int(raw)
         if index >= total_pairs:
             break
         g.add_edge(*_pair_from_index(index, n))
@@ -483,28 +491,51 @@ def erdos_renyi_compact(
     """
     _check_size(n)
     _check_probability(p)
-    total_pairs = n * (n - 1) // 2
     empty = np.empty(0, dtype=np.int64)
     if p == 0 or n < 2:
         return CompactGraph.from_edge_arrays(n, empty, empty)
     if p == 1:
         i, j = np.triu_indices(n, k=1)
         return CompactGraph.from_edge_arrays(n, i, j)
+    selected = _sample_pair_indices(n * (n - 1) // 2, p, rng)
+    i, j = _pairs_from_indices(selected, n)
+    return CompactGraph.from_edge_arrays(n, i, j)
+
+
+def _sample_pair_indices(
+    total_pairs: int, p: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample each index in ``[0, total_pairs)`` independently w.p. ``p``.
+
+    Batched geometric skip-sampling: successive selected indices differ
+    by ``Geometric(p)`` jumps drawn in vectorized batches sized by the
+    expected remaining count.  Shared by every Bernoulli-edge compact
+    generator (ER, SBM blocks, planted blobs).  Requires ``0 < p < 1``.
+
+    For extremely small ``p`` a single geometric draw can exceed the
+    int64 range (numpy reports it as a non-positive value); such jumps
+    — and any cumulative-sum overflow — necessarily land past
+    ``total_pairs``, so the sweep simply stops there.
+    """
     chunks: list[np.ndarray] = []
-    position = -1  # last selected linear pair index
+    position = -1  # last selected linear index
     while True:
         expected = (total_pairs - position) * p
         batch = max(1024, int(1.1 * expected + 5.0 * math.sqrt(expected + 1)))
         jumps = rng.geometric(p, size=batch).astype(np.int64)
+        overflowed = np.nonzero(jumps <= 0)[0]
+        if overflowed.size:
+            jumps = jumps[: overflowed[0]]
         steps = position + np.cumsum(jumps)
-        inside = steps < total_pairs
-        chunks.append(steps[inside])
-        if not inside.all():
+        stop = np.nonzero((steps < 0) | (steps >= total_pairs))[0]
+        if stop.size:
+            chunks.append(steps[: stop[0]])
+            break
+        chunks.append(steps)
+        if overflowed.size or steps.size == 0:
             break
         position = int(steps[-1])
-    selected = np.concatenate(chunks)
-    i, j = _pairs_from_indices(selected, n)
-    return CompactGraph.from_edge_arrays(n, i, j)
+    return np.concatenate(chunks)
 
 
 def _pairs_from_indices(
@@ -557,6 +588,259 @@ def path_graph_compact(n: int) -> CompactGraph:
     _check_size(n)
     steps = np.arange(max(n - 1, 0), dtype=np.int64)
     return CompactGraph.from_edge_arrays(n, steps, steps + 1)
+
+
+def stochastic_block_model_compact(
+    sizes: Sequence[int],
+    p_matrix: Sequence[Sequence[float]],
+    rng: np.random.Generator,
+) -> CompactGraph:
+    """Vectorized stochastic block model as a :class:`CompactGraph`.
+
+    Same model as :func:`stochastic_block_model`: within-block pairs use
+    triangular skip-sampling (shared with :func:`erdos_renyi_compact`),
+    cross-block pairs rectangular skip-sampling, so the cost is O(m)
+    array work.  The two generators draw from the RNG differently, so
+    the same seed gives the same *distribution*, not the same graph.
+    """
+    k = len(sizes)
+    if len(p_matrix) != k or any(len(row) != k for row in p_matrix):
+        raise ValueError("p_matrix must be k x k for k blocks")
+    offsets = [0]
+    for size in sizes:
+        _check_size(size)
+        offsets.append(offsets[-1] + size)
+    n = offsets[-1]
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    for a in range(k):
+        for b in range(a, k):
+            p = p_matrix[a][b]
+            _check_probability(p)
+            if p == 0:
+                continue
+            if a == b:
+                na = sizes[a]
+                if na < 2:
+                    continue
+                total = na * (na - 1) // 2
+                if p == 1:
+                    i, j = np.triu_indices(na, k=1)
+                    i = i.astype(np.int64)
+                    j = j.astype(np.int64)
+                else:
+                    idx = _sample_pair_indices(total, p, rng)
+                    i, j = _pairs_from_indices(idx, na)
+                us.append(i + offsets[a])
+                vs.append(j + offsets[a])
+            else:
+                na, nb = sizes[a], sizes[b]
+                total = na * nb
+                if total == 0:
+                    continue
+                if p == 1:
+                    idx = np.arange(total, dtype=np.int64)
+                else:
+                    idx = _sample_pair_indices(total, p, rng)
+                us.append(idx // nb + offsets[a])
+                vs.append(idx % nb + offsets[b])
+    if us:
+        u = np.concatenate(us)
+        v = np.concatenate(vs)
+    else:
+        u = v = np.empty(0, dtype=np.int64)
+    return CompactGraph.from_edge_arrays(n, u, v)
+
+
+def barabasi_albert_compact(
+    n: int, m: int, rng: np.random.Generator
+) -> CompactGraph:
+    """Vectorized Barabási–Albert graph as a :class:`CompactGraph`.
+
+    Same preferential-attachment scheme as :func:`barabasi_albert`
+    (repeated-endpoints sampling; each new vertex draws ``m`` distinct
+    targets), with the target pool kept in a preallocated int array and
+    candidate picks drawn in vectorized batches.  Exactly ``m·(n − m)``
+    edges, every vertex of positive degree.
+    """
+    _check_size(n)
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if n < m + 1:
+        raise ValueError(f"need n >= m + 1, got n={n}, m={m}")
+    total_edges = m * (n - m)
+    edge_u = np.empty(total_edges, dtype=np.int64)
+    edge_v = np.empty(total_edges, dtype=np.int64)
+    # Degree-proportional pool: every edge contributes both endpoints.
+    # As in the object generator, the seed vertices 0..m-1 are the
+    # targets only of the *first* arriving vertex; from then on the pool
+    # holds exactly the edge endpoints, so a vertex's pool weight equals
+    # its degree.
+    pool = np.empty(2 * total_edges, dtype=np.int64)
+    pool_len = 0
+    filled = 0
+    for v in range(m, n):
+        if pool_len == 0:
+            targets = list(range(m))
+        else:
+            chosen: set[int] = set()
+            while len(chosen) < m:
+                need = m - len(chosen)
+                picks = pool[rng.integers(0, pool_len, size=2 * need)]
+                for target in picks.tolist():
+                    if len(chosen) == m:
+                        break
+                    chosen.add(int(target))
+            targets = sorted(chosen)
+        lo, hi = filled, filled + m
+        edge_u[lo:hi] = targets
+        edge_v[lo:hi] = v
+        pool[pool_len : pool_len + m] = targets
+        pool[pool_len + m : pool_len + 2 * m] = v
+        pool_len += 2 * m
+        filled = hi
+    return CompactGraph.from_edge_arrays(n, edge_u, edge_v)
+
+
+def random_geometric_graph_compact(
+    n: int,
+    radius: float,
+    rng: np.random.Generator,
+    return_positions: bool = False,
+    *,
+    positions: Optional[np.ndarray] = None,
+):
+    """Vectorized random geometric graph as a :class:`CompactGraph`.
+
+    Same model as :func:`random_geometric_graph` — ``n`` uniform points
+    in the unit square, edges at Euclidean distance ≤ ``radius`` — with
+    the grid-bucket neighbor search done entirely with sorting and
+    group-join array operations.  Pass ``positions`` (an ``(n, 2)``
+    array) to skip sampling; with identical positions the edge set is
+    identical to the object generator's, which is what the differential
+    tests pin.
+
+    Returns the graph, or ``(graph, positions)`` if ``return_positions``.
+    """
+    _check_size(n)
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if positions is None:
+        positions = rng.random((n, 2))
+    else:
+        positions = np.asarray(positions, dtype=float)
+        if positions.shape != (n, 2):
+            raise ValueError(
+                f"positions must have shape ({n}, 2), got {positions.shape}"
+            )
+    empty = np.empty(0, dtype=np.int64)
+    if n < 2 or radius <= 0:
+        graph = CompactGraph.from_edge_arrays(n, empty, empty)
+        return (graph, positions) if return_positions else graph
+    cell = max(radius, 1e-9)
+    cx = (positions[:, 0] / cell).astype(np.int64)
+    cy = (positions[:, 1] / cell).astype(np.int64)
+    span = int(cy.max()) + 2
+    cid = cx * span + cy
+    order = np.argsort(cid, kind="stable")
+    sorted_cid = cid[order]
+    unique_cells, group_start = np.unique(sorted_cid, return_index=True)
+    group_end = np.append(group_start[1:], sorted_cid.size)
+
+    r2 = radius * radius
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+
+    def _keep_close(i_idx: np.ndarray, j_idx: np.ndarray) -> None:
+        if i_idx.size == 0:
+            return
+        d = positions[i_idx] - positions[j_idx]
+        close = d[:, 0] ** 2 + d[:, 1] ** 2 <= r2
+        us.append(i_idx[close])
+        vs.append(j_idx[close])
+
+    # Within-cell pairs: for each position p in a group, pair with the
+    # later positions of the same group (p < q avoids double counting).
+    sizes = group_end - group_start
+    counts = np.repeat(sizes, sizes) - (
+        np.arange(sorted_cid.size) - np.repeat(group_start, sizes)
+    ) - 1
+    first = np.repeat(np.arange(sorted_cid.size), counts)
+    offset = np.arange(counts.sum()) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    second = first + 1 + offset
+    _keep_close(order[first], order[second])
+
+    # Cross-cell pairs against the four forward neighbor offsets.
+    for dx, dy in ((1, 0), (0, 1), (1, 1), (1, -1)):
+        neighbor_cid = (cx + dx) * span + (cy + dy)
+        group = np.searchsorted(unique_cells, neighbor_cid)
+        group = np.clip(group, 0, unique_cells.size - 1)
+        present = unique_cells[group] == neighbor_cid
+        points = np.nonzero(present)[0]
+        if points.size == 0:
+            continue
+        g = group[points]
+        counts = group_end[g] - group_start[g]
+        left = np.repeat(points, counts)
+        offset = np.arange(counts.sum()) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        right = order[np.repeat(group_start[g], counts) + offset]
+        _keep_close(left, right)
+
+    u = np.concatenate(us) if us else empty
+    v = np.concatenate(vs) if vs else empty
+    graph = CompactGraph.from_edge_arrays(n, u, v)
+    return (graph, positions) if return_positions else graph
+
+
+def planted_components_compact(
+    component_sizes: Sequence[int],
+    internal_p: float,
+    rng: np.random.Generator,
+) -> CompactGraph:
+    """Vectorized planted-components workload as a :class:`CompactGraph`.
+
+    Same shape as :func:`planted_components`: one Erdős–Rényi blob per
+    class plus a spanning tree guaranteeing connectivity, so ``f_cc`` is
+    exactly ``len(component_sizes)``.  The connecting tree is a uniform
+    random attachment tree (vertex ``t`` picks a uniform earlier parent)
+    rather than the object generator's Prüfer tree — same support, same
+    component structure, different tree distribution.
+    """
+    _check_probability(internal_p)
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    offset = 0
+    for size in component_sizes:
+        _check_size(size)
+        if size >= 2:
+            total = size * (size - 1) // 2
+            if internal_p == 1:
+                i, j = np.triu_indices(size, k=1)
+                i = i.astype(np.int64)
+                j = j.astype(np.int64)
+            elif internal_p > 0:
+                idx = _sample_pair_indices(total, internal_p, rng)
+                i, j = _pairs_from_indices(idx, size)
+            else:
+                i = j = np.empty(0, dtype=np.int64)
+            us.append(i + offset)
+            vs.append(j + offset)
+            # Random attachment tree keeps the class connected.
+            child = np.arange(1, size, dtype=np.int64)
+            parent = np.floor(rng.random(size - 1) * child).astype(np.int64)
+            us.append(parent + offset)
+            vs.append(child + offset)
+        offset += size
+    if us:
+        u = np.concatenate(us)
+        v = np.concatenate(vs)
+    else:
+        u = v = np.empty(0, dtype=np.int64)
+    return CompactGraph.from_edge_arrays(offset, u, v)
 
 
 def _relabel_to_integers(graph: Graph) -> Graph:

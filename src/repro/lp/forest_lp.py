@@ -8,34 +8,42 @@ Definition 3.1 of the paper: ``f_Δ(G) = max x(E)`` over vectors
     x(δ(v)) ≤ Δ             for every vertex v.
 
 The paper proves polynomial-time evaluability via the ellipsoid method
-with the Padberg–Wolsey separation oracle.  This module implements four
-practical evaluators of the *same* LP and cross-validates them in the
-test suite:
+with the Padberg–Wolsey separation oracle.  This module is the
+*object-graph front end*: it splits the input into components, applies
+the integral fast paths (max-degree check and Algorithm 3), and hands
+every remaining component to the shared int-native evaluation core in
+:mod:`repro.lp.forest_core` after canonicalizing it to local index
+arrays.  The compact pipeline canonicalizes to the *same* arrays, so the
+two paths agree bit-for-bit on every LP value.
+
+Methods (all evaluate the same LP; cross-validated in the test suite):
 
 ``auto`` (default)
     Per connected component: (1) integral fast paths — if Δ is at least
     the max degree, or Algorithm 3 finds a spanning ⌊Δ⌋-forest, the
-    optimum is ``n_c − 1`` exactly (Lemma 3.3, Item 1); (2) components
-    with at most ``EXACT_THRESHOLD`` vertices are solved *exactly* with
-    every forest constraint materialized; (3) larger components get a
-    certified sandwich: a cutting-plane outer bound (UB) plus a
-    column-generation inner bound (LB, a feasible point of the
-    polytope).  When the window shrinks below 1/2 and contains a single
-    half-integer, the value snaps to it (every one of thousands of
-    exactly-solved instances in our tests has a half-integral optimum;
-    see DESIGN.md).  Otherwise the feasible LB is returned and the
-    certified ``gap`` is recorded on the result.
+    optimum is ``n_c − 1`` exactly (Lemma 3.3, Item 1); (2) trees with
+    integral Δ are solved exactly by the core's totally-unimodular DP;
+    (3) components with at most ``EXACT_THRESHOLD`` vertices are solved
+    *exactly* with every forest constraint materialized; (4) larger
+    components get a certified sandwich: a cutting-plane outer bound
+    (UB) plus a column-generation inner bound (LB, a feasible point of
+    the polytope).  When the window shrinks below 1/2 and contains a
+    single half-integer, the value snaps to it (every one of thousands
+    of exactly-solved instances in our tests has a half-integral
+    optimum; see DESIGN.md).  Otherwise the feasible LB is returned and
+    the certified ``gap`` is recorded on the result.
 
 ``exhaustive``
     All ``2^n`` forest constraints, one HiGHS solve.  Exact; small
     components only.
 
 ``cutting_plane``
-    The textbook lazy-constraint loop with the max-flow oracle.
+    The textbook lazy-constraint loop with the max-flow oracle (strict:
+    raises on non-convergence).
 
 ``column_generation``
     Dantzig–Wolfe over explicit forests with Kruskal pricing
-    (:mod:`repro.lp.column_generation`).
+    (:mod:`repro.lp.column_generation`, the object-graph reference).
 
 Structural facts exploited (verified by tests): ``f_Δ`` is additive
 across components; the optimum can be fractional (a triangle with Δ = 1
@@ -44,37 +52,24 @@ has ``f_1 = 3/2``), so values are never rounded to integers.
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import NamedTuple, Optional
 
 import numpy as np
-from scipy import sparse
-from scipy.optimize import linprog
 
-from ..flow.separation import find_violated_forest_sets
 from ..graphs.components import connected_components
-from ..graphs.forests import repair_spanning_forest, spanning_forest
+from ..graphs.forests import _sort_key, repair_spanning_forest, spanning_forest
 from ..graphs.graph import Edge, Graph, Vertex, canonical_edge
+from . import forest_core
+from .forest_core import EXACT_THRESHOLD, ForestLPError
 
 __all__ = [
     "ForestLPError",
     "ForestLPResult",
     "forest_polytope_value",
     "forest_lp_component",
+    "canonical_component_arrays",
     "EXACT_THRESHOLD",
 ]
-
-EXACT_THRESHOLD = 13
-"""Components up to this many vertices are solved with the exhaustive
-(exact) formulation in ``auto`` mode."""
-
-_STALL_ROUNDS = 3
-_SNAP_WINDOW = 0.5 - 1e-6
-
-
-class ForestLPError(RuntimeError):
-    """Raised when an LP evaluation fails to converge or the inner solver
-    reports a failure."""
 
 
 class ForestLPResult(NamedTuple):
@@ -113,6 +108,59 @@ class ForestLPResult(NamedTuple):
     fast_path_components: int
     gap: float = 0.0
     status: str = ""
+
+
+def canonical_component_arrays(
+    component: Graph,
+) -> tuple[list[Vertex], np.ndarray, np.ndarray]:
+    """Canonicalize a component for the int-native core.
+
+    Returns ``(ordered_vertices, u, v)`` where vertex ``ordered[i]`` has
+    local index ``i`` (sorted labels when sortable, a deterministic
+    type/repr order otherwise) and the edges are local index pairs with
+    ``u < v``, sorted lexicographically.  The compact pipeline produces
+    the same arrays for int-indexed graphs, which is what makes the two
+    paths bit-identical.
+    """
+    vertices = component.vertex_list()
+    try:
+        ordered = sorted(vertices)  # type: ignore[type-var]
+    except TypeError:
+        ordered = sorted(vertices, key=_sort_key)
+    index = {vert: i for i, vert in enumerate(ordered)}
+    m = component.number_of_edges()
+    u = np.empty(m, dtype=np.int64)
+    v = np.empty(m, dtype=np.int64)
+    for k, (a, b) in enumerate(component.edges()):
+        ia, ib = index[a], index[b]
+        if ia > ib:
+            ia, ib = ib, ia
+        u[k] = ia
+        v[k] = ib
+    order = np.lexsort((v, u))
+    return ordered, u[order], v[order]
+
+
+def _result_from_core(
+    core: forest_core.CoreLPResult,
+    ordered: list[Vertex],
+    u: np.ndarray,
+    v: np.ndarray,
+) -> ForestLPResult:
+    """Translate a core result back to labelled-edge form."""
+    x = {
+        canonical_edge(ordered[int(a)], ordered[int(b)]): float(w)
+        for a, b, w in zip(u.tolist(), v.tolist(), core.x.tolist())
+    }
+    return ForestLPResult(
+        core.value,
+        x,
+        core.lp_rounds,
+        core.constraints_added,
+        0,
+        core.gap,
+        core.status,
+    )
 
 
 def forest_polytope_value(
@@ -220,18 +268,9 @@ def forest_lp_component(
     if use_fast_paths:
         forest = _integral_certificate(component, delta)
         if forest is not None:
-            x = {canonical_edge(u, v): 1.0 for u, v in forest.edges()}
+            x = {canonical_edge(a, b): 1.0 for a, b in forest.edges()}
             return ForestLPResult(target, x, 0, 0, 1, 0.0, "fast-path")
 
-    if method == "exhaustive" or (method == "auto" and n <= exact_threshold):
-        value, x = _exhaustive_exact(component, delta)
-        return ForestLPResult(
-            min(value, target), x, 1, 2**n, 0, 0.0, "exact"
-        )
-    if method == "cutting_plane":
-        return _cutting_plane(
-            component, delta, separation_tolerance, max_rounds, strict=True
-        )
     if method == "column_generation":
         from .column_generation import forest_value_column_generation
 
@@ -248,57 +287,35 @@ def forest_lp_component(
             cg.gap,
             status,
         )
+
+    ordered, u, v = canonical_component_arrays(component)
+    if method == "exhaustive":
+        core = forest_core.exhaustive_component_value(n, u, v, delta)
+        core = core._replace(value=min(core.value, target))
+        return _result_from_core(core, ordered, u, v)
+    if method == "cutting_plane":
+        core = forest_core.cutting_plane_component(
+            n, u, v, delta, separation_tolerance, max_rounds, strict=True
+        )
+        return _result_from_core(core, ordered, u, v)
     if method != "auto":
         raise ValueError(
             f"unknown method {method!r}; expected 'auto', 'exhaustive', "
             "'cutting_plane', or 'column_generation'"
         )
-
-    # auto, large component: certified sandwich.
-    outer = _cutting_plane(
-        component, delta, separation_tolerance, min(max_rounds, 12), strict=False
-    )
-    if outer.gap == 0.0:
-        return outer
-    upper = outer.value + outer.gap
-
-    from .column_generation import forest_value_column_generation
-
-    cg = forest_value_column_generation(
-        component,
+    core = forest_core.solve_component(
+        n,
+        u,
+        v,
         delta,
-        max_iterations=cg_max_iterations,
-        external_upper_bound=upper,
-        snap_half_integral=assume_half_integral,
+        separation_tolerance=separation_tolerance,
+        max_rounds=max_rounds,
+        exact_threshold=exact_threshold,
+        cg_max_iterations=cg_max_iterations,
+        assume_half_integral=assume_half_integral,
+        use_fast_paths=use_fast_paths,
     )
-    upper = min(upper, cg.upper_bound)
-    lower = min(max(cg.value, 0.0), target)
-    rounds = outer.lp_rounds + cg.iterations
-    added = outer.constraints_added + cg.columns
-    gap = max(upper - lower, 0.0)
-    if gap <= 1e-6:
-        return ForestLPResult(lower, cg.x, rounds, added, 0, 0.0, "exact")
-    if assume_half_integral:
-        snapped = _unique_half_integer(lower, upper)
-        if snapped is not None:
-            return ForestLPResult(
-                min(snapped, target), cg.x, rounds, added, 0, 0.0, "snapped"
-            )
-    return ForestLPResult(lower, cg.x, rounds, added, 0, gap, "approx")
-
-
-def _unique_half_integer(lower: float, upper: float) -> Optional[float]:
-    """Return the unique multiple of 1/2 in ``[lower − ε, upper + ε]`` if
-    the window is narrower than 1/2, else ``None``."""
-    if upper - lower >= _SNAP_WINDOW:
-        return None
-    eps = 1e-6
-    first = np.ceil((lower - eps) * 2.0) / 2.0
-    if first <= upper + eps:
-        second = first + 0.5
-        if second > upper + eps:
-            return float(first)
-    return None
+    return _result_from_core(core, ordered, u, v)
 
 
 def _integral_certificate(component: Graph, delta: float) -> Optional[Graph]:
@@ -315,183 +332,3 @@ def _integral_certificate(component: Graph, delta: float) -> Optional[Graph]:
     if floor_delta >= 1:
         return repair_spanning_forest(component, floor_delta).forest
     return None
-
-
-# ----------------------------------------------------------------------
-# Exhaustive exact formulation (small components)
-# ----------------------------------------------------------------------
-def _exhaustive_exact(
-    component: Graph, delta: float
-) -> tuple[float, dict[Edge, float]]:
-    """Solve the LP with every forest constraint materialized."""
-    edges = component.edge_list()
-    edge_index = {e: j for j, e in enumerate(edges)}
-    m = len(edges)
-    vertices = component.vertex_list()
-    rows: list[int] = []
-    cols: list[int] = []
-    rhs: list[float] = []
-    row = 0
-    for k in range(2, len(vertices) + 1):
-        for subset in combinations(vertices, k):
-            subset_set = set(subset)
-            touched = False
-            for e, j in edge_index.items():
-                if e[0] in subset_set and e[1] in subset_set:
-                    rows.append(row)
-                    cols.append(j)
-                    touched = True
-            if touched:
-                rhs.append(float(k - 1))
-                row += 1
-    for v in vertices:
-        touched = False
-        for e, j in edge_index.items():
-            if v in e:
-                rows.append(row)
-                cols.append(j)
-                touched = True
-        if touched:
-            rhs.append(float(delta))
-            row += 1
-    matrix = sparse.csr_matrix(
-        (np.ones(len(rows)), (rows, cols)), shape=(row, m)
-    )
-    solution = linprog(
-        -np.ones(m),
-        A_ub=matrix,
-        b_ub=np.array(rhs),
-        bounds=(0.0, 1.0),
-        method="highs",
-    )
-    if not solution.success:
-        raise ForestLPError(
-            f"exhaustive LP failed (status {solution.status}): {solution.message}"
-        )
-    x = {e: max(float(solution.x[j]), 0.0) for e, j in edge_index.items()}
-    return max(-float(solution.fun), 0.0), x
-
-
-# ----------------------------------------------------------------------
-# Cutting-plane loop (outer bound / small-instance exact)
-# ----------------------------------------------------------------------
-def _cutting_plane(
-    component: Graph,
-    delta: float,
-    separation_tolerance: float,
-    max_rounds: int,
-    strict: bool,
-) -> ForestLPResult:
-    """Lazy-constraint loop.  If the oracle certifies feasibility the
-    result is exact (``gap == 0``); otherwise — stalled objective or
-    round cap — the final LP value is returned as ``value + gap`` with
-    ``value`` set to 0-information (value = LP value, gap flags outer
-    bound) unless ``strict``, in which case an error is raised.
-
-    For non-strict callers the returned tuple encodes: ``value`` is the
-    last LP objective (an *upper* bound), ``gap = -0.0``... — to keep the
-    semantics of :class:`ForestLPResult` uniform (value = feasible lower
-    bound), the non-exact case instead returns ``value = 0`` lower bound
-    with ``gap = LP value``; ``auto`` mode immediately refines it with
-    column generation.
-    """
-    n = component.number_of_vertices()
-    target = float(n - 1)
-    edges = component.edge_list()
-    edge_index = {e: i for i, e in enumerate(edges)}
-    m = len(edges)
-    c = -np.ones(m)
-
-    rows: list[int] = []
-    cols: list[int] = []
-    vertex_row = {v: i for i, v in enumerate(component.vertices())}
-    for e, j in edge_index.items():
-        rows.append(vertex_row[e[0]])
-        cols.append(j)
-        rows.append(vertex_row[e[1]])
-        cols.append(j)
-    degree_matrix = sparse.csr_matrix(
-        (np.ones(len(rows)), (rows, cols)), shape=(n, m)
-    )
-    degree_rhs = np.full(n, float(delta))
-
-    forest_sets: list[frozenset[Vertex]] = [frozenset(component.vertices())]
-    total_added = 0
-    last_value = float("inf")
-    stall = 0
-    for round_number in range(1, max_rounds + 1):
-        lazy_matrix, lazy_rhs = _forest_constraint_matrix(forest_sets, edge_index)
-        a_ub = sparse.vstack([degree_matrix, lazy_matrix], format="csr")
-        b_ub = np.concatenate([degree_rhs, lazy_rhs])
-        solution = linprog(
-            c, A_ub=a_ub, b_ub=b_ub, bounds=(0.0, 1.0), method="highs"
-        )
-        if not solution.success:
-            raise ForestLPError(
-                f"inner LP failed (status {solution.status}): {solution.message}"
-            )
-        lp_value = -float(solution.fun)
-        x = {
-            e: max(float(solution.x[j]), 0.0)
-            for e, j in edge_index.items()
-            if solution.x[j] > separation_tolerance
-        }
-        violated = find_violated_forest_sets(
-            component, x, tolerance=separation_tolerance
-        )
-        new_sets = [s for s in violated if s not in forest_sets]
-        if not new_sets:
-            value = min(max(lp_value, 0.0), target)
-            full_x = {
-                e: max(float(solution.x[j]), 0.0) for e, j in edge_index.items()
-            }
-            return ForestLPResult(
-                value, full_x, round_number, total_added, 0, 0.0, "exact"
-            )
-        if lp_value >= last_value - 1e-9:
-            stall += 1
-            if stall >= _STALL_ROUNDS and not strict:
-                # Objective has converged to the outer bound; stop
-                # separating and let column generation close the gap.
-                return ForestLPResult(
-                    0.0,
-                    {},
-                    round_number,
-                    total_added,
-                    0,
-                    min(lp_value, target),
-                    "outer-bound",
-                )
-        else:
-            stall = 0
-        last_value = lp_value
-        forest_sets.extend(new_sets)
-        total_added += len(new_sets)
-    if strict:
-        raise ForestLPError(
-            f"cutting-plane loop did not converge within {max_rounds} rounds "
-            f"(n={n}, m={m}, delta={delta})"
-        )
-    return ForestLPResult(
-        0.0, {}, max_rounds, total_added, 0, min(last_value, target), "outer-bound"
-    )
-
-
-def _forest_constraint_matrix(
-    forest_sets: list[frozenset[Vertex]], edge_index: dict[Edge, int]
-) -> tuple[sparse.csr_matrix, np.ndarray]:
-    """Build the sparse rows for ``x(E[S]) ≤ |S| − 1`` for each set."""
-    rows: list[int] = []
-    cols: list[int] = []
-    rhs = np.empty(len(forest_sets))
-    for i, subset in enumerate(forest_sets):
-        rhs[i] = len(subset) - 1
-        for e, j in edge_index.items():
-            if e[0] in subset and e[1] in subset:
-                rows.append(i)
-                cols.append(j)
-    matrix = sparse.csr_matrix(
-        (np.ones(len(rows)), (rows, cols)),
-        shape=(len(forest_sets), len(edge_index)),
-    )
-    return matrix, rhs

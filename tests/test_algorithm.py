@@ -10,7 +10,6 @@ from repro.core.algorithm import (
 )
 from repro.core.bounds import theorem_1_3_bound
 from repro.graphs.components import (
-    number_of_connected_components,
     spanning_forest_size,
 )
 from repro.graphs.forests import approx_min_degree_spanning_forest

@@ -1,0 +1,155 @@
+"""Structural/differential tests for the vectorized compact generators.
+
+Each ``*_compact`` family must reproduce the *invariants* of its object
+counterpart (vertex counts, edge counts, component structure, degree
+sums); where the randomness can be pinned — the geometric model given
+shared positions — the edge sets must match exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators as G
+
+
+class TestStochasticBlockModelCompact:
+    def test_complete_blocks_match_object_exactly(self):
+        rng = np.random.default_rng(0)
+        sizes = [7, 5, 4]
+        p = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+        compact = G.stochastic_block_model_compact(sizes, p, rng)
+        reference = G.stochastic_block_model(sizes, p, rng)
+        assert compact.number_of_vertices() == reference.number_of_vertices()
+        assert set(compact.edges()) == set(reference.edges())
+
+    def test_all_ones_is_complete_graph(self):
+        rng = np.random.default_rng(1)
+        compact = G.stochastic_block_model_compact(
+            [4, 4], [[1.0, 1.0], [1.0, 1.0]], rng
+        )
+        assert compact.number_of_edges() == 8 * 7 // 2
+
+    @given(
+        sizes=st.lists(st.integers(1, 12), min_size=1, max_size=4),
+        p_in=st.floats(0.0, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40)
+    def test_isolated_blocks_invariants(self, sizes, p_in, seed):
+        """With p_out = 0 every edge stays inside its block, so degree
+        sums and component counts obey the per-block structure."""
+        k = len(sizes)
+        p = [[p_in if a == b else 0.0 for b in range(k)] for a in range(k)]
+        rng = np.random.default_rng(seed)
+        compact = G.stochastic_block_model_compact(sizes, p, rng)
+        assert compact.number_of_vertices() == sum(sizes)
+        assert int(compact.degrees().sum()) == 2 * compact.number_of_edges()
+        offsets = np.cumsum([0] + sizes)
+        u, v = compact.edge_arrays()
+        block_u = np.searchsorted(offsets, u, side="right")
+        block_v = np.searchsorted(offsets, v, side="right")
+        assert np.array_equal(block_u, block_v)
+        # Components never merge across blocks.
+        assert compact.number_of_connected_components() >= k
+
+    def test_rejects_non_square_matrix(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError, match="k x k"):
+            G.stochastic_block_model_compact([3, 3], [[0.5]], rng)
+
+
+class TestBarabasiAlbertCompact:
+    @given(
+        n=st.integers(3, 60),
+        m=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40)
+    def test_invariants_match_object_model(self, n, m, seed):
+        if n < m + 1:
+            n = m + 1
+        rng = np.random.default_rng(seed)
+        compact = G.barabasi_albert_compact(n, m, rng)
+        reference = G.barabasi_albert(n, m, np.random.default_rng(seed))
+        # Exactly m edges per arriving vertex, in both models.
+        assert compact.number_of_edges() == m * (n - m)
+        assert reference.number_of_edges() == compact.number_of_edges()
+        assert compact.number_of_vertices() == n
+        assert (compact.degrees() > 0).all()
+        assert compact.is_connected()
+
+    def test_validation(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError, match="m must be"):
+            G.barabasi_albert_compact(5, 0, rng)
+        with pytest.raises(ValueError, match="n >= m"):
+            G.barabasi_albert_compact(3, 3, rng)
+
+
+class TestRandomGeometricGraphCompact:
+    @given(n=st.integers(2, 80), radius=st.floats(0.01, 0.6), seed=st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_identical_edges_for_shared_positions(self, n, radius, seed):
+        """Given the same point set, the vectorized bucket join and the
+        object generator's bucket walk produce the same edge set."""
+        reference, positions = G.random_geometric_graph(
+            n, radius, np.random.default_rng(seed), return_positions=True
+        )
+        compact = G.random_geometric_graph_compact(
+            n, radius, np.random.default_rng(0), positions=positions
+        )
+        assert set(compact.edges()) == set(reference.edges())
+
+    def test_return_positions(self):
+        compact, positions = G.random_geometric_graph_compact(
+            30, 0.1, np.random.default_rng(4), return_positions=True
+        )
+        assert positions.shape == (30, 2)
+        assert compact.number_of_vertices() == 30
+
+    def test_positions_shape_validated(self):
+        with pytest.raises(ValueError, match="shape"):
+            G.random_geometric_graph_compact(
+                5, 0.1, np.random.default_rng(0), positions=np.zeros((3, 2))
+            )
+
+    def test_zero_radius_is_edgeless(self):
+        compact = G.random_geometric_graph_compact(
+            20, 0.0, np.random.default_rng(5)
+        )
+        assert compact.number_of_edges() == 0
+
+
+class TestPlantedComponentsCompact:
+    @given(
+        sizes=st.lists(st.integers(1, 15), min_size=1, max_size=5),
+        p=st.floats(0.0, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40)
+    def test_component_count_is_exact(self, sizes, p, seed):
+        from repro.graphs.components import number_of_connected_components
+
+        rng = np.random.default_rng(seed)
+        compact = G.planted_components_compact(sizes, p, rng)
+        reference = G.planted_components(sizes, p, np.random.default_rng(seed))
+        assert compact.number_of_vertices() == sum(sizes)
+        # Both generators realize the Goodman workload invariant: one
+        # connected component per planted class.
+        assert compact.number_of_connected_components() == len(sizes)
+        assert number_of_connected_components(reference) == len(sizes)
+
+    def test_empty(self):
+        compact = G.planted_components_compact([], 0.5, np.random.default_rng(0))
+        assert compact.number_of_vertices() == 0
+
+
+class TestSharedSkipSampler:
+    def test_er_compact_unchanged_by_refactor(self):
+        """The shared pair sampler must preserve the PR-1 draw pattern:
+        same seed, same graph as before the extraction."""
+        a = G.erdos_renyi_compact(500, 0.01, np.random.default_rng(77))
+        b = G.erdos_renyi_compact(500, 0.01, np.random.default_rng(77))
+        assert a == b
+        assert a.number_of_edges() > 0

@@ -140,6 +140,52 @@ class TestReportCommand:
 
 
 class TestCompactGenerate:
+    @pytest.mark.parametrize(
+        "args",
+        [
+            ["--family", "geometric", "--n", "300", "--radius", "0.05"],
+            ["--family", "planted", "--n", "60", "--components", "6"],
+            ["--family", "sbm", "--n", "80", "--blocks", "4",
+             "--p-in", "0.1", "--p-out", "0.005"],
+            ["--family", "ba", "--n", "50", "--m", "2"],
+        ],
+        ids=["geometric", "planted", "sbm", "ba"],
+    )
+    def test_new_compact_families(self, tmp_path, capsys, args):
+        out = tmp_path / "g.edges"
+        code = main(
+            ["generate", *args, "--seed", "3", "--engine", "compact",
+             "--output", str(out)]
+        )
+        assert code == 0
+        graph = read_edge_list(out)
+        assert graph.number_of_vertices() >= 1
+        assert "wrote" in capsys.readouterr().out
+
+    def test_ba_rejects_n_below_m_plus_one(self, tmp_path, capsys):
+        code = main(
+            ["generate", "--family", "ba", "--n", "2", "--m", "4",
+             "--seed", "1", "--engine", "compact",
+             "--output", str(tmp_path / "ba.edges")]
+        )
+        assert code == 1
+        assert "n >= m + 1" in capsys.readouterr().err
+        assert not (tmp_path / "ba.edges").exists()
+
+    def test_object_engine_new_families(self, tmp_path, capsys):
+        out = tmp_path / "sbm.edges"
+        code = main(
+            ["generate", "--family", "sbm", "--n", "40", "--blocks", "2",
+             "--p-in", "0.2", "--p-out", "0.01", "--seed", "5",
+             "--output", str(out)]
+        )
+        assert code == 0
+        code = main(
+            ["generate", "--family", "ba", "--n", "30", "--m", "2",
+             "--seed", "5", "--output", str(tmp_path / "ba.edges")]
+        )
+        assert code == 0
+
     def test_er_compact_roundtrips(self, tmp_path, capsys):
         out = tmp_path / "er.edges"
         code = main(
@@ -165,7 +211,9 @@ class TestCompactGenerate:
              "compact", "--output", str(tmp_path / "t.edges")]
         )
         assert code == 1
-        assert "er and grid" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "no vectorized sampler" in err
+        assert "er, grid, geometric, planted, sbm, ba" in err
 
     def test_gzip_output_pipeline(self, tmp_path, capsys):
         out = tmp_path / "g.edges.gz"

@@ -45,6 +45,8 @@ class TestMaterialize:
             ("forest", (("trees", 3.0),)),
             ("geometric", (("radius", 0.2),)),
             ("planted", (("components", 3.0),)),
+            ("sbm", (("blocks", 2.0), ("p_in", 0.3), ("p_out", 0.02))),
+            ("ba", (("m", 2.0),)),
             ("star", ()),
         ],
     )
@@ -54,6 +56,19 @@ class TestMaterialize:
         rng = np.random.default_rng(0)
         graph = materialize_graph(cell, rng)
         assert graph.number_of_vertices() >= 1
+
+    @pytest.mark.parametrize("family", ["geometric", "planted", "sbm", "ba"])
+    def test_new_families_are_compact(self, family):
+        spec = cheap_spec(graphs=(GraphGrid(family, (20,), ()),))
+        cell = spec.expand()[0]
+        graph = materialize_graph(cell, np.random.default_rng(0))
+        assert isinstance(graph, CompactGraph)
+
+    def test_ba_rejects_undersized_n(self):
+        spec = cheap_spec(graphs=(GraphGrid("ba", (2,), (("m", 4.0),)),))
+        cell = spec.expand()[0]
+        with pytest.raises(ValueError, match="n >= m"):
+            materialize_graph(cell, np.random.default_rng(0))
 
     def test_deterministic_given_seed(self):
         cell = cheap_spec().expand()[0]

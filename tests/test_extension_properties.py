@@ -15,7 +15,6 @@ from repro.graphs.forests import (
     has_spanning_delta_forest_exact,
 )
 from repro.graphs.generators import empty_graph, star_graph, with_hub
-from repro.graphs.graph import Graph
 
 from .strategies import deterministic_corpus, small_graphs
 

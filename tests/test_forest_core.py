@@ -1,0 +1,147 @@
+"""Tests for the int-native forest-LP core shared by both pipelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import (
+    caterpillar_graph,
+    complete_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.lp import forest_core
+from repro.lp.forest_lp import canonical_component_arrays, forest_polytope_value
+
+
+def _arrays(graph):
+    _, u, v = canonical_component_arrays(graph)
+    return graph.number_of_vertices(), u, v
+
+
+class TestTreeDP:
+    @given(n=st.integers(2, 40), delta=st.integers(1, 4), seed=st.integers(0, 500))
+    @settings(max_examples=60)
+    def test_matches_exhaustive_on_random_trees(self, n, delta, seed):
+        """On trees the TU property makes the LP integral; the DP must
+        equal the exhaustive LP optimum exactly."""
+        tree = random_tree(n, np.random.default_rng(seed))
+        count, u, v = _arrays(tree)
+        dp = forest_core.tree_component_value(count, u, v, delta)
+        if count <= forest_core.EXACT_THRESHOLD:
+            exact = forest_core.exhaustive_component_value(count, u, v, delta)
+            assert dp.value == pytest.approx(exact.value, abs=1e-6)
+        # The certificate is a feasible degree-bounded subforest.
+        chosen = dp.x > 0.5
+        degrees = np.bincount(
+            np.concatenate([u[chosen], v[chosen]]), minlength=count
+        )
+        assert degrees.max(initial=0) <= delta
+        assert chosen.sum() == dp.value
+
+    def test_star_clips_at_delta(self):
+        count, u, v = _arrays(star_graph(6))
+        for delta in range(1, 8):
+            result = forest_core.tree_component_value(count, u, v, delta)
+            assert result.value == pytest.approx(min(delta, 6))
+
+    def test_caterpillar_known_value(self):
+        # Spine of 3, 2 legs each: delta=1 yields a maximum matching.
+        g = caterpillar_graph(3, 2)
+        count, u, v = _arrays(g)
+        result = forest_core.tree_component_value(count, u, v, 1)
+        exact = forest_polytope_value(g, 1, use_fast_paths=False).value
+        assert result.value == pytest.approx(exact)
+
+    def test_rejects_cyclic_input_via_driver(self):
+        """solve_component must not route a non-forest with m == n−1
+        (possible only for disconnected misuse) into the DP."""
+        # Triangle + isolated vertex: n=4, m=3 == n-1 but cyclic.
+        u = np.array([0, 0, 1], dtype=np.int64)
+        v = np.array([1, 2, 2], dtype=np.int64)
+        result = forest_core.solve_component(4, u, v, 1)
+        assert result.value == pytest.approx(1.5)
+
+
+class TestSolveComponent:
+    @given(n=st.integers(3, 9), delta=st.integers(1, 4))
+    @settings(max_examples=30)
+    def test_complete_graph_matches_object_path(self, n, delta):
+        g = complete_graph(n)
+        count, u, v = _arrays(g)
+        core = forest_core.solve_component(count, u, v, delta)
+        reference = forest_polytope_value(g, delta, use_fast_paths=False)
+        assert core.value == pytest.approx(reference.value, abs=1e-6)
+
+    def test_large_component_certified(self):
+        g = complete_graph(16)  # above EXACT_THRESHOLD: sandwich path
+        count, u, v = _arrays(g)
+        core = forest_core.solve_component(count, u, v, 2)
+        # f_2(K_16): a Hamiltonian path achieves n-1 = 15 with max degree 2.
+        assert core.value == pytest.approx(15.0, abs=1e-5)
+        assert core.gap == pytest.approx(0.0, abs=1e-5)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError, match="positive"):
+            forest_core.solve_component(
+                2, np.array([0]), np.array([1]), 0
+            )
+
+
+class TestSeparationOracle:
+    def test_feasible_point_passes(self):
+        g = path_graph(5)
+        count, u, v = _arrays(g)
+        x = np.full(u.size, 0.5)
+        assert forest_core.violated_forest_sets(count, u, v, x) == []
+
+    def test_overfull_cycle_detected(self):
+        # Triangle with x = 1 on each edge violates x(E[S]) <= 2.
+        u = np.array([0, 0, 1], dtype=np.int64)
+        v = np.array([1, 2, 2], dtype=np.int64)
+        violated = forest_core.violated_forest_sets(3, u, v, np.ones(3))
+        assert any(s == frozenset({0, 1, 2}) for s in violated)
+
+
+class TestCuttingPlane:
+    def test_matches_exhaustive_small(self):
+        g = complete_graph(5)
+        count, u, v = _arrays(g)
+        cp = forest_core.cutting_plane_component(
+            count, u, v, 2, 1e-7, 60, strict=True
+        )
+        exact = forest_core.exhaustive_component_value(count, u, v, 2)
+        assert cp.value == pytest.approx(exact.value, abs=1e-6)
+        assert cp.gap == 0.0
+
+    def test_strict_raises_on_tiny_round_cap(self):
+        g = complete_graph(6)
+        count, u, v = _arrays(g)
+        with pytest.raises(forest_core.ForestLPError, match="did not converge"):
+            forest_core.cutting_plane_component(
+                count, u, v, 2, 1e-7, 1, strict=True
+            )
+
+
+class TestColumnGenerationCore:
+    @given(n=st.integers(3, 8), delta=st.integers(1, 3))
+    @settings(max_examples=20)
+    def test_lower_bound_and_agreement(self, n, delta):
+        g = complete_graph(n)
+        count, u, v = _arrays(g)
+        cg = forest_core.column_generation_component(count, u, v, delta)
+        exact = forest_core.exhaustive_component_value(count, u, v, delta)
+        assert cg.value <= exact.value + 1e-6
+        if cg.gap <= 1e-6:
+            assert cg.value == pytest.approx(exact.value, abs=1e-5)
+
+    def test_mixture_is_feasible(self):
+        g = complete_graph(6)
+        count, u, v = _arrays(g)
+        cg = forest_core.column_generation_component(count, u, v, 2)
+        degrees = np.zeros(count)
+        np.add.at(degrees, u, cg.x)
+        np.add.at(degrees, v, cg.x)
+        assert degrees.max() <= 2 + 1e-6
+        assert forest_core.violated_forest_sets(count, u, v, cg.x, 1e-5) == []

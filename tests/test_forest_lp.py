@@ -10,7 +10,6 @@ from repro.graphs.components import spanning_forest_size
 from repro.graphs.generators import (
     complete_bipartite_graph,
     complete_graph,
-    cycle_graph,
     disjoint_union,
     empty_graph,
     erdos_renyi,
@@ -18,7 +17,6 @@ from repro.graphs.generators import (
     path_graph,
     star_graph,
 )
-from repro.graphs.graph import Graph
 from repro.lp.forest_lp import ForestLPError, forest_polytope_value
 
 from .strategies import small_graphs

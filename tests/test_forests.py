@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.graphs.components import number_of_connected_components, spanning_forest_size
+from repro.graphs.components import number_of_connected_components
 from repro.graphs.forests import (
     approx_min_degree_spanning_forest,
     delta_star_lower_bound,

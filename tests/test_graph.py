@@ -1,7 +1,7 @@
 """Tests for the Graph data structure."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given
 
 from repro.graphs.graph import Graph, canonical_edge
 

@@ -19,7 +19,6 @@ from repro.core.down_sensitivity import (
     down_sensitivity_spanning_forest,
     generic_extension_spanning_forest,
 )
-from repro.core.extension import SpanningForestExtension
 from repro.core.generic_algorithm import PrivateMonotoneStatistic
 from repro.graphs.components import spanning_forest_size
 from repro.graphs.generators import (

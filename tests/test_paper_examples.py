@@ -25,7 +25,6 @@ from repro.graphs.generators import (
 from repro.graphs.stars import star_number
 from repro.mechanisms.laplace import laplace_tail_probability
 
-import numpy as np
 
 
 class TestIntroductionObstacle:

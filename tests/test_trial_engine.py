@@ -11,7 +11,6 @@ from repro.analysis.trials import (
     summarize_errors,
 )
 from repro.core.algorithm import PrivateConnectedComponents
-from repro.graphs.compact import CompactGraph
 from repro.graphs.generators import erdos_renyi_compact, planted_components
 from repro.graphs.graph import Graph
 from repro.mechanisms.laplace import LaplaceMechanism
