@@ -110,6 +110,14 @@ from .experiments import (
     report_from_store,
 )
 
+# The unified estimator registry and the amortized serving layer.
+from .estimators import (
+    Release,
+    create_estimator,
+    estimator_names,
+)
+from .service import ReleaseSession, serve_jsonl
+
 __all__ = [
     "Graph",
     "CompactGraph",
@@ -149,5 +157,10 @@ __all__ = [
     "exponential_mechanism",
     "generalized_exponential_mechanism",
     "PrivacyAccountant",
+    "Release",
+    "create_estimator",
+    "estimator_names",
+    "ReleaseSession",
+    "serve_jsonl",
     "__version__",
 ]

@@ -2,14 +2,19 @@
 
 Subcommands
 -----------
-``count``     Release a node-private estimate of the number of connected
-              components of a graph stored as an edge list.
-``stats``     Print exact (non-private) structural statistics of a graph.
-``generate``  Sample a graph from a built-in family and write it out.
-``sweep``     Run a config-driven experiment sweep into a resumable
-              on-disk result store.
-``resume``    Continue an interrupted sweep (stored cells are reused).
-``report``    Assemble report JSON / CSV from a store without computing.
+``count``        Release a node-private estimate of the number of
+                 connected components of a graph stored as an edge list.
+``estimate``     Run any registered estimator on an edge list
+                 (``--list-estimators`` enumerates the registry).
+``serve-batch``  Answer JSONL release requests through an amortized
+                 :class:`~repro.service.ReleaseSession` (JSONL out).
+``stats``        Print exact (non-private) structural statistics.
+``generate``     Sample a graph from a built-in family and write it out.
+``sweep``        Run a config-driven experiment sweep into a resumable
+                 on-disk result store.
+``resume``       Continue an interrupted sweep (stored cells are reused).
+``report``       Assemble report JSON / CSV from a store without
+                 computing.
 
 ``count`` and ``stats`` load integer-labelled edge lists straight into
 the array-backed :class:`~repro.graphs.compact.CompactGraph`, so the
@@ -27,17 +32,25 @@ Examples
         --engine compact --output big.edges.gz
     python -m repro sweep --spec sweep.json --store results/store \
         --workers 4 --report results/report.json --csv results/table.csv
+    python -m repro estimate contacts.edges --estimator sf --epsilon 0.5 \
+        --seed 3
+    python -m repro estimate --list-estimators
+    python -m repro serve-batch --graph contacts.edges \
+        --requests queries.jsonl --output releases.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 from .core.algorithm import PrivateConnectedComponents
+from .estimators import create, get_spec, registry_specs
 from .experiments import cli as experiments_cli
+from .service import ReleaseSession, serve_jsonl
 from .graphs import generators
 from .graphs.components import number_of_connected_components, spanning_forest_size
 from .graphs.forests import approx_min_degree_spanning_forest
@@ -63,6 +76,83 @@ def _build_parser() -> argparse.ArgumentParser:
         "--show-true",
         action="store_true",
         help="also print the exact count (breaks privacy; debugging only)",
+    )
+
+    estimate = subparsers.add_parser(
+        "estimate",
+        help="run any registered estimator on an edge-list file",
+    )
+    estimate.add_argument(
+        "input", nargs="?", help="edge-list file (.gz ok)"
+    )
+    estimate.add_argument(
+        "--estimator",
+        default="cc",
+        help="registry name or alias (see --list-estimators)",
+    )
+    estimate.add_argument(
+        "--epsilon", type=float, default=1.0, help="privacy budget"
+    )
+    estimate.add_argument("--seed", type=int, default=None, help="RNG seed")
+    estimate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the release as one JSON line instead of text",
+    )
+    estimate.add_argument(
+        "--show-true",
+        action="store_true",
+        help="also print the exact value (breaks privacy; debugging only)",
+    )
+    estimate.add_argument(
+        "--list-estimators",
+        action="store_true",
+        help="enumerate the estimator registry and exit",
+    )
+
+    serve = subparsers.add_parser(
+        "serve-batch",
+        help="answer JSONL release requests via an amortized session",
+    )
+    serve.add_argument(
+        "--requests",
+        default="-",
+        help="JSONL request file ('-' = stdin; one JSON object per line)",
+    )
+    serve.add_argument(
+        "--output",
+        default="-",
+        help="where to write JSONL releases ('-' = stdout)",
+    )
+    serve.add_argument(
+        "--graph",
+        default=None,
+        help="default edge-list served to requests that name no graph",
+    )
+    serve.add_argument(
+        "--total-epsilon",
+        type=float,
+        default=None,
+        help="shared privacy budget across the whole batch "
+        "(requests beyond it get budget-exceeded error lines)",
+    )
+    serve.add_argument(
+        "--max-graphs",
+        type=int,
+        default=8,
+        help="how many hot graphs keep warm extension tables resident",
+    )
+    serve.add_argument(
+        "--allow-non-private",
+        action="store_true",
+        help="let a budgeted batch (--total-epsilon) also serve the "
+        "exact non_private estimator, which spends no budget",
+    )
+    serve.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="root entropy for requests without an explicit seed",
     )
 
     stats = subparsers.add_parser("stats", help="exact, non-private statistics")
@@ -133,6 +223,102 @@ def _cmd_count(args: argparse.Namespace) -> int:
     print(f"  noise scale:    {release.spanning_forest.noise_scale:.3f}")
     if args.show_true:
         print(f"  TRUE value (not private): {release.true_value}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    if args.list_estimators:
+        print("registered estimators (aliases in brackets):")
+        for spec in registry_specs():
+            aliases = f" [{', '.join(spec.aliases)}]" if spec.aliases else ""
+            needs = "" if spec.requires_epsilon else " (no epsilon)"
+            print(f"  {spec.name}{aliases}  ->  f_{spec.statistic}{needs}")
+            print(f"      {spec.summary}")
+            if spec.options:
+                print(f"      options: {', '.join(spec.options)}")
+        return 0
+    if not args.input:
+        print("error: estimate needs an edge-list file", file=sys.stderr)
+        return 1
+    try:
+        spec = get_spec(args.estimator)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    graph = read_edge_list_auto(args.input)
+    if graph.number_of_vertices() == 0:
+        print("error: graph has no vertices", file=sys.stderr)
+        return 1
+    estimator = create(
+        spec.name,
+        epsilon=args.epsilon if spec.requires_epsilon else None,
+        graph=graph,
+    )
+    if not estimator.supports(graph):
+        print(
+            f"error: estimator {spec.name!r} does not support this input "
+            "as configured (size or degree restriction)",
+            file=sys.stderr,
+        )
+        return 1
+    release = estimator.release(graph, np.random.default_rng(args.seed))
+    if args.json:
+        print(release.to_json(include_true_value=args.show_true))
+        return 0
+    print(f"{spec.name} estimate of f_{release.statistic}: {release.value:.2f}")
+    print(f"  epsilon:        {release.epsilon}")
+    if release.delta_hat is not None:
+        print(f"  selected delta: {release.delta_hat:g}")
+    for label, amount in release.ledger:
+        print(f"  ledger:         {label}: {amount:g}")
+    print(f"  elapsed:        {release.elapsed_seconds * 1e3:.1f} ms")
+    if args.show_true:
+        print(f"  TRUE value (not private): {release.true_value:g}")
+    return 0
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    session = ReleaseSession(
+        max_graphs=args.max_graphs,
+        total_epsilon=args.total_epsilon,
+        allow_non_private=args.allow_non_private,
+    )
+    default_graph = None
+    if args.graph is not None:
+        default_graph = read_edge_list_auto(args.graph)
+        if default_graph.number_of_vertices() == 0:
+            print("error: default graph has no vertices", file=sys.stderr)
+            return 1
+
+    requests = (
+        sys.stdin if args.requests == "-" else open(args.requests, "r")
+    )
+    output = sys.stdout if args.output == "-" else open(args.output, "w")
+    served = errors = 0
+    try:
+        for response in serve_jsonl(
+            requests,
+            session,
+            default_graph=default_graph,
+            base_seed=args.base_seed,
+        ):
+            if "error" in response:
+                errors += 1
+            else:
+                served += 1
+            output.write(json.dumps(response, sort_keys=True) + "\n")
+    finally:
+        if requests is not sys.stdin:
+            requests.close()
+        if output is not sys.stdout:
+            output.close()
+    stats = session.stats
+    print(
+        f"served {served} releases ({errors} errors) on "
+        f"{len(session)} cached graphs; graph-cache hit rate "
+        f"{stats.hit_rate():.0%}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -242,6 +428,10 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "count":
         return _cmd_count(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "serve-batch":
+        return _cmd_serve_batch(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "generate":

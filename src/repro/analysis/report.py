@@ -13,27 +13,11 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any
 
 from .. import __version__
+from ..jsonutil import jsonable as _jsonable
 
 __all__ = ["ExperimentReport"]
-
-
-def _jsonable(value: Any) -> Any:
-    """Coerce numpy scalars and other simple objects to JSON-safe types."""
-    if hasattr(value, "item") and callable(value.item):
-        try:
-            return value.item()
-        except (TypeError, ValueError):
-            pass
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return str(value)
 
 
 @dataclass
@@ -69,6 +53,15 @@ class ExperimentReport:
         self._records.append(
             {"params": _jsonable(params), "metrics": _jsonable(metrics)}
         )
+
+    def add_release(self, params: dict, release) -> None:
+        """Append one :class:`repro.estimators.Release` as a record.
+
+        The release's uniform fields (value, ε, per-step ledger, Δ̂,
+        timing) become the record's metrics, so budget composition stays
+        auditable in the written report.
+        """
+        self.add(params=params, metrics=release.to_dict())
 
     def __len__(self) -> int:
         return len(self._records)

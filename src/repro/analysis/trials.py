@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..estimators.registry import create as _create_estimator
 from ..graphs.components import number_of_connected_components
 from ..graphs.graph import Graph
 
@@ -36,6 +37,7 @@ __all__ = [
     "BatchTrialResult",
     "run_trials",
     "run_trial_batch",
+    "registry_mechanism_factory",
     "summarize_errors",
 ]
 
@@ -167,6 +169,24 @@ def _run_single_config(
         config=config,
         errors=errors,
         summary=summarize_errors(errors, truth),
+    )
+
+
+def registry_mechanism_factory(config: TrialConfig):
+    """A ready-made :func:`run_trial_batch` factory that dispatches by
+    estimator-registry name: the config's ``name`` field is looked up in
+    :mod:`repro.estimators` and built with the config's epsilon and
+    graph.  Module-level, so it is picklable for process pools.
+
+    >>> import numpy as np
+    >>> from repro.graphs.generators import path_graph_compact
+    >>> config = TrialConfig(path_graph_compact(30), epsilon=1.0,
+    ...                      seed=0, n_trials=2, name="edge_dp")
+    >>> len(run_trial_batch(registry_mechanism_factory, [config]))
+    1
+    """
+    return _create_estimator(
+        config.name, epsilon=config.epsilon, graph=config.graph
     )
 
 

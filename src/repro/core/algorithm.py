@@ -83,6 +83,10 @@ class SpanningForestRelease:
     true_value:
         The exact ``f_sf(G)`` -- **not private**; carried for experiment
         bookkeeping only, never used downstream of the release.
+    ledger:
+        The :class:`~repro.mechanisms.accountant.PrivacyAccountant`
+        per-step ``(label, ε)`` spend history of this release, so budget
+        composition is auditable end-to-end.
     """
 
     value: float
@@ -93,6 +97,7 @@ class SpanningForestRelease:
     epsilon_select: float
     epsilon_noise: float
     true_value: int
+    ledger: tuple[tuple[str, float], ...] = ()
 
     @property
     def error(self) -> float:
@@ -109,6 +114,7 @@ class ConnectedComponentsRelease:
     spanning_forest: SpanningForestRelease
     epsilon_count: float
     true_value: int
+    ledger: tuple[tuple[str, float], ...] = ()
 
     @property
     def error(self) -> float:
@@ -185,11 +191,23 @@ class PrivateSpanningForestSize:
         self._cached_extension = extension
         return extension
 
-    def release(self, graph, rng: np.random.Generator) -> SpanningForestRelease:
+    def release(
+        self,
+        graph,
+        rng: np.random.Generator,
+        *,
+        extension=None,
+    ) -> SpanningForestRelease:
         """Run Algorithm 1 once and return the release with diagnostics.
 
         Accepts either graph representation natively; compact inputs run
         the whole pipeline on the array kernels.
+
+        ``extension`` optionally injects an already-warm extension family
+        bound to ``graph`` (same content) — the amortization hook used by
+        :class:`repro.service.ReleaseSession`.  Extension values are
+        deterministic, so injected and freshly-built extensions release
+        bit-identical values for identical RNG streams.
         """
         n = graph.number_of_vertices()
         if n == 0:
@@ -200,7 +218,8 @@ class PrivateSpanningForestSize:
         beta = self.beta if self.beta is not None else default_failure_probability(n)
         delta_max = self.delta_max if self.delta_max is not None else max(n, 1)
 
-        extension = self._extension_for(graph)
+        if extension is None:
+            extension = self._extension_for(graph)
         true_fsf = extension.true_value
         candidates = power_of_two_grid(max(delta_max, 1))
 
@@ -240,6 +259,7 @@ class PrivateSpanningForestSize:
             epsilon_select=epsilon_select,
             epsilon_noise=epsilon_noise,
             true_value=true_fsf,
+            ledger=tuple(accountant.ledger()),
         )
 
 
@@ -292,21 +312,31 @@ class PrivateConnectedComponents:
         )
 
     def release(
-        self, graph, rng: np.random.Generator
+        self,
+        graph,
+        rng: np.random.Generator,
+        *,
+        extension=None,
     ) -> ConnectedComponentsRelease:
         """Release a private estimate of ``f_cc(G)``.
 
         Accepts either a :class:`~repro.graphs.graph.Graph` or a
         :class:`~repro.graphs.compact.CompactGraph`; compact inputs stay
-        on the array kernels end to end.
+        on the array kernels end to end.  ``extension`` optionally
+        injects a warm extension family for the spanning-forest step
+        (see :meth:`PrivateSpanningForestSize.release`).
         """
         n = graph.number_of_vertices()
         if n == 0:
             raise ValueError("graph must have at least one vertex")
+        accountant = PrivacyAccountant(self.epsilon)
         epsilon_count = self.epsilon * self.count_fraction
         count_mechanism = LaplaceMechanism(sensitivity=1.0, epsilon=epsilon_count)
         n_hat = count_mechanism.release(float(n), rng)
-        sf_release = self._sf_estimator.release(graph, rng)
+        accountant.spend(epsilon_count, "vertex count")
+        sf_release = self._sf_estimator.release(graph, rng, extension=extension)
+        for label, amount in sf_release.ledger:
+            accountant.spend(amount, label)
         true_fcc = n - spanning_forest_size(graph)
         return ConnectedComponentsRelease(
             value=n_hat - sf_release.value,
@@ -314,4 +344,5 @@ class PrivateConnectedComponents:
             spanning_forest=sf_release,
             epsilon_count=epsilon_count,
             true_value=true_fcc,
+            ledger=tuple(accountant.ledger()),
         )

@@ -5,6 +5,14 @@ alternatives; these baselines make the comparison concrete in benchmark
 E9.  Each exposes ``release(graph, rng) -> float`` plus a ``name`` and a
 ``privacy`` description string.
 
+All four accept either graph representation natively: compact inputs
+stay on the :class:`~repro.graphs.compact.CompactGraph` array kernels
+end to end (``f_cc`` via the vectorized union-find, ``max_degree`` via
+the CSR degree table) with **zero** object-graph coercion — guarded by
+the ``forbid_object_coercion`` tests in ``tests/test_baselines.py``.
+The registry adapters in :mod:`repro.estimators.adapters` wrap these
+classes for uniform dispatch.
+
 * :class:`NonPrivateBaseline` — the exact count (privacy: none).
 * :class:`EdgeDPConnectedComponents` — under *edge* privacy ``f_cc`` has
   global sensitivity 1 (inserting or removing one edge changes the count
@@ -25,12 +33,17 @@ E9.  Each exposes ``release(graph, rng) -> float`` plus a ``name`` and a
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
+from ..graphs.compact import CompactGraph
 from ..graphs.components import number_of_connected_components
 from ..graphs.graph import Graph
 from ..mechanisms.laplace import LaplaceMechanism
+
+# Either representation; release() never converts between the two.
+GraphLike = Union[Graph, CompactGraph]
 
 __all__ = [
     "NonPrivateBaseline",
@@ -47,7 +60,7 @@ class NonPrivateBaseline:
     name: str = "exact (non-private)"
     privacy: str = "none"
 
-    def release(self, graph: Graph, rng: np.random.Generator) -> float:
+    def release(self, graph: GraphLike, rng: np.random.Generator) -> float:
         return float(number_of_connected_components(graph))
 
 
@@ -63,7 +76,7 @@ class EdgeDPConnectedComponents:
         if self.epsilon <= 0:
             raise ValueError(f"epsilon must be > 0, got {self.epsilon}")
 
-    def release(self, graph: Graph, rng: np.random.Generator) -> float:
+    def release(self, graph: GraphLike, rng: np.random.Generator) -> float:
         mechanism = LaplaceMechanism(sensitivity=1.0, epsilon=self.epsilon)
         return mechanism.release(float(number_of_connected_components(graph)), rng)
 
@@ -89,7 +102,7 @@ class NaiveNodeDPConnectedComponents:
         if self.n_max < 1:
             raise ValueError(f"n_max must be >= 1, got {self.n_max}")
 
-    def release(self, graph: Graph, rng: np.random.Generator) -> float:
+    def release(self, graph: GraphLike, rng: np.random.Generator) -> float:
         mechanism = LaplaceMechanism(
             sensitivity=float(self.n_max), epsilon=self.epsilon
         )
@@ -120,7 +133,7 @@ class BoundedDegreePromiseLaplace:
                 f"degree_bound must be >= 0, got {self.degree_bound}"
             )
 
-    def release(self, graph: Graph, rng: np.random.Generator) -> float:
+    def release(self, graph: GraphLike, rng: np.random.Generator) -> float:
         if graph.max_degree() > self.degree_bound:
             raise ValueError(
                 "input violates the degree promise: max degree "

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..graphs.compact import as_object_graph
 from ..graphs.graph import Graph
+from ..mechanisms.accountant import PrivacyAccountant
 from ..mechanisms.gem import (
     GEMResult,
     generalized_exponential_mechanism,
@@ -45,7 +46,11 @@ __all__ = ["GenericRelease", "PrivateMonotoneStatistic"]
 
 @dataclass(frozen=True)
 class GenericRelease:
-    """Result of one release of the Theorem A.2 estimator."""
+    """Result of one release of the Theorem A.2 estimator.
+
+    ``ledger`` is the per-step ``(label, ε)`` spend history recorded by
+    the release's :class:`~repro.mechanisms.accountant.PrivacyAccountant`.
+    """
 
     value: float
     delta_hat: float
@@ -53,6 +58,7 @@ class GenericRelease:
     noise_scale: float
     gem: GEMResult
     true_value: float
+    ledger: tuple[tuple[str, float], ...] = ()
 
     @property
     def error(self) -> float:
@@ -109,6 +115,7 @@ class PrivateMonotoneStatistic:
         n = graph.number_of_vertices()
         if n == 0:
             raise ValueError("graph must have at least one vertex")
+        accountant = PrivacyAccountant(self.epsilon)
         epsilon_select = self.epsilon * self.select_fraction
         epsilon_noise = self.epsilon - epsilon_select
         delta_max = self.delta_max if self.delta_max is not None else max(n, 1)
@@ -133,14 +140,18 @@ class PrivateMonotoneStatistic:
         gem_result = generalized_exponential_mechanism(
             candidates, q_function, epsilon_select, self.beta, rng
         )
+        accountant.spend(epsilon_select, "gem selection")
         delta_hat = gem_result.selected
         extension_value = extension(delta_hat)
         scale = delta_hat / epsilon_noise
+        value = extension_value + laplace_noise(scale, rng)
+        accountant.spend(epsilon_noise, "laplace release")
         return GenericRelease(
-            value=extension_value + laplace_noise(scale, rng),
+            value=value,
             delta_hat=delta_hat,
             extension_value=extension_value,
             noise_scale=scale,
             gem=gem_result,
             true_value=true_value,
+            ledger=tuple(accountant.ledger()),
         )

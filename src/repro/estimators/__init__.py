@@ -1,0 +1,66 @@
+"""Unified estimator registry (the single dispatch surface).
+
+Every private estimator the library implements — Algorithm 1 for
+``f_sf``/``f_cc`` (object and compact graphs alike), the generic
+Theorem A.2 construction, and the four baselines — registers here under
+a stable name.  The experiments layer, the serving layer
+(:mod:`repro.service`) and the CLI all build estimators through
+:func:`create` and consume the uniform :class:`Release` record.
+
+>>> import numpy as np
+>>> from repro.estimators import create
+>>> from repro.graphs.generators import planted_components_compact
+>>> rng = np.random.default_rng(0)
+>>> graph = planted_components_compact([20] * 3, 0.3, rng)
+>>> release = create("cc", epsilon=1.0).release(graph, rng)
+>>> release.true_value
+3.0
+>>> sum(eps for _, eps in release.ledger)  # budget is fully accounted
+1.0
+"""
+
+from .base import Estimator, Release
+from .registry import (
+    EstimatorSpec,
+    canonical_name,
+    create,
+    estimator_names,
+    get_spec,
+    register,
+    registry_specs,
+)
+from .adapters import (
+    BoundedDegreeEstimator,
+    ConnectedComponentsEstimator,
+    EdgeDPEstimator,
+    GenericSpanningForestEstimator,
+    NaiveNodeDPEstimator,
+    NonPrivateEstimator,
+    SpanningForestEstimator,
+    true_statistic_for,
+)
+
+# Package-root alias: ``repro.create_estimator`` reads better than a
+# bare ``create`` at top level.
+create_estimator = create
+
+__all__ = [
+    "Estimator",
+    "Release",
+    "create_estimator",
+    "EstimatorSpec",
+    "register",
+    "get_spec",
+    "create",
+    "estimator_names",
+    "canonical_name",
+    "registry_specs",
+    "true_statistic_for",
+    "SpanningForestEstimator",
+    "ConnectedComponentsEstimator",
+    "GenericSpanningForestEstimator",
+    "EdgeDPEstimator",
+    "NaiveNodeDPEstimator",
+    "NonPrivateEstimator",
+    "BoundedDegreeEstimator",
+]

@@ -1,0 +1,158 @@
+"""The unified estimator abstraction: ``Estimator`` and ``Release``.
+
+Every private estimator in the library — Algorithm 1 for ``f_sf`` and
+``f_cc``, the generic Theorem A.2 construction, and the edge-DP /
+bounded-degree baselines — is exposed through one small protocol so the
+experiments layer, the serving layer and the CLI can dispatch uniformly:
+
+* :class:`Estimator` — ``name``, ``statistic``, ``supports(graph)``,
+  ``release(graph, rng) -> Release``;
+* :class:`Release` — a frozen, JSON-serializable record of one private
+  release: the value, the total budget and its per-step ε ledger (from
+  :class:`~repro.mechanisms.accountant.PrivacyAccountant`), the
+  GEM-selected Δ̂ where applicable, wall-clock timing, and estimator
+  metadata.  The legacy release object (with its full diagnostics) rides
+  along in ``detail`` for callers that need it.
+
+Concrete estimators live in :mod:`repro.estimators.adapters` and are
+looked up by name through :mod:`repro.estimators.registry`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..jsonutil import jsonable as _jsonable
+
+__all__ = ["Release", "Estimator", "NON_PRIVATE_METADATA"]
+
+# Metadata keys that are deterministic functions of the private input
+# released without noise (e.g. the exact pre-noise extension value).
+# They are experiment diagnostics, never serving-layer output: the
+# private serialization (``include_true_value=False``) strips them
+# alongside ``true_value``.
+NON_PRIVATE_METADATA = frozenset({"extension_value"})
+
+
+@dataclass(frozen=True)
+class Release:
+    """One private release, in the registry's uniform shape.
+
+    Attributes
+    ----------
+    estimator:
+        Canonical registry name of the estimator that produced this.
+    statistic:
+        Which statistic was estimated (``"cc"`` or ``"sf"``).
+    value:
+        The released (noisy) estimate.
+    epsilon:
+        Total privacy budget spent, or ``None`` for the non-private
+        baseline.
+    ledger:
+        Per-step ``(label, ε)`` spend history; sums to ``epsilon``.
+    delta_hat:
+        The GEM-selected Lipschitz parameter, where the estimator has
+        one (``None`` for the Laplace baselines).
+    elapsed_seconds:
+        Wall-clock time of the ``release`` call.
+    true_value:
+        The exact statistic — **not private**; experiment bookkeeping
+        only, never used downstream of the release.
+    metadata:
+        Small estimator-specific extras (noise scale, budget split, …).
+    detail:
+        The legacy release object with full diagnostics (e.g.
+        :class:`~repro.core.algorithm.SpanningForestRelease`), or
+        ``None`` for plain-float releases.  Excluded from serialization.
+    """
+
+    estimator: str
+    statistic: str
+    value: float
+    epsilon: Optional[float]
+    ledger: tuple[tuple[str, float], ...] = ()
+    delta_hat: Optional[float] = None
+    elapsed_seconds: float = 0.0
+    true_value: Optional[float] = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+    detail: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def error(self) -> Optional[float]:
+        """Signed error ``value − true_value`` (non-private bookkeeping)."""
+        if self.true_value is None:
+            return None
+        return self.value - self.true_value
+
+    def epsilon_spent(self) -> float:
+        """Total ε recorded in the ledger."""
+        return float(sum(amount for _, amount in self.ledger))
+
+    def to_dict(self, *, include_true_value: bool = True) -> dict:
+        """JSON-safe dictionary (``detail`` is never included).
+
+        ``include_true_value=False`` drops *all* non-private bookkeeping
+        — ``true_value`` and any metadata key in
+        :data:`NON_PRIVATE_METADATA` (exact pre-noise values such as
+        ``extension_value``) — the shape a serving layer must emit to
+        consumers who may only ever see private outputs.
+        """
+        metadata = {
+            str(k): _jsonable(v)
+            for k, v in self.metadata.items()
+            if include_true_value or k not in NON_PRIVATE_METADATA
+        }
+        record = {
+            "estimator": self.estimator,
+            "statistic": self.statistic,
+            "value": float(self.value),
+            "epsilon": None if self.epsilon is None else float(self.epsilon),
+            "ledger": [
+                {"label": label, "epsilon": float(amount)}
+                for label, amount in self.ledger
+            ],
+            "delta_hat": (
+                None if self.delta_hat is None else float(self.delta_hat)
+            ),
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "metadata": metadata,
+        }
+        if include_true_value:
+            record["true_value"] = (
+                None if self.true_value is None else float(self.true_value)
+            )
+        return record
+
+    def to_json(self, *, include_true_value: bool = True) -> str:
+        """Serialize to one JSON line (stable key order)."""
+        return json.dumps(
+            self.to_dict(include_true_value=include_true_value),
+            sort_keys=True,
+        )
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """What the experiments layer, service layer and CLI dispatch on.
+
+    ``release`` must consume the RNG exactly the way the wrapped legacy
+    class does, so registry-dispatched releases are bit-identical to
+    direct class calls for shared seeds (pinned by the differential
+    tests in ``tests/test_estimators.py``).
+    """
+
+    name: str
+    statistic: str
+
+    def supports(self, graph) -> bool:
+        """Whether this estimator can release on ``graph`` as configured."""
+        ...
+
+    def release(self, graph, rng: np.random.Generator) -> Release:
+        """Run one private release and return the uniform record."""
+        ...

@@ -1,0 +1,148 @@
+"""Name-keyed registry of every private estimator in the library.
+
+The registry is the single dispatch point for the experiments layer
+(``repro.experiments``), the serving layer (``repro.service``) and the
+CLI: all three build estimators with :func:`create` and never import the
+concrete classes.  Each entry is an :class:`EstimatorSpec` holding the
+canonical name, the statistic it estimates, a one-line summary, legacy
+aliases (the pre-registry sweep mechanism names keep resolving, so
+stored sweep cells stay valid), and a factory
+``(epsilon, graph, options) -> Estimator``.
+
+>>> from repro.estimators import create, estimator_names
+>>> sorted(estimator_names())[:3]
+['bounded_degree', 'cc', 'edge_dp']
+>>> create("cc", epsilon=1.0).name
+'cc'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .base import Estimator
+
+__all__ = [
+    "EstimatorSpec",
+    "register",
+    "get_spec",
+    "create",
+    "estimator_names",
+    "canonical_name",
+    "registry_specs",
+]
+
+# Factory signature: (epsilon, graph, options) -> Estimator.  ``graph``
+# may be None (e.g. when validating a sweep spec before any graph
+# exists); factories that need graph-derived defaults must then resolve
+# them lazily at release time.
+EstimatorFactory = Callable[[Optional[float], Any, dict], Estimator]
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """One registry entry: identity, documentation, and construction."""
+
+    name: str
+    statistic: str
+    summary: str
+    factory: EstimatorFactory
+    aliases: tuple[str, ...] = ()
+    requires_epsilon: bool = True
+    # The keyword options :func:`create` accepts for this estimator;
+    # anything else is rejected up front with the valid names.
+    options: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("estimator spec needs a non-empty name")
+        if self.statistic not in ("cc", "sf"):
+            raise ValueError(
+                f"statistic must be 'cc' or 'sf', got {self.statistic!r}"
+            )
+
+
+_REGISTRY: dict[str, EstimatorSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register(spec: EstimatorSpec) -> EstimatorSpec:
+    """Add one estimator to the registry (names must be unique)."""
+    for name in (spec.name, *spec.aliases):
+        if name in _REGISTRY or name in _ALIASES:
+            raise ValueError(f"estimator name {name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def canonical_name(name: str) -> str:
+    """Resolve an alias to the canonical registry name (identity for
+    canonical names).  Raises ``KeyError`` with the known names for
+    anything unregistered."""
+    if name in _REGISTRY:
+        return name
+    if name in _ALIASES:
+        return _ALIASES[name]
+    raise KeyError(
+        f"unknown estimator {name!r}; known: {sorted(estimator_names())}"
+    )
+
+
+def get_spec(name: str) -> EstimatorSpec:
+    """Look up the spec for a canonical name or alias."""
+    return _REGISTRY[canonical_name(name)]
+
+
+def estimator_names(*, include_aliases: bool = True) -> list[str]:
+    """All registered names (aliases included by default), sorted."""
+    names = list(_REGISTRY)
+    if include_aliases:
+        names.extend(_ALIASES)
+    return sorted(names)
+
+
+def registry_specs() -> list[EstimatorSpec]:
+    """All registered specs, sorted by canonical name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def create(
+    name: str,
+    *,
+    epsilon: Optional[float] = None,
+    graph=None,
+    **options,
+) -> Estimator:
+    """Build a registered estimator by name.
+
+    Parameters
+    ----------
+    name:
+        Canonical name or legacy alias (see :func:`estimator_names`).
+    epsilon:
+        Total privacy budget; required unless the entry is non-private.
+    graph:
+        Optional input the estimator will run on; used only to resolve
+        graph-derived defaults at construction time (e.g. the naive
+        node-DP baseline's public ``n_max``).  The estimator still takes
+        the graph explicitly at ``release`` time.
+    options:
+        Estimator-specific keyword options, validated against the
+        spec's declared ``options`` before construction.
+    """
+    spec = get_spec(name)
+    if spec.requires_epsilon:
+        if epsilon is None:
+            raise ValueError(f"estimator {spec.name!r} requires epsilon")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    unknown = set(options) - set(spec.options)
+    if unknown:
+        raise ValueError(
+            f"unknown options {sorted(unknown)} for estimator "
+            f"{spec.name!r}; valid: {sorted(spec.options)}"
+        )
+    return spec.factory(epsilon, graph, options)

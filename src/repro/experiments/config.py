@@ -39,6 +39,9 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from ..estimators.adapters import GENERIC_MAX_VERTICES
+from ..estimators.registry import canonical_name, estimator_names
+
 __all__ = ["GraphGrid", "SweepCell", "SweepSpec", "load_sweep_spec"]
 
 # Families the runner knows how to materialize; kept here (as data) so a
@@ -61,10 +64,10 @@ KNOWN_FAMILIES = frozenset(
     }
 )
 
-# Mechanism variants the runner can build; see runner.MECHANISMS.
-KNOWN_MECHANISMS = frozenset(
-    {"private_cc", "edge_dp", "naive_node_dp", "non_private"}
-)
+# Estimator validation is live against the registry (see
+# ``SweepSpec.__post_init__``): canonical names plus the legacy
+# mechanism aliases, so pre-registry specs and their stored cells keep
+# working, and estimators registered after import are accepted too.
 
 
 def _content_seed(base_seed: int, namespace: str, payload: Mapping) -> int:
@@ -206,6 +209,15 @@ class SweepSpec:
     base_seed: int = 0
     description: str = ""
 
+    # ``mechanisms`` predates the estimator registry; ``estimators`` is
+    # the registry-era name for the same axis.  Specs may use either key
+    # (but not both), and cells keep the field name ``mechanism`` in
+    # their identity dict so stored sweep results stay valid across the
+    # rename.
+    @property
+    def estimators(self) -> tuple[str, ...]:
+        return self.mechanisms
+
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("sweep needs a non-empty name")
@@ -218,11 +230,26 @@ class SweepSpec:
                 raise ValueError(f"epsilon must be > 0, got {eps}")
         if not self.mechanisms:
             raise ValueError("sweep lists no mechanisms")
+        known = frozenset(estimator_names())
         for mech in self.mechanisms:
-            if mech not in KNOWN_MECHANISMS:
+            if mech not in known:
                 raise ValueError(
-                    f"unknown mechanism {mech!r}; "
-                    f"known: {sorted(KNOWN_MECHANISMS)}"
+                    f"unknown mechanism/estimator {mech!r}; "
+                    f"known: {sorted(known)}"
+                )
+        # generic_sf enumerates the induced-subgraph poset, so it can
+        # never release on graphs beyond its size cap; refuse the spec
+        # at load time instead of crashing hours into a sweep.
+        if any(canonical_name(m) == "generic_sf" for m in self.mechanisms):
+            too_big = sorted(
+                {n for g in self.graphs for n in g.sizes
+                 if n > GENERIC_MAX_VERTICES}
+            )
+            if too_big:
+                raise ValueError(
+                    f"estimator 'generic_sf' supports at most "
+                    f"{GENERIC_MAX_VERTICES} vertices (it enumerates "
+                    f"induced subgraphs); the spec lists sizes {too_big}"
                 )
         if self.replicates < 1:
             raise ValueError(f"replicates must be >= 1, got {self.replicates}")
@@ -296,6 +323,7 @@ class SweepSpec:
             "graphs",
             "epsilons",
             "mechanisms",
+            "estimators",
             "replicates",
             "n_trials",
             "base_seed",
@@ -303,15 +331,23 @@ class SweepSpec:
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown sweep keys: {sorted(unknown)}")
+        if "mechanisms" in data and "estimators" in data:
+            raise ValueError(
+                "give either 'estimators' or the legacy alias "
+                "'mechanisms', not both"
+            )
         graphs = data.get("graphs", ())
         if not isinstance(graphs, Sequence) or isinstance(graphs, (str, bytes)):
             raise ValueError("graphs must be an array of family tables")
+        estimators = data.get(
+            "estimators", data.get("mechanisms", ("private_cc",))
+        )
         return cls(
             name=str(data.get("name", "")),
             description=str(data.get("description", "")),
             graphs=tuple(GraphGrid.from_dict(g) for g in graphs),
             epsilons=tuple(float(e) for e in data.get("epsilons", ())),
-            mechanisms=tuple(data.get("mechanisms", ("private_cc",))),
+            mechanisms=tuple(estimators),
             replicates=int(data.get("replicates", 1)),
             n_trials=int(data.get("n_trials", 100)),
             base_seed=int(data.get("base_seed", 0)),

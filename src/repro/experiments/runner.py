@@ -18,20 +18,23 @@ from __future__ import annotations
 import math
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional
 
 import numpy as np
 
 from .. import __version__
 from ..analysis.report import ExperimentReport
-from ..analysis.trials import TrialConfig, run_trial_batch
-from ..core.baselines import (
-    EdgeDPConnectedComponents,
-    NaiveNodeDPConnectedComponents,
-    NonPrivateBaseline,
+from ..analysis.trials import (
+    TrialConfig,
+    registry_mechanism_factory,
+    run_trial_batch,
 )
-from ..core.algorithm import PrivateConnectedComponents
+from ..estimators import create as _create_estimator
+from ..estimators import get_spec, true_statistic_for
 from ..graphs import generators
+from ..graphs.compact import CompactGraph
+from ..service import ReleaseSession
 from .config import SweepCell, SweepSpec
 from .store import ResultStore, cell_key
 
@@ -127,28 +130,79 @@ def materialize_graph(cell: SweepCell, rng: np.random.Generator):
 
 
 def build_mechanism(name: str, epsilon: float, graph):
-    """Construct one mechanism variant for a given budget and input."""
-    if name == "private_cc":
-        return PrivateConnectedComponents(epsilon=epsilon)
-    if name == "edge_dp":
-        return EdgeDPConnectedComponents(epsilon=epsilon)
-    if name == "naive_node_dp":
-        return NaiveNodeDPConnectedComponents(
-            epsilon=epsilon, n_max=max(graph.number_of_vertices(), 1)
+    """Construct one estimator for a given budget and input.
+
+    Dispatches by registry name (canonical names and the legacy
+    mechanism aliases alike); the returned estimator's ``release`` is
+    bit-identical to the pre-registry class APIs for shared seeds.
+    """
+    return _create_estimator(name, epsilon=epsilon, graph=graph)
+
+
+# One ReleaseSession per sweep per process (parent in serial mode, each
+# pool worker when sharded): grid cells that materialize
+# content-identical graphs — every epsilon/estimator cell of one
+# (family, size, params, replicate) coordinate shares a graph seed —
+# hit the same fingerprint and reuse one warm extension table instead
+# of re-running the kernel pass per cell.  Extension values are
+# deterministic, so results are bit-identical with or without the cache.
+#
+# Lifetime: only the sweep paths use the shared session (``run_cell``
+# called directly stays cold and touches no global), and ``run_sweep``
+# drops the parent-process session when it returns, so large graphs and
+# their extension tables do not outlive the sweep; pool workers die
+# with their executor, reclaiming theirs automatically.
+_SESSION_MAX_GRAPHS = 4
+_session: Optional[ReleaseSession] = None
+
+
+def _shared_session() -> ReleaseSession:
+    global _session
+    if _session is None:
+        _session = ReleaseSession(max_graphs=_SESSION_MAX_GRAPHS)
+    return _session
+
+
+def _reset_shared_session() -> None:
+    global _session
+    _session = None
+
+
+def _mechanism_factory(
+    config: TrialConfig, session: Optional[ReleaseSession] = None
+):
+    """`run_trial_batch` factory: the estimator name rides in the
+    config's ``name`` slot (module-level so process pools can pickle).
+    Builds on the trial engine's registry factory, adding the sweep
+    concerns: a supports() pre-check and warm-extension sharing."""
+    mechanism = registry_mechanism_factory(config)
+    if not mechanism.supports(config.graph):
+        raise ValueError(
+            f"estimator {config.name!r} does not support this cell's "
+            f"graph (n={config.graph.number_of_vertices()}; size or "
+            "degree restriction)"
         )
-    if name == "non_private":
-        return NonPrivateBaseline()
-    raise ValueError(f"unknown mechanism {name!r}")
+    if (
+        session is not None
+        and getattr(mechanism, "uses_extension", False)
+        and isinstance(config.graph, CompactGraph)
+    ):
+        mechanism.bind_session(session)
+    return mechanism
 
 
-def _mechanism_factory(config: TrialConfig):
-    """`run_trial_batch` factory: the mechanism name rides in the
-    config's ``name`` slot (module-level so process pools can pickle)."""
-    return build_mechanism(config.name, config.epsilon, config.graph)
+def run_cell(
+    cell: SweepCell,
+    version: str = __version__,
+    session: Optional[ReleaseSession] = None,
+) -> dict:
+    """Compute one cell from scratch and return its store record.
 
-
-def run_cell(cell: SweepCell, version: str = __version__) -> dict:
-    """Compute one cell from scratch and return its store record."""
+    ``session`` optionally shares warm extension tables across cells
+    with content-identical graphs (the sweep driver passes one per
+    process); without it the cell runs fully cold and holds no state
+    beyond the call.
+    """
     graph_rng = np.random.default_rng(np.random.SeedSequence(cell.graph_seed))
     graph = materialize_graph(cell, graph_rng)
     config = TrialConfig(
@@ -157,8 +211,11 @@ def run_cell(cell: SweepCell, version: str = __version__) -> dict:
         seed=cell.trial_seed,
         n_trials=cell.n_trials,
         name=cell.mechanism,
+        true_statistic=true_statistic_for(get_spec(cell.mechanism).statistic),
     )
-    result = run_trial_batch(_mechanism_factory, [config])[0]
+    result = run_trial_batch(
+        partial(_mechanism_factory, session=session), [config]
+    )[0]
     summary = result.summary
     return {
         "cell": cell.key_dict(),
@@ -171,8 +228,10 @@ def run_cell(cell: SweepCell, version: str = __version__) -> dict:
 
 def _run_and_store(cell: SweepCell, store_root: str, version: str) -> dict:
     """Pool worker: compute one cell and persist it before returning, so
-    durability does not depend on the parent surviving."""
-    record = run_cell(cell, version)
+    durability does not depend on the parent surviving.  The worker's
+    process-local shared session carries warm extensions across the
+    cells this worker handles (and dies with the pool)."""
+    record = run_cell(cell, version, session=_shared_session())
     ResultStore(store_root).put(cell_key(cell, version), record)
     return record
 
@@ -298,36 +357,41 @@ def run_sweep(
         for step, index in enumerate(sorted(collected), start=1):
             progress(step, total + skipped, collected[index].cell, True)
 
-    if pending and (
-        max_workers is None or max_workers == 1 or len(pending) == 1
-    ):
-        for cell, key in pending:
-            record = run_cell(cell, version)
-            store.put(key, record)
-            collected[cell.index] = CellResult(cell, record, cached=False)
-            done += 1
-            if progress is not None:
-                progress(done, total + skipped, cell, False)
-    elif pending:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(_run_and_store, cell, store.root, version): cell
-                for cell, _ in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(
-                    remaining, return_when=FIRST_COMPLETED
-                )
-                for future in finished:
-                    cell = futures[future]
-                    record = future.result()  # re-raises worker errors
-                    collected[cell.index] = CellResult(
-                        cell, record, cached=False
+    try:
+        if pending and (
+            max_workers is None or max_workers == 1 or len(pending) == 1
+        ):
+            for cell, key in pending:
+                record = run_cell(cell, version, session=_shared_session())
+                store.put(key, record)
+                collected[cell.index] = CellResult(cell, record, cached=False)
+                done += 1
+                if progress is not None:
+                    progress(done, total + skipped, cell, False)
+        elif pending:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    pool.submit(_run_and_store, cell, store.root, version): cell
+                    for cell, _ in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
                     )
-                    done += 1
-                    if progress is not None:
-                        progress(done, total + skipped, cell, False)
+                    for future in finished:
+                        cell = futures[future]
+                        record = future.result()  # re-raises worker errors
+                        collected[cell.index] = CellResult(
+                            cell, record, cached=False
+                        )
+                        done += 1
+                        if progress is not None:
+                            progress(done, total + skipped, cell, False)
+    finally:
+        # Graphs and warm extension tables are sweep-scoped: do not let
+        # them outlive this call in a long-running process.
+        _reset_shared_session()
 
     ordered = tuple(collected[i] for i in sorted(collected))
     return SweepResult(

@@ -31,6 +31,7 @@ calls here when handed a :class:`CompactGraph`.  Differential tests in
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from contextlib import contextmanager
 from itertools import combinations
@@ -128,6 +129,7 @@ class CompactGraph:
         "_edge_u",
         "_edge_v",
         "_component_labels",
+        "_fingerprint",
     )
 
     def __init__(
@@ -163,6 +165,7 @@ class CompactGraph:
         self._edge_u: Optional[np.ndarray] = None
         self._edge_v: Optional[np.ndarray] = None
         self._component_labels: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -368,6 +371,27 @@ class CompactGraph:
             f"CompactGraph(n={self.number_of_vertices()}, "
             f"m={self.number_of_edges()})"
         )
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph structure (hex SHA-256, memoized).
+
+        Two :class:`CompactGraph` instances compare equal iff their
+        fingerprints match: the hash covers the CSR arrays and the label
+        table (labels enter via ``repr``, so any hashable labels work).
+        :class:`repro.service.ReleaseSession` keys its per-graph
+        amortization cache on this value, letting content-identical
+        graphs materialized independently (e.g. sweep cells sharing a
+        graph seed) share one extension table.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256(b"compact-graph-v1")
+            digest.update(self.number_of_vertices().to_bytes(8, "big"))
+            digest.update(np.ascontiguousarray(self._indptr).tobytes())
+            digest.update(np.ascontiguousarray(self._indices).tobytes())
+            if self._labels is not None:
+                digest.update(repr(self._labels).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Connected components (array union-find, Shiloach–Vishkin style)

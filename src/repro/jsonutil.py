@@ -1,0 +1,29 @@
+"""Shared JSON coercion for report records and release records.
+
+One helper, used by :mod:`repro.analysis.report` and
+:mod:`repro.estimators.base`, so numpy scalars serialize identically
+everywhere (this module sits below both layers and imports nothing from
+the package, keeping it cycle-free).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce numpy scalars and other simple objects to JSON-safe types."""
+    if hasattr(value, "item") and callable(value.item):
+        try:
+            return value.item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -9,6 +9,7 @@ stay within their advertised ε.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 __all__ = ["BudgetExceededError", "PrivacyAccountant", "split_budget"]
@@ -40,18 +41,27 @@ class PrivacyAccountant:
     def spend(self, epsilon: float, label: str = "") -> None:
         """Record a spend of ``epsilon``; raise if it exceeds the budget.
 
-        A tiny relative slack (1e-9) absorbs floating-point drift when a
-        budget is split into fractions that nominally sum to the total.
+        Admission is exactly :meth:`can_spend` (single source of truth),
+        whose tiny relative slack (1e-9) absorbs floating-point drift
+        when a budget is split into fractions that nominally sum to the
+        total.
         """
-        if epsilon <= 0:
-            raise ValueError(f"spend must be > 0, got {epsilon}")
-        slack = 1e-9 * self.total_epsilon
-        if self.spent() + epsilon > self.total_epsilon + slack:
+        if not self.can_spend(epsilon):
             raise BudgetExceededError(
                 f"spend of {epsilon} exceeds remaining budget "
                 f"{self.remaining()} (label={label!r})"
             )
         self._ledger.append((label, epsilon))
+
+    def can_spend(self, epsilon: float) -> bool:
+        """Whether a spend of ``epsilon`` would fit the remaining budget
+        (same floating-point slack as :meth:`spend`), without recording
+        anything.  Lets callers refuse work *before* running a mechanism
+        whose output they could not release."""
+        if epsilon <= 0:
+            raise ValueError(f"spend must be > 0, got {epsilon}")
+        slack = 1e-9 * self.total_epsilon
+        return self.spent() + epsilon <= self.total_epsilon + slack
 
     def spent(self) -> float:
         """Total ε spent so far."""
@@ -64,6 +74,22 @@ class PrivacyAccountant:
     def ledger(self) -> list[tuple[str, float]]:
         """Copy of the (label, ε) spend history."""
         return list(self._ledger)
+
+    def to_dict(self) -> dict:
+        """The full accounting state as a JSON-safe dictionary."""
+        return {
+            "total_epsilon": self.total_epsilon,
+            "spent": self.spent(),
+            "remaining": self.remaining(),
+            "ledger": [
+                {"label": label, "epsilon": amount}
+                for label, amount in self._ledger
+            ],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize the accounting state (budget + per-step ledger)."""
+        return json.dumps(self.to_dict(), indent=indent)
 
 
 def split_budget(total_epsilon: float, fractions: dict[str, float]) -> dict[str, float]:

@@ -1,0 +1,14 @@
+"""Serving layer: amortized private releases over the estimator registry.
+
+:class:`ReleaseSession` caches the expensive per-graph kernel work
+(component decomposition + whole-grid Lipschitz-extension table) in a
+fingerprint-keyed LRU and answers many ``(estimator, epsilon)`` queries
+on the same graph under one optional shared privacy budget;
+:func:`serve_jsonl` is the JSONL request/response loop behind
+``repro serve-batch``.
+"""
+
+from .batch import serve_jsonl
+from .session import ReleaseSession, SessionStats
+
+__all__ = ["ReleaseSession", "SessionStats", "serve_jsonl"]

@@ -1,0 +1,307 @@
+"""Amortized in-process serving of private releases on hot graphs.
+
+A :class:`ReleaseSession` answers many ``(estimator, epsilon)`` queries
+against the same graph while paying the expensive kernel work — the
+component decomposition and the whole-grid Lipschitz-extension table
+that :meth:`values_for_grid` builds — **once per graph**:
+
+* graphs are identified by :meth:`CompactGraph.fingerprint` (a content
+  hash), so content-identical graphs materialized independently share
+  one cache entry;
+* per graph, the session keeps the warm extension family in an LRU of
+  bounded size; the k-th query on a hot graph costs only GEM selection
+  plus Laplace noise, not a fresh LP pass;
+* all queries optionally draw from one shared
+  :class:`~repro.mechanisms.accountant.PrivacyAccountant`, so the
+  session enforces a total budget across everything it ever released
+  about its graphs (basic composition).
+
+Determinism: extension values are a pure function of the graph, so a
+release through a warm session is bit-identical to a cold
+``create(name, ...).release(graph, rng)`` for the same RNG stream —
+pinned by ``tests/test_service.py`` and gated at n = 1e5 by
+``benchmarks/bench_release_session.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from ..core.extension import extension_for
+from ..estimators.base import Release
+from ..estimators.registry import canonical_name, create, get_spec
+from ..graphs.compact import CompactGraph, as_compact
+from ..mechanisms.accountant import BudgetExceededError, PrivacyAccountant
+
+__all__ = ["ReleaseSession", "SessionStats", "DEFAULT_EXTENSION_OPTIONS"]
+
+# The session's extension tables are built with exactly the LP controls
+# the Algorithm-1 estimators use by default (see
+# ``PrivateSpanningForestSize``), so a warm release equals a cold
+# default-configured release bit for bit.  Estimators whose LP options
+# differ from the session's simply do not get the shared extension (the
+# adapters check compatibility and fall back to a cold build).
+DEFAULT_EXTENSION_OPTIONS: dict[str, Any] = {
+    "use_fast_paths": True,
+    "separation_tolerance": 1e-7,
+    "max_rounds": 60,
+}
+
+
+@dataclass
+class SessionStats:
+    """Counters describing how well the per-graph cache is amortizing."""
+
+    queries: int = 0
+    graph_hits: int = 0
+    graph_misses: int = 0
+    evictions: int = 0
+    epsilon_spent: float = 0.0
+
+    def hit_rate(self) -> float:
+        """Fraction of graph lookups served from the cache."""
+        lookups = self.graph_hits + self.graph_misses
+        return self.graph_hits / lookups if lookups else 0.0
+
+
+@dataclass
+class _GraphEntry:
+    """One cached graph plus its lazily-built warm extension family."""
+
+    graph: CompactGraph
+    extension: Any = field(default=None, repr=False)
+
+
+class ReleaseSession:
+    """Batched serving layer over the estimator registry.
+
+    Parameters
+    ----------
+    max_graphs:
+        LRU capacity: how many distinct graphs keep their warm extension
+        tables resident at once.
+    total_epsilon:
+        Optional session-wide privacy budget.  When set, every private
+        query spends its ε against one shared accountant and the session
+        raises :class:`~repro.mechanisms.accountant.BudgetExceededError`
+        once the budget is exhausted — the serving-layer analogue of
+        basic composition over everything released about the cached
+        graphs.  A budgeted session also refuses non-private estimators
+        (they would sidestep the budget entirely) unless constructed
+        with ``allow_non_private=True``.
+    allow_non_private:
+        Permit zero-budget (exact) estimators on a budgeted session.
+        Irrelevant when ``total_epsilon`` is ``None``.
+    extension_options:
+        Keyword options for :func:`repro.core.extension.extension_for`
+        (LP controls); applied uniformly to every cached extension.
+        Defaults to :data:`DEFAULT_EXTENSION_OPTIONS` — the Algorithm-1
+        estimator defaults — so warm and cold releases agree bit for
+        bit.  An estimator queried with *different* LP options is served
+        cold (correct, just unamortized).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.graphs.generators import planted_components_compact
+    >>> from repro.service import ReleaseSession
+    >>> graph = planted_components_compact(
+    ...     [15] * 4, 0.4, np.random.default_rng(0))
+    >>> session = ReleaseSession()
+    >>> first = session.query("cc", epsilon=1.0, graph=graph, seed=1)
+    >>> again = session.query("cc", epsilon=0.5, graph=graph, seed=2)
+    >>> session.stats.graph_hits
+    1
+    """
+
+    def __init__(
+        self,
+        *,
+        max_graphs: int = 8,
+        total_epsilon: Optional[float] = None,
+        extension_options: Optional[Mapping[str, Any]] = None,
+        allow_non_private: bool = False,
+    ) -> None:
+        if max_graphs < 1:
+            raise ValueError(f"max_graphs must be >= 1, got {max_graphs}")
+        self._max_graphs = max_graphs
+        self._entries: OrderedDict[str, _GraphEntry] = OrderedDict()
+        self._extension_options = {
+            **DEFAULT_EXTENSION_OPTIONS,
+            **(extension_options or {}),
+        }
+        self.accountant = (
+            PrivacyAccountant(total_epsilon)
+            if total_epsilon is not None
+            else None
+        )
+        self._allow_non_private = allow_non_private
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------------
+    # Graph cache
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def fingerprints(self) -> list[str]:
+        """Fingerprints currently cached, least-recently used first."""
+        return list(self._entries)
+
+    def register(self, graph) -> str:
+        """Add ``graph`` to the cache (or touch it) and return its
+        fingerprint.
+
+        Object graphs are converted to the compact representation once
+        here, so every subsequent release runs on the array kernels.
+        """
+        compact = as_compact(graph)
+        fingerprint = compact.fingerprint()
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self._entries.move_to_end(fingerprint)
+            self.stats.graph_hits += 1
+            return fingerprint
+        self.stats.graph_misses += 1
+        self._entries[fingerprint] = _GraphEntry(graph=compact)
+        while len(self._entries) > self._max_graphs:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return fingerprint
+
+    def _entry_for(
+        self, graph=None, fingerprint: Optional[str] = None
+    ) -> tuple[str, _GraphEntry]:
+        if fingerprint is not None:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                raise KeyError(
+                    f"no cached graph with fingerprint {fingerprint!r}; "
+                    "register(graph) it first"
+                )
+            self._entries.move_to_end(fingerprint)
+            self.stats.graph_hits += 1
+            return fingerprint, entry
+        if graph is None:
+            raise ValueError("query needs a graph or a fingerprint")
+        key = self.register(graph)
+        return key, self._entries[key]
+
+    def extension_options_match(self, options: Mapping[str, Any]) -> bool:
+        """Whether an estimator's LP controls agree with the options the
+        session builds its cached extensions with.  Adapters call this
+        before accepting a shared extension: on mismatch they build
+        their own, keeping warm releases bit-identical to cold ones."""
+        return all(
+            self._extension_options.get(key) == value
+            for key, value in options.items()
+        )
+
+    def graph_and_extension(self, graph):
+        """Return ``(cached_graph, warm_extension)`` for ``graph``.
+
+        The amortization hook the Algorithm-1 adapters call when bound
+        to a session (see ``bind_session``): the returned graph is the
+        cached, content-identical :class:`CompactGraph`, and the
+        extension is built at most once per cached graph.
+        """
+        key = self.register(graph)
+        entry = self._entries[key]
+        return entry.graph, self._extension(entry)
+
+    def _extension(self, entry: _GraphEntry):
+        if entry.extension is None:
+            entry.extension = extension_for(
+                entry.graph, **self._extension_options
+            )
+        return entry.extension
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        estimator: str,
+        epsilon: Optional[float] = None,
+        *,
+        graph=None,
+        fingerprint: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        **options,
+    ) -> Release:
+        """Release one estimate on a (hot or new) graph.
+
+        Parameters
+        ----------
+        estimator:
+            Registry name or alias (see
+            :func:`repro.estimators.estimator_names`).
+        epsilon:
+            Privacy budget for this query (``None`` only for the
+            non-private baseline).
+        graph, fingerprint:
+            The input: either the graph itself (cached by content hash
+            on first sight) or the fingerprint of an already-registered
+            graph.
+        rng, seed:
+            The randomness: an explicit generator, or a seed for a fresh
+            ``numpy.random.default_rng``.  Exactly one is required —
+            the session never invents entropy, so callers stay in charge
+            of reproducibility.
+        options:
+            Estimator-specific options forwarded to the registry
+            factory.
+        """
+        if (rng is None) == (seed is None):
+            raise ValueError("provide exactly one of rng or seed")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        name = canonical_name(estimator)
+        spec = get_spec(name)
+        if (
+            self.accountant is not None
+            and not spec.requires_epsilon
+            and not self._allow_non_private
+        ):
+            raise ValueError(
+                f"estimator {name!r} is non-private and would bypass this "
+                "session's total-epsilon budget; construct the session "
+                "with allow_non_private=True to serve it anyway"
+            )
+        key, entry = self._entry_for(graph=graph, fingerprint=fingerprint)
+        instance = create(name, epsilon=epsilon, graph=entry.graph, **options)
+        # Refuse doomed or unaffordable work up front: nothing is spent
+        # for a query that cannot produce a release.
+        if not instance.supports(entry.graph):
+            raise ValueError(
+                f"estimator {name!r} does not support this graph as "
+                "configured (size or degree restriction)"
+            )
+        charged = self.accountant is not None and spec.requires_epsilon
+        if charged and not self.accountant.can_spend(epsilon):
+            raise BudgetExceededError(
+                f"query for {epsilon} exceeds the session's remaining "
+                f"budget {self.accountant.remaining()}"
+            )
+        if getattr(
+            instance, "uses_extension", False
+        ) and self.extension_options_match(instance.lp_options):
+            release = instance.release(
+                entry.graph, rng, extension=self._extension(entry)
+            )
+        else:
+            # Incompatible LP controls (or no extension at all): serve
+            # cold — correct, just unamortized.
+            release = instance.release(entry.graph, rng)
+        # Spend only after a successful release: a raising estimator
+        # must not leak budget.
+        if charged:
+            self.accountant.spend(epsilon, f"{name}@{key[:12]}")
+            self.stats.epsilon_spent += epsilon
+        self.stats.queries += 1
+        return release

@@ -9,6 +9,11 @@ from repro.core.baselines import (
     NaiveNodeDPConnectedComponents,
     NonPrivateBaseline,
 )
+from repro.graphs.compact import (
+    as_compact,
+    forbid_object_coercion,
+    object_coercion_count,
+)
 from repro.graphs.generators import grid_graph, path_graph, star_graph
 
 
@@ -76,3 +81,50 @@ class TestBoundedDegreePromise:
             BoundedDegreePromiseLaplace(epsilon=1.0, degree_bound=-1)
         with pytest.raises(ValueError):
             BoundedDegreePromiseLaplace(epsilon=0.0, degree_bound=3)
+
+
+class TestCompactNative:
+    """Every baseline accepts a CompactGraph with zero object coercion."""
+
+    @pytest.fixture
+    def compact(self):
+        return as_compact(grid_graph(4, 4))
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: NonPrivateBaseline(),
+            lambda: EdgeDPConnectedComponents(epsilon=1.0),
+            lambda: NaiveNodeDPConnectedComponents(epsilon=1.0, n_max=16),
+            lambda: BoundedDegreePromiseLaplace(epsilon=1.0, degree_bound=4),
+        ],
+        ids=["non_private", "edge_dp", "naive_node_dp", "bounded_degree"],
+    )
+    def test_zero_coercions(self, compact, make, rng):
+        before = object_coercion_count()
+        with forbid_object_coercion():
+            value = make().release(compact, rng)
+        assert object_coercion_count() == before
+        assert np.isfinite(value)
+
+    def test_matches_object_path_bitwise(self, compact, rng):
+        """Same seed, either representation: identical released floats."""
+        reference = grid_graph(4, 4)
+        for baseline in (
+            NonPrivateBaseline(),
+            EdgeDPConnectedComponents(epsilon=0.7),
+            NaiveNodeDPConnectedComponents(epsilon=0.7, n_max=16),
+            BoundedDegreePromiseLaplace(epsilon=0.7, degree_bound=4),
+        ):
+            compact_value = baseline.release(
+                compact, np.random.default_rng(42)
+            )
+            object_value = baseline.release(
+                reference, np.random.default_rng(42)
+            )
+            assert compact_value == object_value
+
+    def test_promise_violation_raises_on_compact(self, rng):
+        baseline = BoundedDegreePromiseLaplace(epsilon=1.0, degree_bound=4)
+        with pytest.raises(ValueError, match="promise"):
+            baseline.release(as_compact(star_graph(10)), rng)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -76,3 +78,110 @@ class TestGenerate:
         main(["generate", "--family", "forest", "--n", "30", "--trees", "6",
               "--seed", "2", "--output", str(out_path)])
         assert main(["count", "--input", str(out_path), "--seed", "4"]) == 0
+
+
+class TestEstimate:
+    def test_list_estimators(self, capsys):
+        assert main(["estimate", "--list-estimators"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cc", "sf", "edge_dp", "generic_sf", "non_private"):
+            assert name in out
+        assert "private_cc" in out  # aliases are shown
+
+    @pytest.mark.parametrize("name", ["cc", "sf", "edge_dp", "non_private"])
+    def test_runs_every_registered_estimator(self, graph_file, capsys, name):
+        code = main(
+            ["estimate", graph_file, "--estimator", name,
+             "--epsilon", "1.0", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"{name} estimate" in out
+
+    def test_matches_registry_release(self, graph_file, capsys):
+        """The CLI is a thin shell over the registry: same seed, same value."""
+        import numpy as np
+        from repro.estimators import create
+        from repro.graphs.io import read_edge_list_auto
+
+        assert main(
+            ["estimate", graph_file, "--estimator", "cc",
+             "--epsilon", "1.0", "--seed", "9", "--json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        graph = read_edge_list_auto(graph_file)
+        release = create("cc", epsilon=1.0).release(
+            graph, np.random.default_rng(9)
+        )
+        assert record["value"] == release.value
+
+    def test_ledger_printed(self, graph_file, capsys):
+        main(["estimate", graph_file, "--estimator", "cc",
+              "--epsilon", "1.0", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "gem selection" in out and "laplace release" in out
+
+    def test_alias_accepted(self, graph_file, capsys):
+        assert main(
+            ["estimate", graph_file, "--estimator", "private_cc",
+             "--seed", "1"]
+        ) == 0
+
+    def test_unknown_estimator_fails(self, graph_file, capsys):
+        assert main(
+            ["estimate", graph_file, "--estimator", "wizardry"]
+        ) == 1
+        assert "unknown estimator" in capsys.readouterr().err
+
+    def test_missing_input_fails(self, capsys):
+        assert main(["estimate", "--estimator", "cc"]) == 1
+
+    def test_unsupported_input_fails(self, tmp_path, capsys):
+        # generic_sf refuses graphs beyond its size cap with exit 1.
+        from repro.graphs.generators import path_graph
+
+        path = tmp_path / "big.edges"
+        write_edge_list(path_graph(40), path)
+        code = main(
+            ["estimate", str(path), "--estimator", "generic_sf",
+             "--epsilon", "1.0", "--seed", "1"]
+        )
+        assert code == 1
+        assert "does not support" in capsys.readouterr().err
+
+
+class TestServeBatch:
+    def test_round_trip(self, graph_file, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"id": "q1", "estimator": "cc", "epsilon": 1.0,
+                        "seed": 5}) + "\n"
+            + json.dumps({"id": "q2", "estimator": "edge_dp",
+                          "epsilon": 0.5, "seed": 6}) + "\n"
+        )
+        output = tmp_path / "releases.jsonl"
+        code = main(
+            ["serve-batch", "--graph", graph_file,
+             "--requests", str(requests), "--output", str(output)]
+        )
+        assert code == 0
+        lines = output.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["id"] == "q1" and "value" in first
+        assert "served 2 releases" in capsys.readouterr().err
+
+    def test_total_epsilon_budget(self, graph_file, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"estimator": "cc", "epsilon": 0.8, "seed": 1}) + "\n"
+            + json.dumps({"estimator": "cc", "epsilon": 0.8, "seed": 2}) + "\n"
+        )
+        output = tmp_path / "out.jsonl"
+        assert main(
+            ["serve-batch", "--graph", graph_file, "--total-epsilon", "1.0",
+             "--requests", str(requests), "--output", str(output)]
+        ) == 0
+        lines = [json.loads(l) for l in output.read_text().splitlines()]
+        assert "value" in lines[0]
+        assert "budget exceeded" in lines[1]["error"]

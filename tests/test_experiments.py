@@ -244,3 +244,61 @@ class TestCacheKeys:
         keys_a = {cell_key(c) for c in a}
         keys_b = {cell_key(c) for c in b}
         assert keys_a == keys_b
+
+
+class TestEstimatorsField:
+    """The registry-era 'estimators' spec key (alias of 'mechanisms')."""
+
+    def test_estimators_key_loads(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "registry-era",
+                    "graphs": [{"family": "er", "sizes": [20]}],
+                    "epsilons": [1.0],
+                    "estimators": ["cc", "sf", "edge_dp"],
+                }
+            )
+        )
+        spec = load_sweep_spec(path)
+        assert spec.mechanisms == ("cc", "sf", "edge_dp")
+        assert spec.estimators == ("cc", "sf", "edge_dp")
+
+    def test_both_keys_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            SweepSpec.from_dict(
+                {
+                    "name": "x",
+                    "graphs": [{"family": "er", "sizes": [20]}],
+                    "epsilons": [1.0],
+                    "estimators": ["cc"],
+                    "mechanisms": ["private_cc"],
+                }
+            )
+
+    def test_registry_names_validate(self):
+        # Canonical registry names and legacy aliases both pass.
+        tiny_spec(mechanisms=("cc", "sf", "bounded_degree"))
+        tiny_spec(mechanisms=("private_cc", "non_private"))
+
+    def test_cell_keys_unchanged_for_legacy_names(self):
+        """Stored sweeps survive the registry refactor: a legacy-name
+        cell hashes to the same store key as before (the cell identity
+        still calls the axis 'mechanism')."""
+        spec = tiny_spec(mechanisms=("private_cc",))
+        cell = spec.expand()[0]
+        assert "mechanism" in cell.key_dict()
+        assert cell.key_dict()["mechanism"] == "private_cc"
+        assert "estimator" not in cell.key_dict()
+
+    def test_generic_sf_size_cap_rejected_at_load_time(self):
+        """A spec that would crash mid-sweep (generic_sf on n > 16) is
+        refused when the spec is built, not hours into the run."""
+        with pytest.raises(ValueError, match="at most 16"):
+            tiny_spec(mechanisms=("generic_sf",))  # sizes 16..30
+        # Within the cap it validates fine.
+        tiny_spec(
+            mechanisms=("generic_sf",),
+            graphs=(GraphGrid("er", (10,)),),
+        )

@@ -104,8 +104,9 @@ class TestMechanisms:
         cell = cheap_spec().expand()[0]
         graph = materialize_graph(cell, np.random.default_rng(0))
         mechanism = build_mechanism("non_private", 1.0, graph)
-        value = mechanism.release(graph, np.random.default_rng(1))
-        assert value == number_of_connected_components(graph)
+        release = mechanism.release(graph, np.random.default_rng(1))
+        assert release.value == number_of_connected_components(graph)
+        assert release.ledger == ()  # nothing spent: not a private release
 
 
 class TestRunSweep:

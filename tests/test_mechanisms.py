@@ -314,6 +314,21 @@ class TestAccountant:
         assert acct.remaining() == pytest.approx(0.75)
         assert acct.spent() == pytest.approx(1.25)
 
+    def test_to_dict_and_to_json(self):
+        import json as _json
+
+        acct = PrivacyAccountant(1.0)
+        acct.spend(0.4, "gem selection")
+        acct.spend(0.6, "laplace release")
+        state = acct.to_dict()
+        assert state["total_epsilon"] == 1.0
+        assert state["spent"] == pytest.approx(1.0)
+        assert state["ledger"] == [
+            {"label": "gem selection", "epsilon": 0.4},
+            {"label": "laplace release", "epsilon": 0.6},
+        ]
+        assert _json.loads(acct.to_json()) == state
+
     def test_failed_spend_leaves_ledger_unchanged(self):
         acct = PrivacyAccountant(1.0)
         acct.spend(0.7, "ok")

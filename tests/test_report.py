@@ -69,3 +69,26 @@ class TestSerialization:
         # can at least parse our own output back.
         parsed = json.loads(report.to_json())
         assert parsed["records"][0]["metrics"]["x"] == float("inf")
+
+
+class TestAddRelease:
+    def test_release_record_round_trips(self, tmp_path):
+        from repro.estimators import create
+        from repro.graphs.generators import path_graph_compact
+
+        graph = path_graph_compact(20)
+        release = create("cc", epsilon=1.0).release(
+            graph, np.random.default_rng(0)
+        )
+        report = ExperimentReport("E-svc", "registry release record", seed=0)
+        report.add_release(params={"n": 20, "estimator": "cc"}, release=release)
+        path = tmp_path / "report.json"
+        report.write(path)
+        record = ExperimentReport.read(path)["records"][0]
+        assert record["params"]["estimator"] == "cc"
+        metrics = record["metrics"]
+        assert metrics["value"] == release.value
+        assert sum(
+            step["epsilon"] for step in metrics["ledger"]
+        ) == pytest.approx(1.0)
+        assert metrics["delta_hat"] == release.delta_hat
