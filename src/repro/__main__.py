@@ -8,6 +8,10 @@ Subcommands
                  (``--list-estimators`` enumerates the registry).
 ``serve-batch``  Answer JSONL release requests through an amortized
                  :class:`~repro.service.ReleaseSession` (JSONL out).
+                 ``--cache-dir`` persists warm extension tables across
+                 restarts; ``--workers N`` shards requests across
+                 processes by graph fingerprint (byte-identical output
+                 for any worker count).
 ``stats``        Print exact (non-private) structural statistics.
 ``generate``     Sample a graph from a built-in family and write it out.
 ``sweep``        Run a config-driven experiment sweep into a resumable
@@ -37,6 +41,8 @@ Examples
     python -m repro estimate --list-estimators
     python -m repro serve-batch --graph contacts.edges \
         --requests queries.jsonl --output releases.jsonl
+    python -m repro serve-batch --requests queries.jsonl --workers 4 \
+        --cache-dir ext-cache --output releases.jsonl
 """
 
 from __future__ import annotations
@@ -50,8 +56,9 @@ import numpy as np
 from .core.algorithm import PrivateConnectedComponents
 from .estimators import create, get_spec, registry_specs
 from .experiments import cli as experiments_cli
-from .service import ReleaseSession, serve_jsonl
+from .service import ReleaseSession, serve_jsonl, serve_jsonl_parallel
 from .graphs import generators
+from .graphs.compact import as_compact
 from .graphs.components import number_of_connected_components, spanning_forest_size
 from .graphs.forests import approx_min_degree_spanning_forest
 from .graphs.io import read_edge_list_auto, write_edge_list
@@ -153,6 +160,21 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="root entropy for requests without an explicit seed",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent extension-cache directory: warm tables survive "
+        "restarts (holds pre-noise state; permission it like the raw "
+        "graph data)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; requests are sharded deterministically "
+        "by graph fingerprint and output is byte-identical to "
+        "--workers 1 (incompatible with --total-epsilon)",
     )
 
     stats = subparsers.add_parser("stats", help="exact, non-private statistics")
@@ -278,11 +300,18 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
-    session = ReleaseSession(
-        max_graphs=args.max_graphs,
-        total_epsilon=args.total_epsilon,
-        allow_non_private=args.allow_non_private,
-    )
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 1
+    if args.workers > 1 and args.total_epsilon is not None:
+        print(
+            "error: --total-epsilon needs one shared accountant and is "
+            "only supported with --workers 1 (a budget cannot be "
+            "enforced across shards without serializing them)",
+            file=sys.stderr,
+        )
+        return 1
     default_graph = None
     if args.graph is not None:
         default_graph = read_edge_list_auto(args.graph)
@@ -296,30 +325,76 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     output = sys.stdout if args.output == "-" else open(args.output, "w")
     served = errors = 0
     try:
-        for response in serve_jsonl(
-            requests,
-            session,
-            default_graph=default_graph,
-            base_seed=args.base_seed,
-        ):
+        if args.workers == 1:
+            session = ReleaseSession(
+                max_graphs=args.max_graphs,
+                total_epsilon=args.total_epsilon,
+                allow_non_private=args.allow_non_private,
+                cache_dir=args.cache_dir,
+            )
+            responses = serve_jsonl(
+                requests,
+                session,
+                default_graph=default_graph,
+                base_seed=args.base_seed,
+            )
+            summary_stats = None
+        else:
+            result = serve_jsonl_parallel(
+                requests,
+                workers=args.workers,
+                default_graph_path=args.graph,
+                # The validation load above already fingerprinted the
+                # default graph; don't make the router load it again.
+                default_graph_fingerprint=(
+                    None if default_graph is None
+                    else as_compact(default_graph).fingerprint()
+                ),
+                base_seed=args.base_seed,
+                max_graphs=args.max_graphs,
+                allow_non_private=args.allow_non_private,
+                cache_dir=args.cache_dir,
+            )
+            responses = result.responses
+            summary_stats = result.worker_stats
+        for response in responses:
             if "error" in response:
                 errors += 1
             else:
                 served += 1
             output.write(json.dumps(response, sort_keys=True) + "\n")
+        if args.workers == 1:
+            session.persist_warm_extensions()
+            cache_note = (
+                "" if session.cache is None
+                else f"; {session.stats.disk_warm_starts} disk warm starts"
+            )
+            print(
+                f"served {served} releases ({errors} errors) on "
+                f"{len(session)} cached graphs; graph-cache hit rate "
+                f"{session.stats.hit_rate():.0%}{cache_note}",
+                file=sys.stderr,
+            )
+        else:
+            hits = sum(s["graph_hits"] for s in summary_stats)
+            misses = sum(s["graph_misses"] for s in summary_stats)
+            lookups = hits + misses
+            warm = sum(s["disk_warm_starts"] for s in summary_stats)
+            print(
+                f"served {served} releases ({errors} errors) across "
+                f"{args.workers} workers; graph-cache hit rate "
+                f"{hits / lookups if lookups else 0.0:.0%}; "
+                f"{warm} disk warm starts",
+                file=sys.stderr,
+            )
     finally:
         if requests is not sys.stdin:
             requests.close()
         if output is not sys.stdout:
             output.close()
-    stats = session.stats
-    print(
-        f"served {served} releases ({errors} errors) on "
-        f"{len(session)} cached graphs; graph-cache hit rate "
-        f"{stats.hit_rate():.0%}",
-        file=sys.stderr,
-    )
-    return 0
+    # One bad line never fails the batch; a batch where *nothing*
+    # succeeded exits nonzero so operators notice.
+    return 1 if errors and not served else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

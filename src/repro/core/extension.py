@@ -201,6 +201,37 @@ class _ComponentwiseExtension:
         """Δ values whose values are currently cached (ascending)."""
         return sorted(self._value_cache)
 
+    def cached_values(self) -> dict[float, float]:
+        """Copy of the per-Δ value cache (``Δ -> f_Δ(G)``).
+
+        The serialization surface of the persistent extension cache
+        (:mod:`repro.service.cache`): together with :meth:`preload_values`
+        it round-trips every evaluated grid value exactly, so a
+        disk-warmed extension answers :meth:`values_for_grid` bit for
+        bit like the one that originally computed them.
+        """
+        return dict(self._value_cache)
+
+    def preload_values(self, values) -> None:
+        """Install previously computed ``Δ -> f_Δ(G)`` values.
+
+        ``values`` is a mapping or an iterable of ``(delta, value)``
+        pairs, typically read back from
+        :class:`repro.service.cache.ExtensionCache`.  Preloaded entries
+        are served from the value cache exactly as if :meth:`value` had
+        just computed them, so a fully preloaded grid never triggers
+        the component split or any LP work.  Values are deterministic
+        functions of the graph; callers are responsible for keying them
+        to the right graph content and LP controls (the service cache
+        does this with a content-addressed key).
+        """
+        pairs = values.items() if hasattr(values, "items") else values
+        for delta, value in pairs:
+            key = float(delta)
+            if key <= 0:
+                raise ValueError(f"delta must be positive, got {delta}")
+            self._value_cache[key] = float(value)
+
     # -- engine internals ---------------------------------------------------
     def _component_value(self, i: int, delta: float) -> float:
         cached = self._lp_cache[i].get(delta)

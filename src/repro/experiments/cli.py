@@ -56,6 +56,14 @@ def add_subparsers(subparsers) -> None:
         sub.add_argument(
             "--quiet", action="store_true", help="suppress progress lines"
         )
+        sub.add_argument(
+            "--extension-cache",
+            default=None,
+            help="persistent Lipschitz-extension cache directory: "
+            "repeated sweeps over overlapping grids skip extension "
+            "rebuilds entirely (pre-noise state; permission it like "
+            "the raw graph data)",
+        )
 
     report = subparsers.add_parser(
         "report",
@@ -112,6 +120,7 @@ def cmd_sweep(args: argparse.Namespace, *, resuming: bool) -> int:
         max_workers=args.workers,
         max_cells=args.max_cells,
         progress=progress,
+        extension_cache_dir=args.extension_cache,
     )
     print(
         f"sweep {spec.name!r}: {len(result.results)} of "

@@ -156,15 +156,24 @@ _SESSION_MAX_GRAPHS = 4
 _session: Optional[ReleaseSession] = None
 
 
-def _shared_session() -> ReleaseSession:
+def _shared_session(
+    extension_cache_dir: Optional[str] = None,
+) -> ReleaseSession:
     global _session
     if _session is None:
-        _session = ReleaseSession(max_graphs=_SESSION_MAX_GRAPHS)
+        _session = ReleaseSession(
+            max_graphs=_SESSION_MAX_GRAPHS,
+            cache_dir=extension_cache_dir,
+        )
     return _session
 
 
 def _reset_shared_session() -> None:
+    """Drop the shared session, spilling warm tables to disk first
+    (when the session carries a persistent extension cache)."""
     global _session
+    if _session is not None:
+        _session.persist_warm_extensions()
     _session = None
 
 
@@ -226,13 +235,23 @@ def run_cell(
     }
 
 
-def _run_and_store(cell: SweepCell, store_root: str, version: str) -> dict:
+def _run_and_store(
+    cell: SweepCell,
+    store_root: str,
+    version: str,
+    extension_cache_dir: Optional[str] = None,
+) -> dict:
     """Pool worker: compute one cell and persist it before returning, so
     durability does not depend on the parent surviving.  The worker's
     process-local shared session carries warm extensions across the
-    cells this worker handles (and dies with the pool)."""
-    record = run_cell(cell, version, session=_shared_session())
+    cells this worker handles (and dies with the pool); with a
+    persistent extension cache attached, the warm tables are also
+    spilled to disk per cell, so even a killed pool leaves its
+    extension work reusable."""
+    session = _shared_session(extension_cache_dir)
+    record = run_cell(cell, version, session=session)
     ResultStore(store_root).put(cell_key(cell, version), record)
+    session.persist_warm_extensions()
     return record
 
 
@@ -304,6 +323,7 @@ def run_sweep(
     max_cells: Optional[int] = None,
     version: str = __version__,
     progress: Optional[ProgressCallback] = None,
+    extension_cache_dir: Optional[str] = None,
 ) -> SweepResult:
     """Run (or resume) a sweep against a result store.
 
@@ -328,6 +348,14 @@ def run_sweep(
         Library version folded into cache keys; override only in tests.
     progress:
         ``progress(done, total, cell, cached)`` called once per cell.
+    extension_cache_dir:
+        Optional persistent extension cache
+        (:class:`~repro.service.cache.ExtensionCache` directory) shared
+        by every per-process session: repeated sweeps over overlapping
+        grids then skip the Lipschitz-extension rebuilds entirely, even
+        across process restarts.  Values are deterministic, so results
+        are bit-identical with or without it.  The cache holds
+        pre-noise state — permission the directory like the raw graphs.
     """
     if max_workers is not None and max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -362,7 +390,10 @@ def run_sweep(
             max_workers is None or max_workers == 1 or len(pending) == 1
         ):
             for cell, key in pending:
-                record = run_cell(cell, version, session=_shared_session())
+                record = run_cell(
+                    cell, version,
+                    session=_shared_session(extension_cache_dir),
+                )
                 store.put(key, record)
                 collected[cell.index] = CellResult(cell, record, cached=False)
                 done += 1
@@ -371,7 +402,10 @@ def run_sweep(
         elif pending:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 futures = {
-                    pool.submit(_run_and_store, cell, store.root, version): cell
+                    pool.submit(
+                        _run_and_store, cell, store.root, version,
+                        extension_cache_dir,
+                    ): cell
                     for cell, _ in pending
                 }
                 remaining = set(futures)

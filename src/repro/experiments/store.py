@@ -13,10 +13,11 @@ identity (its :meth:`key_dict`) plus the library version.  Consequences:
   storage automatically.
 
 Writes are atomic: the record is written to a temporary file in the
-destination directory, fsynced, then ``os.replace``-d into place, so a
-kill mid-write leaves either the old state or the new state, never a
-torn file.  Stray ``*.tmp`` files from a kill are ignored by readers
-and cleaned opportunistically.
+destination directory, fsynced, then ``os.replace``-d into place (the
+shared :mod:`repro.storage` discipline), so a kill mid-write leaves
+either the old state or the new state, never a torn file.  Stray
+``*.tmp`` files from a kill are ignored by readers and cleaned
+opportunistically.
 """
 
 from __future__ import annotations
@@ -24,11 +25,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
-import time
 from typing import Iterator
 
 from .. import __version__
+from ..storage import (
+    atomic_write_json,
+    clean_stale_tmp,
+    iter_keys,
+    read_json_or_none,
+    sharded_path,
+)
 from .config import SweepCell
 
 __all__ = ["ResultStore", "cell_key"]
@@ -57,7 +63,7 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> str:
-        return os.path.join(self.root, key[:2], f"{key}.json")
+        return sharded_path(self.root, key)
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self.path_for(key))
@@ -69,49 +75,16 @@ class ResultStore:
         than :meth:`put`) is treated as absent, so the cell is simply
         recomputed rather than crashing the sweep.
         """
-        path = self.path_for(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except FileNotFoundError:
-            return None
-        except json.JSONDecodeError:
-            return None
+        return read_json_or_none(self.path_for(key))
 
     def put(self, key: str, record: dict) -> None:
         """Atomically persist ``record`` under ``key``."""
-        path = self.path_for(key)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=f".{key[:8]}-", suffix=".tmp", dir=directory
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True)
-                handle.write("\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self.path_for(key), record)
 
     # ------------------------------------------------------------------
     def keys(self) -> Iterator[str]:
         """Iterate over all stored keys (sorted, for determinism)."""
-        if not os.path.isdir(self.root):
-            return
-        for shard in sorted(os.listdir(self.root)):
-            shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir):
-                continue
-            for name in sorted(os.listdir(shard_dir)):
-                if name.endswith(".json"):
-                    yield name[: -len(".json")]
+        yield from iter_keys(self.root)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
@@ -119,28 +92,14 @@ class ResultStore:
     def clean_tmp(self, max_age_seconds: float = 3600.0) -> int:
         """Remove stale ``*.tmp`` files left by a kill; return the count.
 
-        Only files older than ``max_age_seconds`` are touched: a fresh
-        ``.tmp`` may belong to another sweep process concurrently
-        writing to this store, and unlinking it mid-:meth:`put` would
-        make that writer's ``os.replace`` fail.
+        Only files strictly older than ``max_age_seconds`` are touched:
+        a fresh ``.tmp`` may belong to another sweep process
+        concurrently writing to this store, and unlinking it
+        mid-:meth:`put` would make that writer's ``os.replace`` fail.
+        The age check is made against a fresh clock reading per file,
+        so a long scan cannot misjudge files created while it runs.
         """
-        removed = 0
-        now = time.time()
-        for shard in os.listdir(self.root):
-            shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir):
-                continue
-            for name in os.listdir(shard_dir):
-                if not name.endswith(".tmp"):
-                    continue
-                path = os.path.join(shard_dir, name)
-                try:
-                    if now - os.path.getmtime(path) >= max_age_seconds:
-                        os.unlink(path)
-                        removed += 1
-                except OSError:
-                    pass
-        return removed
+        return clean_stale_tmp(self.root, max_age_seconds)
 
     def __repr__(self) -> str:
         return f"ResultStore({self.root!r}, {len(self)} records)"

@@ -372,6 +372,31 @@ class CompactGraph:
             f"m={self.number_of_edges()})"
         )
 
+    def __getstate__(self) -> dict:
+        """Pickle only the defining structure (CSR arrays + labels).
+
+        Derived memos (edge lists, component labels) are dropped — they
+        rebuild on demand — so graphs ship cheaply across process
+        boundaries (sweep pools, the sharded serve-batch workers).  The
+        memoized fingerprint rides along: it is content-derived, and
+        keeping it saves the receiving process a full re-hash.
+        """
+        return {
+            "indptr": self._indptr,
+            "indices": self._indices,
+            "labels": self._labels,
+            "fingerprint": self._fingerprint,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        # Re-enter through __init__ so the unpickled arrays are frozen
+        # again (ndarray writeability does not survive pickling).
+        self.__init__(
+            state["indptr"], state["indices"],
+            labels=state["labels"], _validate=False,
+        )
+        self._fingerprint = state["fingerprint"]
+
     def fingerprint(self) -> str:
         """Content hash of the graph structure (hex SHA-256, memoized).
 

@@ -4,11 +4,25 @@
 (component decomposition + whole-grid Lipschitz-extension table) in a
 fingerprint-keyed LRU and answers many ``(estimator, epsilon)`` queries
 on the same graph under one optional shared privacy budget;
+:class:`ExtensionCache` makes that warm state durable on disk
+(content-addressed by graph fingerprint + LP controls + candidate
+grid), so cold processes warm-start across restarts;
 :func:`serve_jsonl` is the JSONL request/response loop behind
-``repro serve-batch``.
+``repro serve-batch`` and :func:`serve_jsonl_parallel` shards it across
+worker processes by graph fingerprint.
 """
 
-from .batch import serve_jsonl
+from .batch import ParallelServeResult, serve_jsonl, serve_jsonl_parallel
+from .cache import CacheStats, ExtensionCache, extension_key
 from .session import ReleaseSession, SessionStats
 
-__all__ = ["ReleaseSession", "SessionStats", "serve_jsonl"]
+__all__ = [
+    "CacheStats",
+    "ExtensionCache",
+    "ParallelServeResult",
+    "ReleaseSession",
+    "SessionStats",
+    "extension_key",
+    "serve_jsonl",
+    "serve_jsonl_parallel",
+]

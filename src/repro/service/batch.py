@@ -20,15 +20,34 @@ JSON object:
 * ``options`` — estimator-specific keyword options.
 
 Each response line carries the uniform release record (value, total ε,
-per-step ledger, Δ̂, timing, metadata) plus the graph fingerprint — and
-**no** non-private bookkeeping fields.  A malformed request produces an
-``{"id": ..., "error": ...}`` line instead of aborting the batch.
+per-step ledger, Δ̂, metadata) plus the graph fingerprint — and **no**
+non-private bookkeeping fields, and no wall-clock timing (responses are
+deterministic functions of the request stream, which keeps serving
+output byte-identical across reruns and worker counts, and closes a
+timing side channel on the pre-noise computation).
+
+Failure semantics: one bad line never aborts the batch.  *Any* failing
+request — malformed JSON, unknown estimator, unreadable graph path,
+budget exhaustion, even an estimator crash — produces a structured
+``{"id": ..., "error": <message>, "error_type": <ExceptionName>}``
+record in its slot and serving continues.  The CLI exits nonzero only
+when every request line failed.
+
+Sharded parallel serving (:func:`serve_jsonl_parallel`) fans the same
+protocol out over worker processes: requests are routed
+**deterministically by graph fingerprint**, so each worker owns its
+shard of graphs (and of the persistent extension cache — no two
+workers ever build or write the same table), responses are re-emitted
+in input order, and per-request seeding is identical to the serial
+path — output is byte-identical for any worker count.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable, Iterator
+import multiprocessing
+import queue as queue_module
+from typing import Iterable, Iterator, NamedTuple, Optional
 
 import numpy as np
 
@@ -37,7 +56,140 @@ from ..graphs.io import read_edge_list_auto
 from ..mechanisms.accountant import BudgetExceededError
 from .session import ReleaseSession
 
-__all__ = ["serve_jsonl"]
+__all__ = ["serve_jsonl", "serve_jsonl_parallel", "ParallelServeResult"]
+
+
+class _RequestServer:
+    """Serves individual JSONL request lines through one session.
+
+    The single implementation behind both the serial generator
+    (:func:`serve_jsonl`) and the sharded workers — sharing it is what
+    makes parallel output byte-identical to serial output.
+    """
+
+    def __init__(
+        self,
+        session: ReleaseSession,
+        *,
+        default_graph=None,
+        default_graph_path: Optional[str] = None,
+        base_seed: int = 0,
+    ) -> None:
+        self._session = session
+        # Compact once up front: serving it again after an LRU eviction
+        # is then a memoized-fingerprint touch, not an O(n+m) conversion.
+        self._default_graph = (
+            as_compact(default_graph) if default_graph is not None else None
+        )
+        self._default_graph_path = default_graph_path
+        self._base_seed = base_seed
+        self._path_cache: dict[str, str] = {}
+
+    def serve_line(self, index: int, raw: str) -> Optional[dict]:
+        """Serve one raw request line; ``None`` for blanks/comments.
+
+        Never raises for a per-request failure: every exception becomes
+        a structured error record in the request's slot, so one bad
+        line cannot abort the batch.
+        """
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            return None
+        request_id: object = index
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id", index)
+            response = self._serve_request(request, index)
+            response["id"] = request_id
+            return response
+        except BudgetExceededError as exc:
+            return self._error(request_id, f"budget exceeded: {exc}", exc)
+        except KeyError as exc:
+            # KeyError's str() wraps the message in quotes; unwrap it.
+            message = exc.args[0] if exc.args else exc
+            return self._error(request_id, str(message), exc)
+        except Exception as exc:  # noqa: BLE001 - per-line isolation
+            return self._error(request_id, str(exc), exc)
+
+    @staticmethod
+    def _error(request_id: object, message: str, exc: Exception) -> dict:
+        return {
+            "id": request_id,
+            "error": message,
+            "error_type": type(exc).__name__,
+        }
+
+    def _serve_request(self, request: dict, index: int) -> dict:
+        estimator = request.get("estimator")
+        if not estimator:
+            raise ValueError("request needs an 'estimator' field")
+        epsilon = request.get("epsilon")
+        options = request.get("options", {})
+        if not isinstance(options, dict):
+            raise ValueError("'options' must be an object")
+
+        # Each request performs exactly one counted session lookup (so
+        # the reported cache hit rate is one event per request): a
+        # fresh or evicted graph is queried by value
+        # (register-on-first-sight counts the miss), a hot one by its
+        # cached fingerprint (counts the hit).
+        path = request.get("graph")
+        if path is not None:
+            fingerprint = self._path_cache.get(path)
+            if (
+                fingerprint is None
+                or fingerprint not in self._session.fingerprints()
+            ):
+                # First sight of this path, or the LRU evicted it:
+                # (re)load.
+                loaded = as_compact(read_edge_list_auto(path))
+                fingerprint = loaded.fingerprint()
+                self._path_cache[path] = fingerprint
+                target = {"graph": loaded}
+            else:
+                target = {"fingerprint": fingerprint}
+        else:
+            default = self._resolve_default_graph()
+            if default is None:
+                raise ValueError(
+                    "request names no 'graph' and the server has no "
+                    "default graph"
+                )
+            fingerprint = default.fingerprint()
+            target = {"graph": default}
+
+        seed = request.get("seed")
+        if seed is not None:
+            rng = np.random.default_rng(int(seed))
+        else:
+            rng = np.random.default_rng(
+                np.random.SeedSequence(self._base_seed, spawn_key=(index,))
+            )
+
+        release = self._session.query(
+            estimator,
+            epsilon=None if epsilon is None else float(epsilon),
+            rng=rng,
+            **target,
+            **options,
+        )
+        response = release.to_dict(include_true_value=False)
+        # Wall-clock timing is the one nondeterministic response field:
+        # drop it so serving output is a pure function of the requests
+        # (byte-identical reruns, serial == sharded) and leaks no
+        # timing information about the pre-noise computation.
+        response.pop("elapsed_seconds", None)
+        response["fingerprint"] = fingerprint
+        return response
+
+    def _resolve_default_graph(self):
+        if self._default_graph is None and self._default_graph_path is not None:
+            self._default_graph = as_compact(
+                read_edge_list_auto(self._default_graph_path)
+            )
+        return self._default_graph
 
 
 def serve_jsonl(
@@ -54,8 +206,9 @@ def serve_jsonl(
     lines:
         Request lines (blank lines and ``#`` comments are skipped).
     session:
-        The :class:`ReleaseSession` holding the graph cache and the
-        optional shared budget.
+        The :class:`ReleaseSession` holding the graph cache, the
+        optional shared budget, and the optional persistent extension
+        cache.
     default_graph:
         Graph served to requests that name no ``graph`` of their own.
         Re-registered per use (a cache touch when hot, a reload when
@@ -66,93 +219,228 @@ def serve_jsonl(
     Yields
     ------
     dict
-        One JSON-safe response per request, in request order.
+        One JSON-safe response per request, in request order.  Failing
+        requests yield ``{"id", "error", "error_type"}`` records; the
+        batch always runs to completion.
     """
-    if default_graph is not None:
-        # Compact once up front: serving it again after an LRU eviction
-        # is then a memoized-fingerprint touch, not an O(n+m) conversion.
-        default_graph = as_compact(default_graph)
-    path_cache: dict[str, str] = {}
-    for index, raw in enumerate(lines):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        request_id: object = index
-        try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ValueError("request must be a JSON object")
-            request_id = request.get("id", index)
-            response = _serve_one(
-                request, index, session, path_cache,
-                default_graph, base_seed,
-            )
-            response["id"] = request_id
-            yield response
-        except BudgetExceededError as exc:
-            yield {"id": request_id, "error": f"budget exceeded: {exc}"}
-        except KeyError as exc:
-            # KeyError's str() wraps the message in quotes; unwrap it.
-            message = exc.args[0] if exc.args else exc
-            yield {"id": request_id, "error": str(message)}
-        except (TypeError, ValueError, OSError) as exc:
-            yield {"id": request_id, "error": str(exc)}
-
-
-def _serve_one(
-    request: dict,
-    index: int,
-    session: ReleaseSession,
-    path_cache: dict[str, str],
-    default_graph,
-    base_seed: int,
-) -> dict:
-    estimator = request.get("estimator")
-    if not estimator:
-        raise ValueError("request needs an 'estimator' field")
-    epsilon = request.get("epsilon")
-    options = request.get("options", {})
-    if not isinstance(options, dict):
-        raise ValueError("'options' must be an object")
-
-    # Each request performs exactly one counted session lookup (so the
-    # reported cache hit rate is one event per request): a fresh or
-    # evicted graph is queried by value (register-on-first-sight counts
-    # the miss), a hot one by its cached fingerprint (counts the hit).
-    path = request.get("graph")
-    if path is not None:
-        fingerprint = path_cache.get(path)
-        if fingerprint is None or fingerprint not in session.fingerprints():
-            # First sight of this path, or the LRU evicted it: (re)load.
-            loaded = as_compact(read_edge_list_auto(path))
-            fingerprint = loaded.fingerprint()
-            path_cache[path] = fingerprint
-            target = {"graph": loaded}
-        else:
-            target = {"fingerprint": fingerprint}
-    elif default_graph is not None:
-        fingerprint = default_graph.fingerprint()
-        target = {"graph": default_graph}
-    else:
-        raise ValueError(
-            "request names no 'graph' and the server has no default graph"
-        )
-
-    seed = request.get("seed")
-    if seed is not None:
-        rng = np.random.default_rng(int(seed))
-    else:
-        rng = np.random.default_rng(
-            np.random.SeedSequence(base_seed, spawn_key=(index,))
-        )
-
-    release = session.query(
-        estimator,
-        epsilon=None if epsilon is None else float(epsilon),
-        rng=rng,
-        **target,
-        **options,
+    server = _RequestServer(
+        session, default_graph=default_graph, base_seed=base_seed
     )
-    response = release.to_dict(include_true_value=False)
-    response["fingerprint"] = fingerprint
-    return response
+    for index, raw in enumerate(lines):
+        response = server.serve_line(index, raw)
+        if response is not None:
+            yield response
+
+
+# ----------------------------------------------------------------------
+# Sharded parallel serving
+# ----------------------------------------------------------------------
+class ParallelServeResult(NamedTuple):
+    """Outcome of one :func:`serve_jsonl_parallel` run."""
+
+    responses: list[dict]
+    worker_stats: list[dict]
+
+
+def _shard_of(fingerprint: str, workers: int) -> int:
+    """Deterministic worker shard of a graph fingerprint."""
+    return int(fingerprint[:16], 16) % workers
+
+
+class _FingerprintRouter:
+    """Routes request lines to worker shards by graph fingerprint.
+
+    Each distinct graph path is loaded once (in the parent, for routing
+    only) to resolve its content fingerprint; content-identical graphs
+    — and every request touching them — therefore land on one worker,
+    which consequently owns that graph's slice of the persistent
+    extension cache outright: no two workers ever compute or write the
+    same table, without any cross-process locking.  Lines the parent
+    cannot attribute to a graph (malformed JSON, unreadable paths, no
+    default) are spread round-robin by index; the worker then produces
+    the same structured error record the serial path would.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        default_graph_path: Optional[str] = None,
+        known_fingerprints: Optional[dict[str, str]] = None,
+    ) -> None:
+        self._workers = workers
+        self._default_graph_path = default_graph_path
+        self._fp_by_path: dict[str, Optional[str]] = dict(
+            known_fingerprints or {}
+        )
+
+    def shard_for_line(self, index: int, raw: str) -> int:
+        try:
+            request = json.loads(raw)
+        except ValueError:
+            return index % self._workers
+        path = request.get("graph") if isinstance(request, dict) else None
+        if path is None:
+            path = self._default_graph_path
+        if not isinstance(path, str):
+            # No graph, or a non-string 'graph' value: the owning
+            # worker produces the same error record the serial path
+            # would; routing just has to be deterministic.
+            return index % self._workers
+        fingerprint = self._fingerprint_of(path)
+        if fingerprint is None:
+            return index % self._workers
+        return _shard_of(fingerprint, self._workers)
+
+    def _fingerprint_of(self, path: str) -> Optional[str]:
+        if path not in self._fp_by_path:
+            try:
+                graph = as_compact(read_edge_list_auto(path))
+            except Exception:  # noqa: BLE001 - worker reports the error
+                self._fp_by_path[path] = None
+            else:
+                self._fp_by_path[path] = graph.fingerprint()
+        return self._fp_by_path[path]
+
+
+def _worker_main(
+    worker_id: int, in_queue, out_queue, config: dict
+) -> None:
+    """One sharded serving worker: its own session, cache, and graphs."""
+    session = ReleaseSession(
+        max_graphs=config["max_graphs"],
+        allow_non_private=config["allow_non_private"],
+        cache_dir=config["cache_dir"],
+    )
+    server = _RequestServer(
+        session,
+        default_graph_path=config["default_graph_path"],
+        base_seed=config["base_seed"],
+    )
+    while True:
+        item = in_queue.get()
+        if item is None:
+            break
+        index, raw = item
+        out_queue.put(("response", index, server.serve_line(index, raw)))
+    session.persist_warm_extensions()
+    out_queue.put(("stats", worker_id, session.stats.to_dict()))
+
+
+def serve_jsonl_parallel(
+    lines: Iterable[str],
+    *,
+    workers: int,
+    default_graph_path: Optional[str] = None,
+    default_graph_fingerprint: Optional[str] = None,
+    base_seed: int = 0,
+    max_graphs: int = 8,
+    allow_non_private: bool = False,
+    cache_dir: Optional[str] = None,
+) -> ParallelServeResult:
+    """Serve a JSONL request stream across ``workers`` processes.
+
+    Requests are routed deterministically by graph fingerprint (see
+    :class:`_FingerprintRouter`), each worker serves its shard through
+    its own :class:`ReleaseSession` (sharing ``cache_dir`` safely —
+    routing partitions the key space), and responses come back in input
+    order.  Per-request seeding uses the global request index exactly
+    like :func:`serve_jsonl`, so for any fixed request stream the
+    response list is byte-identical to the serial path and to any other
+    worker count.
+
+    ``default_graph_fingerprint`` optionally hands the router the
+    already-known fingerprint of ``default_graph_path`` (callers that
+    loaded the default graph for validation anyway), sparing the parent
+    a second full load of the same file.
+
+    A session-wide privacy budget is **not** supported here: a shared
+    accountant cannot be enforced across shards without cross-process
+    coordination that would serialize the hot path.  Use the serial
+    path for budgeted batches.
+
+    The full response list is materialized in memory (ordering requires
+    holding out-of-order arrivals anyway); the request stream itself is
+    consumed incrementally.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    context = multiprocessing.get_context("spawn")
+    in_queues = [context.Queue() for _ in range(workers)]
+    out_queue = context.Queue()
+    config = {
+        "max_graphs": max_graphs,
+        "allow_non_private": allow_non_private,
+        "cache_dir": cache_dir,
+        "default_graph_path": default_graph_path,
+        "base_seed": base_seed,
+    }
+    processes = [
+        context.Process(
+            target=_worker_main,
+            args=(worker_id, in_queues[worker_id], out_queue, config),
+            daemon=True,
+        )
+        for worker_id in range(workers)
+    ]
+    for process in processes:
+        process.start()
+
+    known = (
+        {default_graph_path: default_graph_fingerprint}
+        if default_graph_path is not None
+        and default_graph_fingerprint is not None
+        else None
+    )
+    router = _FingerprintRouter(workers, default_graph_path, known)
+    dispatched: list[int] = []
+    try:
+        for index, raw in enumerate(lines):
+            if not raw.strip() or raw.strip().startswith("#"):
+                continue  # same skip rule as the serial path
+            in_queues[router.shard_for_line(index, raw)].put((index, raw))
+            dispatched.append(index)
+        for in_queue in in_queues:
+            in_queue.put(None)
+
+        responses: dict[int, dict] = {}
+        worker_stats: list[dict] = []
+        idle_after_exit = 0
+        while len(responses) < len(dispatched) or len(worker_stats) < workers:
+            try:
+                kind, tag, payload = out_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [
+                    w for w, process in enumerate(processes)
+                    if not process.is_alive() and process.exitcode not in (0, None)
+                ]
+                if dead:
+                    raise RuntimeError(
+                        f"serve-batch worker(s) {dead} died "
+                        f"(exit codes "
+                        f"{[processes[w].exitcode for w in dead]})"
+                    )
+                if not any(process.is_alive() for process in processes):
+                    # All workers exited cleanly; allow a few grace
+                    # polls for queue-feeder flushes, then give up.
+                    idle_after_exit += 1
+                    if idle_after_exit > 5:
+                        raise RuntimeError(
+                            "serve-batch workers exited without "
+                            "delivering every response"
+                        )
+                continue
+            if kind == "response":
+                responses[tag] = payload
+            else:
+                worker_stats.append({"worker": tag, **payload})
+    finally:
+        for process in processes:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+
+    worker_stats.sort(key=lambda stats: stats["worker"])
+    return ParallelServeResult(
+        responses=[responses[index] for index in dispatched],
+        worker_stats=worker_stats,
+    )

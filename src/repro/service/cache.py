@@ -1,0 +1,276 @@
+"""Persistent, content-addressed cache of Lipschitz-extension tables.
+
+Algorithm-1 releases pay almost all their cost building the whole-grid
+extension table ``{f_Δ(G) : Δ in grid}`` (component split + LP work).
+:class:`~repro.service.session.ReleaseSession` amortizes that within
+one process; this module makes the warm state **durable**, so a cold
+process (a restarted ``repro serve-batch``, a sharded worker, a rerun
+sweep) warm-starts from disk and the k-th query on a previously-seen
+graph is GEM selection plus one Laplace draw even across restarts.
+
+Keying
+------
+One cache entry is the value table of one extension family for one
+graph under one set of LP controls, evaluated on one candidate grid.
+Its content address is the SHA-256 of exactly those coordinates:
+
+* ``CompactGraph.fingerprint()`` — the graph content hash;
+* the LP-control mapping (``use_fast_paths``, ``separation_tolerance``,
+  ``max_rounds``, …), canonically serialized;
+* the candidate Δ grid, canonically serialized;
+* the library version (a code change can never silently reuse stale
+  tables).
+
+Graphs with equal fingerprints but different LP controls or grids
+therefore never share a disk entry, and any key-coordinate change is an
+automatic, implicit invalidation.
+
+Storage discipline
+------------------
+Entries live at ``root/<key[:2]>/<key>.json`` and are written with the
+shared :mod:`repro.storage` atomic discipline (tmp + fsync +
+``os.replace``), exactly like the sweep
+:class:`~repro.experiments.store.ResultStore`.  Reads validate the
+record against the requested coordinates; a torn, truncated, or
+tampered file is **deleted and treated as a miss** (the table is simply
+rebuilt), never a crash.
+
+Privacy
+-------
+Cached tables are *pre-noise* state: ``f_Δ(G)`` is a deterministic,
+noiseless function of the private graph.  The cache directory must be
+permissioned like the raw graph data itself — it is internal serving
+state, never a releasable artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from .. import __version__
+from ..storage import (
+    atomic_write_json,
+    clean_stale_tmp,
+    iter_keys,
+    read_json_or_none,
+    sharded_path,
+)
+
+__all__ = ["ExtensionCache", "CacheStats", "extension_key"]
+
+_RECORD_FIELDS = ("fingerprint", "lp", "grid", "values", "true_fsf", "version")
+
+
+def _canonical_lp(lp_options: Mapping[str, Any]) -> dict[str, Any]:
+    """LP controls in canonical (sorted, JSON-safe) form."""
+    return {key: lp_options[key] for key in sorted(lp_options)}
+
+
+def _canonical_grid(grid: Sequence[float]) -> list[float]:
+    """The candidate grid as plain floats (exact for the 2^j grids)."""
+    return [float(delta) for delta in grid]
+
+
+def extension_key(
+    fingerprint: str,
+    lp_options: Mapping[str, Any],
+    grid: Sequence[float],
+    version: str = __version__,
+) -> str:
+    """Content address of one extension table (hex SHA-256)."""
+    payload = json.dumps(
+        {
+            "fingerprint": fingerprint,
+            "lp": _canonical_lp(lp_options),
+            "grid": _canonical_grid(grid),
+            "version": version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how the on-disk cache is doing."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of disk lookups that returned a usable table."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ExtensionCache:
+    """A directory of content-addressed extension value tables.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created if missing).  Treat its contents as
+        private input data — see the module privacy note.
+    version:
+        Library version folded into every key; override only in tests.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> cache = ExtensionCache(tempfile.mkdtemp())
+    >>> key = cache.store("fp", {"max_rounds": 60}, [1, 2], [0.0, 1.0], 1)
+    >>> cache.load("fp", {"max_rounds": 60}, [1, 2])["values"]
+    [0.0, 1.0]
+    >>> cache.load("fp", {"max_rounds": 61}, [1, 2]) is None
+    True
+    """
+
+    def __init__(
+        self, root: str | os.PathLike, *, version: str = __version__
+    ) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.version = version
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def key(
+        self,
+        fingerprint: str,
+        lp_options: Mapping[str, Any],
+        grid: Sequence[float],
+    ) -> str:
+        """The content address of this (graph, LP controls, grid)."""
+        return extension_key(fingerprint, lp_options, grid, self.version)
+
+    def path_for(self, key: str) -> str:
+        """Where ``key``'s record lives on disk."""
+        return sharded_path(self.root, key)
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in iter_keys(self.root))
+
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        fingerprint: str,
+        lp_options: Mapping[str, Any],
+        grid: Sequence[float],
+    ) -> Optional[dict]:
+        """Return the stored table for these coordinates, or ``None``.
+
+        The record is validated against the requested coordinates
+        before being trusted: a corrupted, truncated, or mismatched
+        file is deleted (so the slot rebuilds cleanly) and reported as
+        a miss.
+        """
+        key = self.key(fingerprint, lp_options, grid)
+        path = self.path_for(key)
+        record = read_json_or_none(path)
+        if record is None:
+            if os.path.exists(path):
+                # Present but undecodable: torn or foreign content.
+                self._invalidate_path(path)
+            self.stats.misses += 1
+            return None
+        if not self._valid(record, fingerprint, lp_options, grid):
+            self._invalidate_path(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def store(
+        self,
+        fingerprint: str,
+        lp_options: Mapping[str, Any],
+        grid: Sequence[float],
+        values: Sequence[float],
+        true_fsf: int,
+    ) -> str:
+        """Atomically persist one value table; returns its key."""
+        grid = _canonical_grid(grid)
+        values = [float(v) for v in values]
+        if len(values) != len(grid):
+            raise ValueError(
+                f"got {len(values)} values for a {len(grid)}-point grid"
+            )
+        key = self.key(fingerprint, lp_options, grid)
+        atomic_write_json(
+            self.path_for(key),
+            {
+                "fingerprint": fingerprint,
+                "lp": _canonical_lp(lp_options),
+                "grid": grid,
+                "values": values,
+                "true_fsf": int(true_fsf),
+                "version": self.version,
+            },
+        )
+        self.stats.stores += 1
+        return key
+
+    def invalidate(
+        self,
+        fingerprint: str,
+        lp_options: Mapping[str, Any],
+        grid: Sequence[float],
+    ) -> bool:
+        """Drop the entry at these coordinates (e.g. failed an external
+        integrity check); ``True`` if something was removed."""
+        path = self.path_for(self.key(fingerprint, lp_options, grid))
+        return self._invalidate_path(path)
+
+    def clean_tmp(self, max_age_seconds: float = 3600.0) -> int:
+        """Remove stale ``*.tmp`` files (same rules as the result store)."""
+        return clean_stale_tmp(self.root, max_age_seconds)
+
+    # ------------------------------------------------------------------
+    def _invalidate_path(self, path: str) -> bool:
+        try:
+            os.unlink(path)
+        except OSError:
+            return False
+        self.stats.invalidations += 1
+        return True
+
+    def _valid(
+        self,
+        record: Any,
+        fingerprint: str,
+        lp_options: Mapping[str, Any],
+        grid: Sequence[float],
+    ) -> bool:
+        """Whether a decoded record really is the requested table."""
+        if not isinstance(record, dict):
+            return False
+        if any(name not in record for name in _RECORD_FIELDS):
+            return False
+        values = record["values"]
+        return (
+            record["fingerprint"] == fingerprint
+            and record["lp"] == _canonical_lp(lp_options)
+            and record["grid"] == _canonical_grid(grid)
+            and record["version"] == self.version
+            and isinstance(values, list)
+            and len(values) == len(grid)
+            and all(
+                isinstance(v, (int, float)) and math.isfinite(v)
+                for v in values
+            )
+            and isinstance(record["true_fsf"], int)
+        )
+
+    def __repr__(self) -> str:
+        return f"ExtensionCache({self.root!r}, {len(self)} tables)"

@@ -25,6 +25,7 @@ pinned by ``tests/test_service.py`` and gated at n = 1e5 by
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
@@ -36,6 +37,8 @@ from ..estimators.base import Release
 from ..estimators.registry import canonical_name, create, get_spec
 from ..graphs.compact import CompactGraph, as_compact
 from ..mechanisms.accountant import BudgetExceededError, PrivacyAccountant
+from ..mechanisms.gem import power_of_two_grid
+from .cache import ExtensionCache
 
 __all__ = ["ReleaseSession", "SessionStats", "DEFAULT_EXTENSION_OPTIONS"]
 
@@ -54,18 +57,38 @@ DEFAULT_EXTENSION_OPTIONS: dict[str, Any] = {
 
 @dataclass
 class SessionStats:
-    """Counters describing how well the per-graph cache is amortizing."""
+    """Counters describing how well the per-graph cache is amortizing.
+
+    ``epsilon_spent`` accumulates the ε of every *successful* private
+    query, whether or not the session carries a shared accountant —
+    eviction and re-admission of a graph never reset it (the counters
+    are session-scoped, not entry-scoped).  ``disk_warm_starts`` counts
+    extensions preloaded from the persistent on-disk cache instead of
+    being computed.
+    """
 
     queries: int = 0
     graph_hits: int = 0
     graph_misses: int = 0
     evictions: int = 0
     epsilon_spent: float = 0.0
+    disk_warm_starts: int = 0
 
     def hit_rate(self) -> float:
         """Fraction of graph lookups served from the cache."""
         lookups = self.graph_hits + self.graph_misses
         return self.graph_hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe counters (used by the sharded serving workers)."""
+        return {
+            "queries": self.queries,
+            "graph_hits": self.graph_hits,
+            "graph_misses": self.graph_misses,
+            "evictions": self.evictions,
+            "epsilon_spent": self.epsilon_spent,
+            "disk_warm_starts": self.disk_warm_starts,
+        }
 
 
 @dataclass
@@ -103,6 +126,18 @@ class ReleaseSession:
         estimator defaults — so warm and cold releases agree bit for
         bit.  An estimator queried with *different* LP options is served
         cold (correct, just unamortized).
+    cache_dir, extension_cache:
+        Optional persistent extension cache
+        (:class:`~repro.service.cache.ExtensionCache`): pass a
+        directory (``cache_dir``) or a ready-made cache object.  When
+        set, an extension miss in the in-memory LRU consults the disk
+        cache before computing, LRU evictions spill their warm tables
+        to disk first, and completed grids are persisted — so a cold
+        process warm-starts from previous runs.  Extension values are
+        deterministic, so releases are bit-identical with or without
+        the cache.  The cache holds pre-noise state and must be
+        permissioned like the raw graphs (see the module docstring of
+        :mod:`repro.service.cache`).
 
     Examples
     --------
@@ -125,9 +160,15 @@ class ReleaseSession:
         total_epsilon: Optional[float] = None,
         extension_options: Optional[Mapping[str, Any]] = None,
         allow_non_private: bool = False,
+        cache_dir: Optional[str | os.PathLike] = None,
+        extension_cache: Optional[ExtensionCache] = None,
     ) -> None:
         if max_graphs < 1:
             raise ValueError(f"max_graphs must be >= 1, got {max_graphs}")
+        if cache_dir is not None and extension_cache is not None:
+            raise ValueError(
+                "pass either cache_dir or extension_cache, not both"
+            )
         self._max_graphs = max_graphs
         self._entries: OrderedDict[str, _GraphEntry] = OrderedDict()
         self._extension_options = {
@@ -140,6 +181,14 @@ class ReleaseSession:
             else None
         )
         self._allow_non_private = allow_non_private
+        self.cache = (
+            ExtensionCache(cache_dir) if cache_dir is not None
+            else extension_cache
+        )
+        # Disk keys already known to be stored (or just loaded) this
+        # process: persisting a warm table is then one set lookup per
+        # query, not one disk write per query.
+        self._persisted: set[str] = set()
         self.stats = SessionStats()
 
     # ------------------------------------------------------------------
@@ -169,7 +218,11 @@ class ReleaseSession:
         self.stats.graph_misses += 1
         self._entries[fingerprint] = _GraphEntry(graph=compact)
         while len(self._entries) > self._max_graphs:
-            self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
+            # Spill the evicted warm table to disk (when a persistent
+            # cache is attached) so re-admission is a disk warm start,
+            # not a fresh LP pass.
+            self._persist_entry(evicted_key, evicted)
             self.stats.evictions += 1
         return fingerprint
 
@@ -207,18 +260,114 @@ class ReleaseSession:
         The amortization hook the Algorithm-1 adapters call when bound
         to a session (see ``bind_session``): the returned graph is the
         cached, content-identical :class:`CompactGraph`, and the
-        extension is built at most once per cached graph.
+        extension is built at most once per cached graph (warm-started
+        from the persistent cache when one is attached — bound-adapter
+        callers release on the default candidate grid, which is what
+        the disk entry covers).
         """
         key = self.register(graph)
         entry = self._entries[key]
-        return entry.graph, self._extension(entry)
+        return entry.graph, self._extension(
+            entry, key, self._default_grid(entry.graph)
+        )
 
-    def _extension(self, entry: _GraphEntry):
+    @staticmethod
+    def _default_grid(graph) -> list[int]:
+        """The Algorithm-1 candidate grid for ``delta_max = n``."""
+        return power_of_two_grid(max(graph.number_of_vertices(), 1))
+
+    def _grid_for(self, graph, options: Mapping[str, Any]) -> list[int]:
+        """The candidate grid a default-LP estimator will evaluate —
+        mirrors ``PrivateSpanningForestSize.release``'s grid choice."""
+        delta_max = options.get("delta_max")
+        if delta_max is None:
+            return self._default_grid(graph)
+        return power_of_two_grid(max(delta_max, 1))
+
+    def _extension(
+        self,
+        entry: _GraphEntry,
+        fingerprint: Optional[str] = None,
+        grid: Optional[list] = None,
+    ):
         if entry.extension is None:
-            entry.extension = extension_for(
+            extension = extension_for(
                 entry.graph, **self._extension_options
             )
+            if (
+                self.cache is not None
+                and fingerprint is not None
+                and grid is not None
+            ):
+                self._warm_from_disk(extension, fingerprint, grid)
+            entry.extension = extension
         return entry.extension
+
+    def _warm_from_disk(self, extension, fingerprint: str, grid) -> bool:
+        """Preload ``extension`` from the persistent cache if possible."""
+        record = self.cache.load(
+            fingerprint, self._extension_options, grid
+        )
+        if record is None:
+            return False
+        # Integrity cross-check beyond the content address: the exact
+        # f_sf just computed from the graph itself must agree with the
+        # stored one, or the record is damaged and gets dropped.
+        if int(record["true_fsf"]) != int(extension.true_value):
+            self.cache.invalidate(fingerprint, self._extension_options, grid)
+            return False
+        extension.preload_values(zip(record["grid"], record["values"]))
+        self._persisted.add(
+            self.cache.key(fingerprint, self._extension_options, grid)
+        )
+        self.stats.disk_warm_starts += 1
+        return True
+
+    def _persist_entry(
+        self,
+        fingerprint: str,
+        entry: _GraphEntry,
+        grid: Optional[list] = None,
+    ) -> bool:
+        """Write one entry's warm table to the persistent cache.
+
+        No-op without a cache, without a built extension, when the
+        (default or given) grid is not fully evaluated yet, or when
+        this process already stored/loaded the same key.
+        """
+        if self.cache is None or entry.extension is None:
+            return False
+        if grid is None:
+            grid = self._default_grid(entry.graph)
+        key = self.cache.key(fingerprint, self._extension_options, grid)
+        if key in self._persisted:
+            return False
+        values = entry.extension.cached_values()
+        try:
+            table = [values[float(delta)] for delta in grid]
+        except KeyError:
+            return False
+        self.cache.store(
+            fingerprint,
+            self._extension_options,
+            grid,
+            table,
+            entry.extension.true_value,
+        )
+        self._persisted.add(key)
+        return True
+
+    def persist_warm_extensions(self) -> int:
+        """Spill every resident warm table to the persistent cache.
+
+        Returns how many tables were written.  Called by the sweep
+        runner before dropping its shared session, and usable by any
+        long-running server at shutdown; a no-op without a cache.
+        """
+        return sum(
+            self._persist_entry(fingerprint, entry)
+            for fingerprint, entry in self._entries.items()
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -288,11 +437,14 @@ class ReleaseSession:
                 f"query for {epsilon} exceeds the session's remaining "
                 f"budget {self.accountant.remaining()}"
             )
-        if getattr(
+        shared_extension = getattr(
             instance, "uses_extension", False
-        ) and self.extension_options_match(instance.lp_options):
+        ) and self.extension_options_match(instance.lp_options)
+        if shared_extension:
+            grid = self._grid_for(entry.graph, options)
             release = instance.release(
-                entry.graph, rng, extension=self._extension(entry)
+                entry.graph, rng,
+                extension=self._extension(entry, key, grid),
             )
         else:
             # Incompatible LP controls (or no extension at all): serve
@@ -302,6 +454,13 @@ class ReleaseSession:
         # must not leak budget.
         if charged:
             self.accountant.spend(epsilon, f"{name}@{key[:12]}")
+        if spec.requires_epsilon:
+            # Session-scoped accounting, shared accountant or not —
+            # never reset by LRU eviction or graph re-admission.
             self.stats.epsilon_spent += epsilon
         self.stats.queries += 1
+        if shared_extension:
+            # The release just evaluated the whole grid: make the warm
+            # table durable (one set lookup per query once stored).
+            self._persist_entry(key, entry, grid)
         return release

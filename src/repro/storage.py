@@ -1,0 +1,156 @@
+"""Shared on-disk JSON storage primitives (atomic writes, shard layout).
+
+The durable stores in this library — the sweep-cell
+:class:`~repro.experiments.store.ResultStore` and the serving-layer
+:class:`~repro.service.cache.ExtensionCache` — follow one write
+discipline, implemented here exactly once:
+
+* records live at ``root/<key[:2]>/<key>.json`` (two-hex-digit fan-out
+  keeps directories small at multi-thousand-record scale);
+* writes go to a ``*.tmp`` file created with :func:`tempfile.mkstemp`
+  in the destination directory, are flushed and fsynced, then
+  ``os.replace``-d into place — a kill at any instant leaves either the
+  old record or the new record, never a torn file;
+* a failed write never leaks the temporary file *or* its file
+  descriptor (the fd is closed on every path, including an
+  ``os.fdopen`` failure);
+* stray ``*.tmp`` files from a killed process are cleaned
+  opportunistically, but only once they are old enough that they cannot
+  belong to a live concurrent writer — unlinking a fresh ``.tmp``
+  would make that writer's ``os.replace`` fail.
+
+This module sits below every layer and imports nothing from the
+package, so any subsystem can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+__all__ = [
+    "sharded_path",
+    "atomic_write_json",
+    "read_json_or_none",
+    "iter_keys",
+    "clean_stale_tmp",
+]
+
+
+def sharded_path(root: str | os.PathLike, key: str) -> str:
+    """Path of ``key``'s record under the two-hex-digit fan-out layout."""
+    root = os.fspath(root)
+    return os.path.join(root, key[:2], f"{key}.json")
+
+
+def atomic_write_json(path: str, record: dict) -> None:
+    """Atomically persist ``record`` as JSON at ``path``.
+
+    The record is written to a fresh ``*.tmp`` file in ``path``'s
+    directory, fsynced, then renamed over the destination.  On any
+    failure the temporary file is unlinked and the descriptor is closed
+    — neither a failed ``os.fdopen`` nor a failed ``os.replace`` leaks
+    an fd or leaves a stray file behind.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)[:8]}-", suffix=".tmp", dir=directory
+    )
+    try:
+        handle = os.fdopen(fd, "w", encoding="utf-8")
+    except BaseException:
+        # fdopen failed: the raw descriptor is still ours to close.
+        os.close(fd)
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        with handle:
+            json.dump(record, handle, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        # The handle (and fd) are closed by the with-block on every
+        # path; only the tmp file itself needs reclaiming.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_json_or_none(path: str) -> dict | None:
+    """Load the JSON record at ``path``; ``None`` if absent or torn.
+
+    Only complete records ever reach their final name (writers go
+    through :func:`atomic_write_json`), so a decode failure means the
+    file was produced or damaged by something else; callers treat it as
+    a cache miss.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+
+
+def iter_keys(root: str | os.PathLike):
+    """Iterate over every stored key under ``root``'s shard layout
+    (sorted, for determinism).  The inverse of :func:`sharded_path`."""
+    root = os.fspath(root)
+    try:
+        shards = sorted(os.listdir(root))
+    except FileNotFoundError:
+        return
+    for shard in shards:
+        shard_dir = os.path.join(root, shard)
+        if not os.path.isdir(shard_dir):
+            continue
+        for name in sorted(os.listdir(shard_dir)):
+            if name.endswith(".json"):
+                yield name[: -len(".json")]
+
+
+def clean_stale_tmp(root: str | os.PathLike, max_age_seconds: float = 3600.0) -> int:
+    """Remove stale ``*.tmp`` files under ``root``'s shards; return the count.
+
+    Only files strictly older than ``max_age_seconds`` are unlinked: a
+    younger ``.tmp`` may be a live concurrent writer's in-flight record,
+    and removing it would make that writer's ``os.replace`` fail.  The
+    age test re-reads the clock per file (a long scan must not age
+    files artificially), and files that vanish mid-scan — e.g. renamed
+    into place by their writer — are skipped silently.
+    """
+    root = os.fspath(root)
+    removed = 0
+    try:
+        shards = os.listdir(root)
+    except FileNotFoundError:
+        return 0
+    for shard in shards:
+        shard_dir = os.path.join(root, shard)
+        if not os.path.isdir(shard_dir):
+            continue
+        for name in os.listdir(shard_dir):
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(shard_dir, name)
+            try:
+                if time.time() - os.path.getmtime(path) > max_age_seconds:
+                    os.unlink(path)
+                    removed += 1
+            except OSError:
+                # Vanished mid-scan (the writer finished or another
+                # cleaner got it first): never an error.
+                pass
+    return removed

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -185,3 +186,68 @@ class TestServeBatch:
         lines = [json.loads(l) for l in output.read_text().splitlines()]
         assert "value" in lines[0]
         assert "budget exceeded" in lines[1]["error"]
+
+    def test_exit_zero_when_some_lines_fail(self, graph_file, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "{malformed\n"
+            + json.dumps({"estimator": "cc", "epsilon": 1.0, "seed": 1})
+            + "\n"
+        )
+        output = tmp_path / "out.jsonl"
+        assert main(
+            ["serve-batch", "--graph", graph_file,
+             "--requests", str(requests), "--output", str(output)]
+        ) == 0
+        lines = [json.loads(l) for l in output.read_text().splitlines()]
+        assert "error" in lines[0] and "value" in lines[1]
+
+    def test_exit_nonzero_when_every_line_fails(self, graph_file, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "{malformed\n"
+            + json.dumps({"estimator": "no_such_estimator"}) + "\n"
+        )
+        output = tmp_path / "out.jsonl"
+        assert main(
+            ["serve-batch", "--graph", graph_file,
+             "--requests", str(requests), "--output", str(output)]
+        ) == 1
+        lines = [json.loads(l) for l in output.read_text().splitlines()]
+        assert all("error" in line for line in lines)
+
+    def test_exit_zero_on_empty_batch(self, graph_file, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("# only comments\n\n")
+        assert main(
+            ["serve-batch", "--graph", graph_file,
+             "--requests", str(requests),
+             "--output", str(tmp_path / "out.jsonl")]
+        ) == 0
+
+    def test_cache_dir_round_trip(self, graph_file, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"estimator": "cc", "epsilon": 1.0, "seed": 5})
+            + "\n"
+        )
+        cache_dir = tmp_path / "ext-cache"
+        out_cold = tmp_path / "cold.jsonl"
+        out_warm = tmp_path / "warm.jsonl"
+        assert main(
+            ["serve-batch", "--graph", graph_file,
+             "--requests", str(requests), "--output", str(out_cold),
+             "--cache-dir", str(cache_dir)]
+        ) == 0
+        # The extension table was persisted for the restarted process.
+        stored = [
+            name for _, _, files in os.walk(cache_dir) for name in files
+            if name.endswith(".json")
+        ]
+        assert len(stored) == 1
+        assert main(
+            ["serve-batch", "--graph", graph_file,
+             "--requests", str(requests), "--output", str(out_warm),
+             "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert out_cold.read_bytes() == out_warm.read_bytes()

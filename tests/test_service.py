@@ -418,6 +418,81 @@ class TestServeJsonl:
         session = ReleaseSession()
         (response,) = serve_jsonl(["{not json"], session)
         assert "error" in response
+        assert response["error_type"] == "JSONDecodeError"
+
+    def test_batch_continues_past_bad_lines(self, compact):
+        """Regression: one malformed line or unknown-estimator request
+        must not abort the batch — every line gets its slot."""
+        session = ReleaseSession()
+        lines = [
+            "{malformed",
+            json.dumps({"estimator": "definitely_not_registered",
+                        "epsilon": 1.0}),
+            json.dumps([1, 2, 3]),
+            json.dumps({"estimator": "cc", "epsilon": 1.0, "seed": 1}),
+            json.dumps({"estimator": "cc", "epsilon": -3.0, "seed": 2}),
+            json.dumps({"estimator": "cc", "epsilon": 1.0, "seed": 3}),
+        ]
+        responses = list(serve_jsonl(lines, session, default_graph=compact))
+        assert len(responses) == len(lines)
+        assert [("error" in r) for r in responses] == [
+            True, True, True, False, True, False,
+        ]
+        assert all(
+            "error_type" in r for r in responses if "error" in r
+        )
+
+    def test_estimator_crash_is_an_error_line_not_abort(
+        self, compact, monkeypatch
+    ):
+        """Regression: an exception type nobody anticipated (estimator
+        internals blowing up) becomes a structured per-line error, and
+        later requests are still served."""
+        import repro.service.session as session_module
+
+        real_create = session_module.create
+
+        class _Exploding:
+            name = "cc"
+            statistic = "cc"
+            uses_extension = False
+
+            def supports(self, graph):
+                return True
+
+            def release(self, graph, rng):
+                raise RuntimeError("separation oracle exploded")
+
+        calls = {"n": 0}
+
+        def flaky_create(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return _Exploding()
+            return real_create(*args, **kwargs)
+
+        monkeypatch.setattr(session_module, "create", flaky_create)
+        session = ReleaseSession()
+        lines = [
+            json.dumps({"estimator": "cc", "epsilon": 1.0, "seed": 0}),
+            json.dumps({"estimator": "cc", "epsilon": 1.0, "seed": 1}),
+        ]
+        responses = list(serve_jsonl(lines, session, default_graph=compact))
+        assert responses[0]["error_type"] == "RuntimeError"
+        assert "exploded" in responses[0]["error"]
+        assert "value" in responses[1]
+
+    def test_responses_carry_no_wall_clock_timing(self, compact):
+        """Serving output is a pure function of the request stream:
+        the elapsed_seconds diagnostic stays out of it (determinism
+        across reruns/worker counts + no timing side channel)."""
+        session = ReleaseSession()
+        lines = [json.dumps({"estimator": "cc", "epsilon": 1.0, "seed": 1})]
+        (response,) = serve_jsonl(lines, session, default_graph=compact)
+        assert "elapsed_seconds" not in response
+        # The experiment-facing serialization still carries it.
+        release = session.query("cc", epsilon=1.0, graph=compact, seed=1)
+        assert "elapsed_seconds" in release.to_dict()
 
 
 class TestSweepSessionReuse:
@@ -482,7 +557,9 @@ class TestSweepSessionReuse:
 
         # Cold leg: no shared session, so every cell rebuilds its
         # extension from scratch.
-        monkeypatch.setattr(runner_module, "_shared_session", lambda: None)
+        monkeypatch.setattr(
+            runner_module, "_shared_session", lambda *a, **k: None
+        )
         cold = run_sweep(spec, ResultStore(tmp_path / "b"))
         errors_cold = [r.record["errors"] for r in cold.results]
         assert errors_hot == errors_cold

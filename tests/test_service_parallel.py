@@ -1,0 +1,190 @@
+"""Tests for sharded parallel serving (``serve_jsonl_parallel``).
+
+The acceptance-critical property: for any fixed request stream,
+parallel output is **byte-identical** to the serial path — same values
+(per-request seeding by global index), same error records, same order.
+Workers own disjoint graph shards (routing by fingerprint), so a shared
+persistent cache directory sees no cross-process write contention.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import planted_components_compact
+from repro.graphs.io import write_edge_list
+from repro.service import ReleaseSession, serve_jsonl, serve_jsonl_parallel
+from repro.service.batch import _FingerprintRouter, _shard_of
+
+
+@pytest.fixture
+def graph_files(tmp_path):
+    paths = []
+    for i, sizes in enumerate(([12, 9], [8, 8, 8], [20], [5, 6, 7])):
+        graph = planted_components_compact(
+            sizes, 0.4, np.random.default_rng(i)
+        )
+        path = str(tmp_path / f"g{i}.edges")
+        write_edge_list(graph, path)
+        paths.append(path)
+    return paths
+
+
+def _request_lines(paths):
+    lines = []
+    for i in range(10):
+        lines.append(json.dumps({
+            "estimator": ("cc", "sf", "edge_dp")[i % 3],
+            "epsilon": 0.5 + 0.5 * (i % 2),
+            "graph": paths[i % len(paths)],
+            "seed": i,
+        }))
+    lines.insert(2, "# comments and blanks are skipped")
+    lines.insert(4, "")
+    lines.insert(6, "{malformed json")
+    lines.append(json.dumps({"estimator": "unknown_thing",
+                             "graph": paths[0]}))
+    # No seed: exercises the index-derived SeedSequence across shards.
+    lines.append(json.dumps({"estimator": "edge_dp", "epsilon": 1.0,
+                             "graph": paths[1]}))
+    return lines
+
+
+def _dumps(responses):
+    return [json.dumps(r, sort_keys=True) for r in responses]
+
+
+class TestByteIdentity:
+    def test_two_workers_match_serial(self, graph_files, tmp_path):
+        lines = _request_lines(graph_files)
+        serial = _dumps(serve_jsonl(lines, ReleaseSession(), base_seed=3))
+        result = serve_jsonl_parallel(lines, workers=2, base_seed=3)
+        assert _dumps(result.responses) == serial
+        assert len(result.worker_stats) == 2
+        # Every request was served by exactly one worker.
+        assert sum(s["queries"] for s in result.worker_stats) + sum(
+            1 for r in result.responses if "error" in r
+        ) == len(result.responses)
+
+    def test_default_graph_path_matches_serial(
+        self, graph_files, tmp_path
+    ):
+        lines = [
+            json.dumps({"estimator": "cc", "epsilon": 1.0}),
+            json.dumps({"estimator": "sf", "epsilon": 0.5, "seed": 4}),
+        ]
+        from repro.graphs.io import read_edge_list_auto
+
+        default = read_edge_list_auto(graph_files[0])
+        serial = _dumps(
+            serve_jsonl(lines, ReleaseSession(), default_graph=default)
+        )
+        result = serve_jsonl_parallel(
+            lines, workers=2, default_graph_path=graph_files[0]
+        )
+        assert _dumps(result.responses) == serial
+
+    def test_shared_cache_dir_and_warm_restart(self, graph_files, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        lines = _request_lines(graph_files)
+        cold = serve_jsonl_parallel(lines, workers=2, cache_dir=cache_dir)
+        warm = serve_jsonl_parallel(lines, workers=2, cache_dir=cache_dir)
+        assert _dumps(warm.responses) == _dumps(cold.responses)
+        assert sum(s["disk_warm_starts"] for s in warm.worker_stats) > 0
+        # And a different worker count against the same cache agrees.
+        other = serve_jsonl_parallel(lines, workers=3, cache_dir=cache_dir)
+        assert _dumps(other.responses) == _dumps(cold.responses)
+
+    def test_error_records_survive_sharding(self, graph_files):
+        lines = _request_lines(graph_files)
+        result = serve_jsonl_parallel(lines, workers=2)
+        errors = [r for r in result.responses if "error" in r]
+        assert len(errors) == 2  # malformed JSON + unknown estimator
+        assert all("error_type" in r for r in errors)
+
+    def test_unhashable_graph_value_matches_serial(self, graph_files):
+        """Regression: a non-string 'graph' value (e.g. a list) must
+        not crash the router — the worker emits the same per-line
+        error record the serial path does."""
+        lines = [
+            json.dumps({"estimator": "cc", "epsilon": 1.0,
+                        "graph": ["not", "a", "path"]}),
+            json.dumps({"estimator": "cc", "epsilon": 1.0,
+                        "graph": {"nested": True}}),
+            json.dumps({"estimator": "edge_dp", "epsilon": 1.0,
+                        "graph": graph_files[0], "seed": 2}),
+        ]
+        serial = _dumps(serve_jsonl(lines, ReleaseSession()))
+        result = serve_jsonl_parallel(lines, workers=2)
+        assert _dumps(result.responses) == serial
+        assert "error" in result.responses[0]
+        assert "value" in result.responses[2]
+
+
+class TestRouting:
+    def test_routing_is_deterministic_by_content(self, graph_files):
+        router_a = _FingerprintRouter(4)
+        router_b = _FingerprintRouter(4)
+        lines = _request_lines(graph_files)
+        shards_a = [router_a.shard_for_line(i, s) for i, s in enumerate(lines)]
+        shards_b = [router_b.shard_for_line(i, s) for i, s in enumerate(lines)]
+        assert shards_a == shards_b
+
+    def test_same_graph_same_shard(self, graph_files):
+        router = _FingerprintRouter(3)
+        line = json.dumps({"estimator": "cc", "epsilon": 1.0,
+                           "graph": graph_files[0]})
+        assert router.shard_for_line(0, line) == router.shard_for_line(7, line)
+
+    def test_shard_of_in_range(self):
+        for workers in (1, 2, 3, 8):
+            assert 0 <= _shard_of("ab12cd34" * 8, workers) < workers
+
+    def test_unroutable_lines_spread_by_index(self, tmp_path):
+        router = _FingerprintRouter(2)
+        assert router.shard_for_line(0, "{bad") == 0
+        assert router.shard_for_line(1, "{bad") == 1
+        missing = json.dumps({"estimator": "cc", "epsilon": 1.0,
+                              "graph": str(tmp_path / "nope.edges")})
+        assert router.shard_for_line(5, missing) == 1
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            serve_jsonl_parallel([], workers=0)
+
+
+class TestCliParallel:
+    def test_workers_flag_byte_identical_and_exit_codes(
+        self, graph_files, tmp_path, capsys
+    ):
+        from repro.__main__ import main
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(_request_lines(graph_files)) + "\n"
+        )
+        out1 = tmp_path / "w1.jsonl"
+        out2 = tmp_path / "w2.jsonl"
+        assert main([
+            "serve-batch", "--requests", str(requests),
+            "--output", str(out1), "--workers", "1",
+            "--cache-dir", str(tmp_path / "c1"),
+        ]) == 0
+        assert main([
+            "serve-batch", "--requests", str(requests),
+            "--output", str(out2), "--workers", "2",
+            "--cache-dir", str(tmp_path / "c2"),
+        ]) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+        assert "across 2 workers" in capsys.readouterr().err
+
+    def test_workers_refuse_total_epsilon(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main([
+            "serve-batch", "--requests", os.devnull,
+            "--workers", "2", "--total-epsilon", "1.0",
+        ]) == 1
+        assert "--workers 1" in capsys.readouterr().err

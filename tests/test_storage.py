@@ -1,0 +1,147 @@
+"""Tests for the shared durable-store primitives (``repro.storage``).
+
+Pins the satellite bugfix contract for ``clean_tmp`` and ``put``:
+
+* another process's cleanup must never unlink a live writer's young
+  ``*.tmp`` file (doing so would break that writer's ``os.replace``);
+* a failed write — including a failed ``os.fdopen`` or ``os.replace``
+  — must not leak a file descriptor or a stray tmp file.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+import pytest
+
+from repro.storage import (
+    atomic_write_json,
+    clean_stale_tmp,
+    read_json_or_none,
+    sharded_path,
+)
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def _run_clean_in_subprocess(root: str, max_age: float) -> int:
+    """Run ``clean_stale_tmp`` in a *separate process* (the concurrent
+    cleaner of the two-process race) and return its removal count."""
+    script = (
+        "import sys, json\n"
+        f"sys.path.insert(0, {_SRC!r})\n"
+        "from repro.storage import clean_stale_tmp\n"
+        f"print(json.dumps(clean_stale_tmp({root!r}, {max_age!r})))\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, check=True,
+    )
+    return json.loads(result.stdout)
+
+
+class TestTwoProcessCleanRace:
+    def test_concurrent_cleaner_spares_live_writer_tmp(self, tmp_path):
+        """Process A holds an in-flight .tmp (mid-put); process B's
+        cleanup must leave it alone so A's os.replace succeeds."""
+        root = str(tmp_path / "store")
+        destination = sharded_path(root, "abcd" * 16)
+        directory = os.path.dirname(destination)
+        os.makedirs(directory)
+        # Simulate a writer paused between mkstemp and os.replace.
+        fd, live_tmp = tempfile.mkstemp(
+            prefix=".abcd-", suffix=".tmp", dir=directory
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write('{"half": ')  # deliberately incomplete
+
+        removed = _run_clean_in_subprocess(root, 3600.0)
+        assert removed == 0
+        assert os.path.exists(live_tmp)
+
+        # The writer resumes and lands its record atomically.
+        os.replace(live_tmp, destination)
+        assert read_json_or_none(destination) is None  # torn == missing
+
+    def test_concurrent_cleaner_removes_only_stale(self, tmp_path):
+        root = str(tmp_path / "store")
+        shard = os.path.join(root, "ab")
+        os.makedirs(shard)
+        stale = os.path.join(shard, "dead.tmp")
+        fresh = os.path.join(shard, "live.tmp")
+        for path in (stale, fresh):
+            with open(path, "w") as handle:
+                handle.write("partial")
+        os.utime(stale, (0, 0))
+        assert _run_clean_in_subprocess(root, 3600.0) == 1
+        assert sorted(os.listdir(shard)) == ["live.tmp"]
+
+    def test_vanishing_file_mid_scan_is_not_an_error(self, tmp_path):
+        # A cleaner racing a completing writer sees the tmp disappear:
+        # getmtime/unlink OSErrors are swallowed, not raised.
+        root = str(tmp_path / "store")
+        os.makedirs(os.path.join(root, "ab"))
+        assert clean_stale_tmp(root) == 0
+        assert clean_stale_tmp(str(tmp_path / "missing-root")) == 0
+
+
+class TestAtomicWrite:
+    def test_roundtrip_and_no_tmp_left(self, tmp_path):
+        path = sharded_path(tmp_path, "ff" * 32)
+        atomic_write_json(path, {"x": 1})
+        assert read_json_or_none(path) == {"x": 1}
+        files = [
+            name for _, _, names in os.walk(tmp_path) for name in names
+        ]
+        assert files == [os.path.basename(path)]
+
+    def test_failed_replace_cleans_tmp_and_closes_fd(
+        self, tmp_path, monkeypatch
+    ):
+        """os.replace failing must leave no tmp file and no open fd."""
+        path = sharded_path(tmp_path, "aa" * 32)
+
+        real_replace = os.replace
+        captured = {}
+
+        def failing_replace(src, dst):
+            captured["tmp"] = src
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError, match="disk detached"):
+            atomic_write_json(path, {"x": 1})
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert not os.path.exists(captured["tmp"])
+        assert not os.path.exists(path)
+        # The fd was closed before replace: closing it again must fail.
+        # (We can't capture the numeric fd portably; instead assert the
+        # directory holds no stray entries at all.)
+        directory = os.path.dirname(path)
+        assert os.listdir(directory) == []
+
+    def test_failed_fdopen_closes_raw_fd(self, tmp_path, monkeypatch):
+        path = sharded_path(tmp_path, "bb" * 32)
+        captured = {}
+        real_fdopen = os.fdopen
+
+        def failing_fdopen(fd, *args, **kwargs):
+            captured["fd"] = fd
+            raise ValueError("bad mode simulation")
+
+        monkeypatch.setattr(os, "fdopen", failing_fdopen)
+        with pytest.raises(ValueError, match="bad mode"):
+            atomic_write_json(path, {"x": 1})
+        monkeypatch.setattr(os, "fdopen", real_fdopen)
+        # The raw descriptor was closed on the failure path.
+        with pytest.raises(OSError):
+            os.close(captured["fd"])
+        assert os.listdir(os.path.dirname(path)) == []
+
+    def test_overwrite_is_atomic_swap(self, tmp_path):
+        path = sharded_path(tmp_path, "cc" * 32)
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert read_json_or_none(path) == {"v": 2}
