@@ -1,0 +1,130 @@
+"""E13 — Durable daemon serving overhead on the warm path.
+
+The PR-6 tentpole wraps the amortized :class:`ReleaseSession` hot path
+in a long-lived HTTP daemon that additionally pays, per release, one
+fsync'd audit append plus one atomic account write.  This benchmark
+pins that the durability tax stays bounded: after the first (cold)
+request warms the extension table, the mean end-to-end latency of a
+daemon release — HTTP framing, admission control, GEM + Laplace, audit
+fsync, account rename — must stay under a wall-clock ceiling, and the
+responses must carry exactly the budget arithmetic the in-process
+accountant would.
+
+The ceiling is deliberately generous (these are real fsyncs): locally
+50 ms/request; CI relaxes via ``REPRO_BENCH_MAX_DAEMON_MS`` because
+shared runners have unpredictable fsync latency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import time
+import urllib.request
+
+from repro.graphs.generators import erdos_renyi_compact
+from repro.graphs.io import write_edge_list
+from repro.service.daemon import ReleaseDaemon
+
+from ._util import emit_table, reset_results
+
+_N = int(os.environ.get("REPRO_BENCH_DAEMON_N", "20000"))
+_C = 0.35
+_N_REQUESTS = 32
+_EPSILON = 0.125
+# Mean warm-request ceiling in milliseconds; CI overrides upward.
+_MAX_MEAN_MS = float(os.environ.get("REPRO_BENCH_MAX_DAEMON_MS", "50.0"))
+
+
+def _post_release(base: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        f"{base}/v1/release",
+        data=json.dumps(body).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def _run_experiment(rng):
+    reset_results("E13")
+
+    with tempfile.TemporaryDirectory(prefix="bench-daemon-") as root:
+        graph_path = os.path.join(root, "bench.edges")
+        graph = erdos_renyi_compact(_N, _C / _N, rng)
+        write_edge_list(graph, graph_path)
+
+        daemon = ReleaseDaemon(
+            os.path.join(root, "state"),
+            default_tenant_budget=_EPSILON * (_N_REQUESTS + 1),
+        )
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+
+            # Cold request: pays the component split + extension table.
+            cold_start = time.perf_counter()
+            _post_release(base, {
+                "tenant": "bench", "estimator": "cc",
+                "epsilon": _EPSILON, "graph": graph_path, "seed": 0,
+            })
+            cold_time = time.perf_counter() - cold_start
+
+            # Warm requests: GEM + Laplace + durable commit only.
+            latencies = []
+            for i in range(1, _N_REQUESTS + 1):
+                name = ("cc", "sf")[i % 2]
+                start = time.perf_counter()
+                body = _post_release(base, {
+                    "tenant": "bench", "estimator": name,
+                    "epsilon": _EPSILON, "graph": graph_path, "seed": i,
+                })
+                latencies.append(time.perf_counter() - start)
+                assert body["seq"] == i
+            # The response budget arithmetic matches an exact ledger
+            # sum (compensated accountant, not naive drift).
+            spent = body["budget"]["spent"]
+            exact = math.fsum([_EPSILON] * (_N_REQUESTS + 1))
+            assert abs(spent - exact) <= 1e-12 * exact
+
+        mean_ms = 1000.0 * sum(latencies) / len(latencies)
+        p95_ms = 1000.0 * sorted(latencies)[
+            max(0, int(0.95 * len(latencies)) - 1)
+        ]
+        rows = [[
+            _N,
+            graph.number_of_edges(),
+            _N_REQUESTS,
+            1000.0 * cold_time,
+            mean_ms,
+            p95_ms,
+            1000.0 * cold_time / mean_ms,
+        ]]
+        emit_table(
+            "E13",
+            [
+                "n",
+                "m",
+                "requests",
+                "cold ms",
+                "warm mean ms",
+                "warm p95 ms",
+                "cold/warm",
+            ],
+            rows,
+            "durable daemon releases on one hot graph: HTTP + admission "
+            "+ GEM/Laplace + audit fsync + account rename per request "
+            f"(ceiling: mean <= {_MAX_MEAN_MS:g} ms)",
+        )
+        assert mean_ms <= _MAX_MEAN_MS, (
+            f"warm daemon request mean {mean_ms:.1f} ms above the "
+            f"{_MAX_MEAN_MS:g} ms ceiling"
+        )
+        return rows
+
+
+def test_daemon_overhead(benchmark, rng):
+    benchmark.pedantic(_run_experiment, args=(rng,), rounds=1, iterations=1)

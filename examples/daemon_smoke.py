@@ -1,0 +1,154 @@
+"""Daemon durability smoke: kill -9 the server mid-stream, restart,
+and verify nothing about the privacy accounting moved.
+
+The script drives the real ``repro serve`` CLI process end to end:
+
+1. start the daemon on a fresh state directory;
+2. provision two tenants with different budgets and interleave release
+   requests for both (mixed estimators, explicit and implicit seeds);
+3. ``kill -9`` the process — no atexit, no flush, no goodbye;
+4. restart over the same state directory and verify the acceptance
+   criterion: per-tenant spent ε preserved **exactly**, audit-replay
+   totals matching every account's ledger, the next over-budget request
+   rejected with a structured ``over_budget`` error (not a crash), and
+   in-budget serving continuing with the audit sequence resumed.
+
+Exit code 0 means every check passed.  CI runs this as the
+``serve-daemon-smoke`` job; locally:
+
+    PYTHONPATH=src python examples/daemon_smoke.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+TENANTS = {"acme": 2.0, "globex": 1.0}
+
+
+def http(method, url, body=None):
+    """Return ``(status, decoded-json)`` for success and error alike."""
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def check(condition, label):
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}")
+    if not condition:
+        raise SystemExit(f"daemon smoke failed: {label}")
+
+
+def start_daemon(state_dir):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", state_dir, "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if "listening on" in line:
+            address = line.split("http://", 1)[1].split()[0]
+            port = int(address.rsplit(":", 1)[1].strip("/"))
+            return process, f"http://127.0.0.1:{port}"
+    process.kill()
+    raise SystemExit("daemon never announced its port")
+
+
+def main():
+    graph = os.environ.get("DAEMON_SMOKE_GRAPH", "smoke-a.edges")
+    if not os.path.exists(graph):
+        subprocess.run(
+            [sys.executable, "-m", "repro", "generate", "--family", "er",
+             "--n", "400", "--p", "0.002", "--seed", "7",
+             "--engine", "compact", "--output", graph],
+            check=True,
+        )
+    state = tempfile.mkdtemp(prefix="daemon-smoke-")
+
+    print("phase 1: serve a mixed two-tenant stream")
+    process, base = start_daemon(state)
+    try:
+        for tenant, budget in TENANTS.items():
+            status, _ = http("PUT", f"{base}/v1/tenants/{tenant}",
+                             {"total_epsilon": budget})
+            check(status == 201, f"provisioned {tenant} at ε={budget}")
+        plan = [
+            ("acme", "cc", 0.5), ("globex", "sf", 0.25),
+            ("acme", "edge_dp", 0.75), ("globex", "cc", 0.5),
+            ("acme", "sf", 0.5),
+        ]
+        for i, (tenant, estimator, epsilon) in enumerate(plan):
+            status, body = http("POST", f"{base}/v1/release", {
+                "tenant": tenant, "estimator": estimator,
+                "epsilon": epsilon, "graph": graph, "seed": i,
+            })
+            check(status == 200 and "value" in body,
+                  f"release #{i} {tenant}/{estimator} ε={epsilon}")
+        status, before = http("GET", f"{base}/v1/tenants/acme")
+        check(status == 200 and abs(before["spent"] - 1.75) < 1e-12,
+              "acme spent 1.75 of 2.0")
+    finally:
+        print("phase 2: kill -9 mid-stream")
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+
+    print("phase 3: restart and verify durability")
+    process, base = start_daemon(state)
+    try:
+        expected_spend = {"acme": 1.75, "globex": 0.75}
+        accounts = {}
+        for tenant, spent in expected_spend.items():
+            status, account = http("GET", f"{base}/v1/tenants/{tenant}")
+            check(status == 200 and abs(account["spent"] - spent) < 1e-12,
+                  f"{tenant} spend preserved exactly ({spent})")
+            accounts[tenant] = account
+        status, audit = http("GET", f"{base}/v1/audit/summary")
+        check(status == 200 and audit["records"] == 5,
+              "audit log has one record per successful release")
+        for tenant, account in accounts.items():
+            entry = audit["tenants"][tenant]
+            check(
+                abs(entry["epsilon"] - account["spent"]) < 1e-12
+                and entry["releases"] == account["releases"],
+                f"audit replay matches {tenant}'s ledger",
+            )
+
+        status, rejected = http("POST", f"{base}/v1/release", {
+            "tenant": "globex", "estimator": "cc", "epsilon": 0.5,
+            "graph": graph, "seed": 99,
+        })
+        check(status == 429
+              and rejected["error"]["code"] == "over_budget",
+              "over-budget request gets a structured 429, not a crash")
+
+        status, served = http("POST", f"{base}/v1/release", {
+            "tenant": "acme", "estimator": "cc", "epsilon": 0.25,
+            "graph": graph, "seed": 100,
+        })
+        check(status == 200 and served["seq"] == 5,
+              "in-budget serving continues, audit seq resumed at 5")
+        check(abs(served["budget"]["remaining"]) < 1e-12,
+              "acme budget now exactly exhausted")
+    finally:
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+    print("daemon smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,11 @@ Subcommands
                  restarts; ``--workers N`` shards requests across
                  processes by graph fingerprint (byte-identical output
                  for any worker count).
+``serve``        Long-lived multi-tenant HTTP release daemon: durable
+                 per-tenant ε budget accounts (survive ``kill -9``),
+                 an fsync'd append-only audit log, and structured
+                 admission-control rejections.  ``serve-batch`` stays
+                 the offline path.
 ``stats``        Print exact (non-private) structural statistics.
 ``generate``     Sample a graph from a built-in family and write it out.
 ``sweep``        Run a config-driven experiment sweep into a resumable
@@ -43,12 +48,16 @@ Examples
         --requests queries.jsonl --output releases.jsonl
     python -m repro serve-batch --requests queries.jsonl --workers 4 \
         --cache-dir ext-cache --output releases.jsonl
+    python -m repro serve --port 8765 --state-dir daemon-state \
+        --tenant-budget 4.0 --graph contacts.edges
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import signal
 import sys
 
 import numpy as np
@@ -175,6 +184,68 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes; requests are sharded deterministically "
         "by graph fingerprint and output is byte-identical to "
         "--workers 1 (incompatible with --total-epsilon)",
+    )
+
+    daemon = subparsers.add_parser(
+        "serve",
+        help="long-lived multi-tenant HTTP release daemon with durable "
+        "per-tenant privacy-budget accounts and an append-only audit log",
+    )
+    daemon.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    daemon.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (0 = pick a free port and print it)",
+    )
+    daemon.add_argument(
+        "--state-dir",
+        required=True,
+        help="durable state root: per-tenant budget accounts "
+        "(accounts/<tenant>.json) and the audit log (audit.jsonl); "
+        "holds privacy-critical accounting state — permission it "
+        "accordingly",
+    )
+    daemon.add_argument(
+        "--tenant-budget",
+        type=float,
+        default=None,
+        help="auto-provision first-seen tenants with this total epsilon; "
+        "omit to reject unknown tenants until provisioned via "
+        "PUT /v1/tenants/<tenant>",
+    )
+    daemon.add_argument(
+        "--graph",
+        default=None,
+        help="default edge-list served to requests that name no graph",
+    )
+    daemon.add_argument(
+        "--max-graphs",
+        type=int,
+        default=8,
+        help="how many hot graphs keep warm extension tables resident",
+    )
+    daemon.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent extension-cache directory shared with "
+        "serve-batch (pre-noise state; permission it like the raw "
+        "graph data)",
+    )
+    daemon.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="root entropy for requests without an explicit seed "
+        "(spawn-keyed by audit sequence number)",
+    )
+    daemon.add_argument(
+        "--allow-non-private",
+        action="store_true",
+        help="also serve the exact non_private estimator, which spends "
+        "no tenant budget",
     )
 
     stats = subparsers.add_parser("stats", help="exact, non-private statistics")
@@ -397,6 +468,71 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 1 if errors and not served else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.daemon import ReleaseDaemon
+
+    try:
+        daemon = ReleaseDaemon(
+            args.state_dir,
+            default_tenant_budget=args.tenant_budget,
+            default_graph_path=args.graph,
+            max_graphs=args.max_graphs,
+            extension_cache_dir=args.cache_dir,
+            base_seed=args.base_seed,
+            allow_non_private=args.allow_non_private,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if daemon.healed_at_startup:
+        # A previous process died between the audit append and the
+        # account write; the gap was force-spent at open.
+        print(
+            "repro serve: reconciled accounts from audit log: "
+            + ", ".join(
+                f"{tenant} (+{gap:g} eps)"
+                for tenant, gap in sorted(daemon.healed_at_startup.items())
+            ),
+            file=sys.stderr,
+        )
+
+    async def _run() -> int:
+        ready = asyncio.Event()
+        task = asyncio.ensure_future(
+            daemon.serve(args.host, args.port, ready=ready)
+        )
+        await ready.wait()
+        # The parseable "listening" line (stdout, flushed) is the
+        # contract the smoke scripts use to learn a --port 0 choice.
+        print(
+            f"repro serve: listening on http://{args.host}:{daemon.port} "
+            f"(state: {args.state_dir})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, task.cancel)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-POSIX loop: Ctrl-C still raises below
+        try:
+            await task
+        except asyncio.CancelledError:
+            print("repro serve: shut down cleanly", file=sys.stderr)
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        return 0
+    except OSError as exc:
+        print(
+            f"error: cannot listen on {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = read_edge_list_auto(args.input)
     _, delta_upper = approx_min_degree_spanning_forest(graph)
@@ -507,6 +643,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_estimate(args)
     if args.command == "serve-batch":
         return _cmd_serve_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "generate":

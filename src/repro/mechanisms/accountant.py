@@ -5,6 +5,28 @@ with budgets ``ε_1, …, ε_t`` and post-processing their outputs is
 ``(Σ ε_i)``-private.  :class:`PrivacyAccountant` tracks spending against a
 total budget so composite algorithms (like Algorithm 1) can assert they
 stay within their advertised ε.
+
+Numerical discipline
+--------------------
+The running total is maintained with **Kahan compensated summation**,
+not naive float addition: a long request stream (a serving daemon can
+easily record 10^6+ spends against one tenant account) accumulates
+rounding error linearly under naive addition, which can either drift
+*past* the advertised budget (a real privacy accounting error) or
+spuriously reject the last nominally-in-budget request.  With the
+compensation term the recorded total stays within one ulp of the exact
+sum of the ledger regardless of stream length, so the 1e-9 relative
+admission slack only ever has to absorb the *caller's* rounding (e.g. a
+budget split into fractions), never the accountant's own drift.
+
+Durability
+----------
+The full accounting state round-trips through
+:meth:`PrivacyAccountant.to_dict` / :meth:`PrivacyAccountant.from_dict`
+(and the JSON twins), so a durable ledger — like the serving daemon's
+per-tenant budget accounts — can persist an accountant and restore it
+bit-for-bit after a restart: the ledger is replayed through the same
+compensated summation on load.
 """
 
 from __future__ import annotations
@@ -33,25 +55,53 @@ class PrivacyAccountant:
 
     total_epsilon: float
     _ledger: list[tuple[str, float]] = field(default_factory=list)
+    # Kahan running state: _spent_sum is the compensated total of every
+    # ledger amount, _compensation carries the low-order bits lost by
+    # the last addition.  Derived from _ledger (replayed in
+    # __post_init__), never serialized independently.
+    _spent_sum: float = field(default=0.0, repr=False, compare=False)
+    _compensation: float = field(default=0.0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.total_epsilon <= 0:
             raise ValueError(f"total_epsilon must be > 0, got {self.total_epsilon}")
+        # A pre-filled ledger (from_dict, or direct construction) is
+        # replayed through the same compensated accumulation a live
+        # stream of spend() calls would produce.
+        self._spent_sum = 0.0
+        self._compensation = 0.0
+        for _, amount in self._ledger:
+            self._accumulate(float(amount))
 
-    def spend(self, epsilon: float, label: str = "") -> None:
+    def _accumulate(self, amount: float) -> None:
+        """Kahan-compensated ``_spent_sum += amount``."""
+        y = amount - self._compensation
+        t = self._spent_sum + y
+        self._compensation = (t - self._spent_sum) - y
+        self._spent_sum = t
+
+    def spend(self, epsilon: float, label: str = "", *, force: bool = False) -> None:
         """Record a spend of ``epsilon``; raise if it exceeds the budget.
 
         Admission is exactly :meth:`can_spend` (single source of truth),
         whose tiny relative slack (1e-9) absorbs floating-point drift
         when a budget is split into fractions that nominally sum to the
         total.
+
+        ``force=True`` records the spend without the admission check.
+        It exists for durable-ledger *reconciliation* (replaying an
+        audit log over a stale account after a crash must reproduce
+        history, not re-adjudicate it), never for serving new requests.
         """
-        if not self.can_spend(epsilon):
+        if not force and not self.can_spend(epsilon):
             raise BudgetExceededError(
                 f"spend of {epsilon} exceeds remaining budget "
                 f"{self.remaining()} (label={label!r})"
             )
-        self._ledger.append((label, epsilon))
+        if epsilon <= 0:
+            raise ValueError(f"spend must be > 0, got {epsilon}")
+        self._ledger.append((label, float(epsilon)))
+        self._accumulate(float(epsilon))
 
     def can_spend(self, epsilon: float) -> bool:
         """Whether a spend of ``epsilon`` would fit the remaining budget
@@ -64,8 +114,9 @@ class PrivacyAccountant:
         return self.spent() + epsilon <= self.total_epsilon + slack
 
     def spent(self) -> float:
-        """Total ε spent so far."""
-        return sum(amount for _, amount in self._ledger)
+        """Total ε spent so far (compensated; exact to ~1 ulp of the
+        true ledger sum for streams of any length)."""
+        return self._spent_sum
 
     def remaining(self) -> float:
         """Budget left (never negative)."""
@@ -87,9 +138,44 @@ class PrivacyAccountant:
             ],
         }
 
+    @classmethod
+    def from_dict(cls, state: dict) -> "PrivacyAccountant":
+        """Rebuild an accountant from :meth:`to_dict` output.
+
+        The ledger is the source of truth: the spent total is replayed
+        through the same compensated summation, so
+        ``from_dict(acct.to_dict())`` reproduces ``acct.spent()`` bit
+        for bit.  Raises :class:`ValueError` on a malformed record.
+        """
+        if not isinstance(state, dict):
+            raise ValueError("accountant state must be a JSON object")
+        try:
+            total = float(state["total_epsilon"])
+            entries = state["ledger"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed accountant state: {exc!r}") from exc
+        if not isinstance(entries, list):
+            raise ValueError("accountant ledger must be a list")
+        ledger: list[tuple[str, float]] = []
+        for entry in entries:
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("label"), str)
+                or not isinstance(entry.get("epsilon"), (int, float))
+                or entry["epsilon"] <= 0
+            ):
+                raise ValueError(f"malformed ledger entry: {entry!r}")
+            ledger.append((entry["label"], float(entry["epsilon"])))
+        return cls(total_epsilon=total, _ledger=ledger)
+
     def to_json(self, indent: int | None = None) -> str:
         """Serialize the accounting state (budget + per-step ledger)."""
         return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "PrivacyAccountant":
+        """Rebuild an accountant from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(payload))
 
 
 def split_budget(total_epsilon: float, fractions: dict[str, float]) -> dict[str, float]:

@@ -9,17 +9,22 @@ on the same graph under one optional shared privacy budget;
 grid), so cold processes warm-start across restarts;
 :func:`serve_jsonl` is the JSONL request/response loop behind
 ``repro serve-batch`` and :func:`serve_jsonl_parallel` shards it across
-worker processes by graph fingerprint.
+worker processes by graph fingerprint; the subpackage
+:mod:`repro.service.daemon` wraps the same hot path in a long-lived
+multi-tenant HTTP daemon (``repro serve``) with durable per-tenant
+budget accounts and an append-only audit log.
 """
 
 from .batch import ParallelServeResult, serve_jsonl, serve_jsonl_parallel
 from .cache import CacheStats, ExtensionCache, extension_key
+from .daemon import ReleaseDaemon
 from .session import ReleaseSession, SessionStats
 
 __all__ = [
     "CacheStats",
     "ExtensionCache",
     "ParallelServeResult",
+    "ReleaseDaemon",
     "ReleaseSession",
     "SessionStats",
     "extension_key",

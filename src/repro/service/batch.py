@@ -44,6 +44,7 @@ path — output is byte-identical for any worker count.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
 import queue as queue_module
@@ -101,7 +102,7 @@ class _RequestServer:
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
             request_id = request.get("id", index)
-            response = self._serve_request(request, index)
+            response = self.serve_request(request, index)
             response["id"] = request_id
             return response
         except BudgetExceededError as exc:
@@ -121,7 +122,16 @@ class _RequestServer:
             "error_type": type(exc).__name__,
         }
 
-    def _serve_request(self, request: dict, index: int) -> dict:
+    def serve_request(self, request: dict, index: int) -> dict:
+        """Serve one already-decoded request dict; raises on failure.
+
+        The exception-raising core behind :meth:`serve_line` — also
+        called directly by the HTTP daemon
+        (:mod:`repro.service.daemon.app`), which maps the raised
+        exceptions onto structured admission-control responses instead
+        of JSONL error records.  ``index`` doubles as the entropy index
+        for requests without an explicit seed.
+        """
         estimator = request.get("estimator")
         if not estimator:
             raise ValueError("request needs an 'estimator' field")
@@ -247,6 +257,21 @@ def _shard_of(fingerprint: str, workers: int) -> int:
     return int(fingerprint[:16], 16) % workers
 
 
+def _content_shard(token: str, workers: int) -> int:
+    """Content-stable shard for lines without a resolvable fingerprint.
+
+    Hashing the *content* (the graph path, or the raw line) instead of
+    falling back to ``index % workers`` keeps routing a pure function
+    of what a request says, never where it sits in the input file: all
+    requests naming the same unresolvable path still land on one
+    worker (preserving single-owner cache semantics even when only the
+    workers can load the graph), and reordering unknown-graph lines
+    can never flip which worker's cache shard warms.
+    """
+    digest = hashlib.sha256(token.encode("utf-8")).hexdigest()
+    return int(digest[:16], 16) % workers
+
+
 class _FingerprintRouter:
     """Routes request lines to worker shards by graph fingerprint.
 
@@ -256,9 +281,14 @@ class _FingerprintRouter:
     which consequently owns that graph's slice of the persistent
     extension cache outright: no two workers ever compute or write the
     same table, without any cross-process locking.  Lines the parent
-    cannot attribute to a graph (malformed JSON, unreadable paths, no
-    default) are spread round-robin by index; the worker then produces
-    the same structured error record the serial path would.
+    cannot attribute to a fingerprint are still routed by *content*
+    (:func:`_content_shard` of the named path, or of the raw line when
+    there is no usable path), never by input position: a path the
+    parent cannot read routes all of its requests to one worker — so
+    if that worker turns out to be able to load it (e.g. the file
+    appeared between routing and serving), cache-shard ownership still
+    holds — and the worker produces the same structured error record
+    the serial path would when it cannot.
     """
 
     def __init__(
@@ -277,18 +307,20 @@ class _FingerprintRouter:
         try:
             request = json.loads(raw)
         except ValueError:
-            return index % self._workers
+            return _content_shard(raw, self._workers)
         path = request.get("graph") if isinstance(request, dict) else None
         if path is None:
             path = self._default_graph_path
         if not isinstance(path, str):
             # No graph, or a non-string 'graph' value: the owning
             # worker produces the same error record the serial path
-            # would; routing just has to be deterministic.
-            return index % self._workers
+            # would; routing just has to be content-deterministic.
+            return _content_shard(raw, self._workers)
         fingerprint = self._fingerprint_of(path)
         if fingerprint is None:
-            return index % self._workers
+            # Unreadable (to the parent) path: all requests naming it
+            # share one worker, chosen by the path itself.
+            return _content_shard(path, self._workers)
         return _shard_of(fingerprint, self._workers)
 
     def _fingerprint_of(self, path: str) -> Optional[str]:
@@ -316,14 +348,45 @@ def _worker_main(
         default_graph_path=config["default_graph_path"],
         base_seed=config["base_seed"],
     )
+    kill_at_index = config.get("kill_at_index")
     while True:
         item = in_queue.get()
         if item is None:
             break
         index, raw = item
+        if kill_at_index is not None and index == kill_at_index:
+            # Test seam: simulate a hard worker death (OOM-kill, power
+            # loss) exactly at this request — SIGKILL leaves no chance
+            # for cleanup, which is the point.
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
         out_queue.put(("response", index, server.serve_line(index, raw)))
     session.persist_warm_extensions()
     out_queue.put(("stats", worker_id, session.stats.to_dict()))
+
+
+def _worker_crash_record(raw: str, index: int, worker: int, exitcode) -> dict:
+    """The structured error record emitted in place of every response a
+    dead worker never delivered — same ``{"id","error","error_type"}``
+    shape as any other per-request failure, so downstream consumers
+    need no new parsing."""
+    request_id: object = index
+    try:
+        request = json.loads(raw)
+        if isinstance(request, dict):
+            request_id = request.get("id", index)
+    except ValueError:
+        pass
+    return {
+        "id": request_id,
+        "error": (
+            f"serve-batch worker {worker} died (exit code {exitcode}) "
+            "before answering this request"
+        ),
+        "error_type": "WorkerCrashed",
+    }
 
 
 def serve_jsonl_parallel(
@@ -336,6 +399,7 @@ def serve_jsonl_parallel(
     max_graphs: int = 8,
     allow_non_private: bool = False,
     cache_dir: Optional[str] = None,
+    _kill_at_index: Optional[int] = None,
 ) -> ParallelServeResult:
     """Serve a JSONL request stream across ``workers`` processes.
 
@@ -358,6 +422,15 @@ def serve_jsonl_parallel(
     coordination that would serialize the hot path.  Use the serial
     path for budgeted batches.
 
+    Worker death (SIGKILL, OOM, segfault) does not hang or abort the
+    batch: the parent notices the dead process promptly, synthesizes a
+    structured ``{"id", "error", "error_type": "WorkerCrashed"}``
+    record for every request dispatched to it but never answered, and
+    the surviving workers' responses come back untouched.  The dead
+    worker contributes no stats entry.  (``_kill_at_index`` is the test
+    seam simulating exactly this — the owning worker SIGKILLs itself on
+    that request index.)
+
     The full response list is materialized in memory (ordering requires
     holding out-of-order arrivals anyway); the request stream itself is
     consumed incrementally.
@@ -373,6 +446,7 @@ def serve_jsonl_parallel(
         "cache_dir": cache_dir,
         "default_graph_path": default_graph_path,
         "base_seed": base_seed,
+        "kill_at_index": _kill_at_index,
     }
     processes = [
         context.Process(
@@ -393,46 +467,75 @@ def serve_jsonl_parallel(
     )
     router = _FingerprintRouter(workers, default_graph_path, known)
     dispatched: list[int] = []
+    dispatched_to: dict[int, list[int]] = {w: [] for w in range(workers)}
+    raw_by_index: dict[int, str] = {}
     try:
         for index, raw in enumerate(lines):
             if not raw.strip() or raw.strip().startswith("#"):
                 continue  # same skip rule as the serial path
-            in_queues[router.shard_for_line(index, raw)].put((index, raw))
+            shard = router.shard_for_line(index, raw)
+            in_queues[shard].put((index, raw))
             dispatched.append(index)
+            dispatched_to[shard].append(index)
+            raw_by_index[index] = raw
         for in_queue in in_queues:
             in_queue.put(None)
 
         responses: dict[int, dict] = {}
         worker_stats: list[dict] = []
+        pending = set(dispatched)
+        stats_pending = set(range(workers))
+        crashed: set[int] = set()
         idle_after_exit = 0
-        while len(responses) < len(dispatched) or len(worker_stats) < workers:
+        while pending or stats_pending:
+            # Reap crashed workers *every* pass, not only when the
+            # result queue runs dry: a worker killed mid-batch is
+            # surfaced promptly even while surviving workers are still
+            # streaming responses.  Every request dispatched to the
+            # dead worker and not yet answered becomes a structured
+            # error record in its slot; its stats entry is written off.
+            for w, process in enumerate(processes):
+                if (
+                    w not in crashed
+                    and not process.is_alive()
+                    and process.exitcode not in (0, None)
+                ):
+                    crashed.add(w)
+                    stats_pending.discard(w)
+                    for index in dispatched_to[w]:
+                        if index in pending:
+                            responses[index] = _worker_crash_record(
+                                raw_by_index.pop(index), index,
+                                w, process.exitcode,
+                            )
+                            pending.discard(index)
+            if not pending and not stats_pending:
+                break
             try:
-                kind, tag, payload = out_queue.get(timeout=1.0)
+                kind, tag, payload = out_queue.get(timeout=0.25)
             except queue_module.Empty:
-                dead = [
-                    w for w, process in enumerate(processes)
-                    if not process.is_alive() and process.exitcode not in (0, None)
-                ]
-                if dead:
-                    raise RuntimeError(
-                        f"serve-batch worker(s) {dead} died "
-                        f"(exit codes "
-                        f"{[processes[w].exitcode for w in dead]})"
-                    )
                 if not any(process.is_alive() for process in processes):
-                    # All workers exited cleanly; allow a few grace
-                    # polls for queue-feeder flushes, then give up.
+                    # All workers exited (the crashed ones were already
+                    # written off above); allow a few grace polls for
+                    # queue-feeder flushes, then give up.
                     idle_after_exit += 1
-                    if idle_after_exit > 5:
+                    if idle_after_exit > 20:
                         raise RuntimeError(
                             "serve-batch workers exited without "
                             "delivering every response"
                         )
                 continue
             if kind == "response":
+                # A response that raced the crash bookkeeping (already
+                # flushed to the pipe before the worker died) wins over
+                # the synthesized error record: real data beats an
+                # apology.
                 responses[tag] = payload
+                pending.discard(tag)
+                raw_by_index.pop(tag, None)
             else:
                 worker_stats.append({"worker": tag, **payload})
+                stats_pending.discard(tag)
     finally:
         for process in processes:
             process.join(timeout=10.0)

@@ -1,0 +1,39 @@
+"""Durable multi-tenant release daemon (``repro serve``).
+
+Promotes the privacy accountant from in-process batch state to a
+first-class durable object behind a long-lived asyncio HTTP server:
+
+* :mod:`.accounts` — per-tenant ε budget accounts persisted with the
+  :mod:`repro.storage` atomic-write discipline (spend survives
+  ``kill -9`` exactly);
+* :mod:`.audit` — fsync'd append-only JSONL log of every release,
+  replayable into per-tenant composition totals;
+* :mod:`.http` — minimal stdlib HTTP/1.1 framing;
+* :mod:`.app` — :class:`ReleaseDaemon`: routing, admission control
+  (structured machine-readable rejections), and the serving hot path
+  reused from :class:`~repro.service.session.ReleaseSession`.
+"""
+
+from .accounts import (
+    AccountExistsError,
+    AccountStore,
+    BudgetAccount,
+    InvalidTenantError,
+    TENANT_NAME_PATTERN,
+)
+from .app import ERROR_CODES, BackgroundDaemon, ReleaseDaemon
+from .audit import AuditLog, AuditSummary, replay_audit
+
+__all__ = [
+    "AccountExistsError",
+    "AccountStore",
+    "AuditLog",
+    "AuditSummary",
+    "BackgroundDaemon",
+    "BudgetAccount",
+    "ERROR_CODES",
+    "InvalidTenantError",
+    "ReleaseDaemon",
+    "TENANT_NAME_PATTERN",
+    "replay_audit",
+]

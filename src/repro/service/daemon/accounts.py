@@ -1,0 +1,236 @@
+"""Durable per-tenant privacy-budget accounts.
+
+The serving daemon's answer to the ``--total-epsilon`` serial-only
+limitation: instead of one in-process accountant that dies with the
+batch, every tenant owns a :class:`BudgetAccount` — a
+:class:`~repro.mechanisms.accountant.PrivacyAccountant` plus identity
+metadata — persisted as one JSON file under the daemon's state
+directory via the shared :func:`repro.storage.atomic_write_json`
+discipline.  A ``kill -9`` at any instant leaves either the previous
+account state or the new one, never a torn file, so ε spent **survives
+restarts exactly**.
+
+Layout::
+
+    <state-dir>/accounts/<tenant>.json
+        {"tenant": ..., "account": <PrivacyAccountant.to_dict()>,
+         "created_at": ..., "updated_at": ...}
+
+Tenant names are restricted to a filesystem-safe alphabet
+(:data:`TENANT_NAME_PATTERN`) so a tenant id can never escape the
+accounts directory or collide with another's file.
+
+Crash-window reconciliation
+---------------------------
+A release is committed in two durable steps: audit-log append first,
+account write second (see :mod:`repro.service.daemon.app`).  A crash
+between them leaves the audit log one record ahead of the account.
+:meth:`AccountStore.reconcile_with_audit` closes that window at
+startup: any tenant whose audit total exceeds their account's recorded
+spend gets the difference force-spent under an ``audit-reconcile``
+label — the conservative direction (never *under*-count ε against a
+budget).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ...mechanisms.accountant import PrivacyAccountant
+from ...storage import atomic_write_json, read_json_or_none
+
+__all__ = [
+    "TENANT_NAME_PATTERN",
+    "InvalidTenantError",
+    "AccountExistsError",
+    "BudgetAccount",
+    "AccountStore",
+]
+
+# Filesystem-safe tenant ids: must start with an alphanumeric, then
+# alphanumerics plus ``_ . -``, at most 64 chars.  No path separators,
+# no leading dot (hidden files / ``..`` traversal).
+TENANT_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+# Relative tolerance when comparing an audit-replay total against an
+# account's recorded spend: both are sums of the same ledger amounts
+# (compensated on one side, fsum on the other), so any true difference
+# from a crash window is a whole ε step, orders of magnitude above this.
+_RECONCILE_RTOL = 1e-9
+
+
+class InvalidTenantError(ValueError):
+    """Tenant id fails :data:`TENANT_NAME_PATTERN`."""
+
+
+class AccountExistsError(RuntimeError):
+    """Explicit provision of a tenant that already has an account."""
+
+
+@dataclass
+class BudgetAccount:
+    """One tenant's durable ε ledger."""
+
+    tenant: str
+    accountant: PrivacyAccountant
+    created_at: float
+    updated_at: float
+
+    def to_record(self) -> dict:
+        """The on-disk JSON shape."""
+        return {
+            "tenant": self.tenant,
+            "account": self.accountant.to_dict(),
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "BudgetAccount":
+        """Rebuild from :meth:`to_record` output; raises ``ValueError``
+        on a malformed record."""
+        if not isinstance(record, dict) or not isinstance(
+            record.get("tenant"), str
+        ):
+            raise ValueError(f"malformed account record: {record!r}")
+        return cls(
+            tenant=record["tenant"],
+            accountant=PrivacyAccountant.from_dict(record.get("account")),
+            created_at=float(record.get("created_at", 0.0)),
+            updated_at=float(record.get("updated_at", 0.0)),
+        )
+
+    def summary(self) -> dict:
+        """The JSON shape served by ``GET /v1/tenants/<tenant>``."""
+        acct = self.accountant
+        return {
+            "tenant": self.tenant,
+            "total_epsilon": acct.total_epsilon,
+            "spent": acct.spent(),
+            "remaining": acct.remaining(),
+            "releases": len(acct.ledger()),
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+        }
+
+
+def validate_tenant(tenant: object) -> str:
+    """Return ``tenant`` if it is a safe tenant id, else raise
+    :class:`InvalidTenantError`."""
+    if not isinstance(tenant, str) or not TENANT_NAME_PATTERN.match(tenant):
+        raise InvalidTenantError(
+            "tenant id must match "
+            f"{TENANT_NAME_PATTERN.pattern!r}, got {tenant!r}"
+        )
+    return tenant
+
+
+class AccountStore:
+    """Directory of per-tenant :class:`BudgetAccount` files.
+
+    The daemon is the single writer (accounts are mutated only under
+    its serving lock); reads go through a small in-memory map so a hot
+    tenant costs no disk I/O on admission — the disk copy is refreshed
+    on every successful spend via :meth:`save`.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._loaded: dict[str, BudgetAccount] = {}
+
+    def path_for(self, tenant: str) -> str:
+        return os.path.join(self.root, f"{validate_tenant(tenant)}.json")
+
+    def tenants(self) -> list[str]:
+        """Every tenant with an account on disk, sorted."""
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.root)
+            if name.endswith(".json")
+        )
+
+    def get(self, tenant: str) -> Optional[BudgetAccount]:
+        """The tenant's account, or ``None`` if never provisioned."""
+        tenant = validate_tenant(tenant)
+        account = self._loaded.get(tenant)
+        if account is not None:
+            return account
+        record = read_json_or_none(self.path_for(tenant))
+        if record is None:
+            return None
+        account = BudgetAccount.from_record(record)
+        self._loaded[tenant] = account
+        return account
+
+    def create(self, tenant: str, total_epsilon: float) -> BudgetAccount:
+        """Provision a fresh account; raises
+        :class:`AccountExistsError` if the tenant already has one."""
+        tenant = validate_tenant(tenant)
+        if self.get(tenant) is not None:
+            raise AccountExistsError(
+                f"tenant {tenant!r} already has an account"
+            )
+        now = time.time()
+        account = BudgetAccount(
+            tenant=tenant,
+            accountant=PrivacyAccountant(total_epsilon),
+            created_at=now,
+            updated_at=now,
+        )
+        self.save(account)
+        return account
+
+    def get_or_create(
+        self, tenant: str, default_total_epsilon: Optional[float]
+    ) -> Optional[BudgetAccount]:
+        """The tenant's account, auto-provisioned at
+        ``default_total_epsilon`` on first sight when the daemon has a
+        default budget; ``None`` when there is no account and no
+        default (the caller rejects with ``unknown_tenant``)."""
+        account = self.get(tenant)
+        if account is not None:
+            return account
+        if default_total_epsilon is None:
+            return None
+        return self.create(tenant, default_total_epsilon)
+
+    def save(self, account: BudgetAccount) -> None:
+        """Atomically persist ``account`` (crash leaves old or new
+        state, never a torn file)."""
+        account.updated_at = time.time()
+        atomic_write_json(self.path_for(account.tenant), account.to_record())
+        self._loaded[account.tenant] = account
+
+    def reconcile_with_audit(
+        self, audit_totals: Mapping[str, float]
+    ) -> dict[str, float]:
+        """Heal accounts that lag the audit log after a crash.
+
+        For every tenant whose audit-replay ε total exceeds the spend
+        recorded in their account (the release was audited but the
+        account write never landed), force-spend the difference under
+        an ``audit-reconcile`` ledger label and persist.  Returns
+        ``{tenant: healed_epsilon}`` for the accounts that needed it.
+        """
+        healed: dict[str, float] = {}
+        for tenant, audit_total in audit_totals.items():
+            account = self.get(tenant)
+            if account is None:
+                # An audit record can only follow account creation, so
+                # this means the accounts directory was damaged out of
+                # band; nothing safe to heal into.
+                continue
+            gap = audit_total - account.accountant.spent()
+            if gap <= _RECONCILE_RTOL * max(
+                account.accountant.total_epsilon, 1.0
+            ):
+                continue
+            account.accountant.spend(gap, "audit-reconcile", force=True)
+            self.save(account)
+            healed[tenant] = gap
+        return healed

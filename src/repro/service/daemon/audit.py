@@ -1,0 +1,172 @@
+"""Append-only audit log of every release the daemon serves.
+
+One fsync'd JSONL record per **successful** release (admission
+rejections and estimator failures release nothing, so they are not
+audit events), written *before* the tenant's account is updated — the
+write order that lets :meth:`~repro.service.daemon.accounts.AccountStore.reconcile_with_audit`
+heal a crash window conservatively (audit ahead of account, never
+behind).
+
+Record shape (one JSON line, sorted keys)::
+
+    {"kind": "release", "seq": 7, "ts": 1722945600.123,
+     "tenant": "acme", "request_id": "q-42", "estimator": "cc",
+     "epsilon": 0.5, "fingerprint": "ab12…"}
+
+``seq`` is a strictly increasing release sequence number, continued
+across restarts (the writer replays the log on open), so the log
+doubles as the daemon's deterministic per-request entropy index:
+requests without an explicit seed draw from
+``SeedSequence(base_seed, spawn_key=(seq,))``.
+
+Durability: :class:`~repro.storage.JsonlLogWriter` fsyncs every append,
+so ``kill -9`` loses at most the in-flight record — and only as a torn
+*final* line, which replay tolerates.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...storage import JsonlLogWriter, read_jsonl_records
+
+__all__ = ["AuditRecordError", "AuditSummary", "AuditLog", "replay_audit"]
+
+
+class AuditRecordError(ValueError):
+    """A decoded audit line is not a well-formed release record."""
+
+
+@dataclass
+class AuditSummary:
+    """Replay of an audit log: per-tenant composition totals."""
+
+    records: int = 0
+    last_seq: int = -1
+    epsilon_by_tenant: dict[str, float] = field(default_factory=dict)
+    releases_by_tenant: dict[str, int] = field(default_factory=dict)
+    # Kept per tenant so totals are exact fsum accumulations, matching
+    # the accountant's compensated ledger sums to ~1 ulp.
+    _amounts: dict[str, list[float]] = field(default_factory=dict, repr=False)
+
+    def add(self, record: dict) -> None:
+        tenant = record["tenant"]
+        self._amounts.setdefault(tenant, []).append(float(record["epsilon"]))
+        self.epsilon_by_tenant[tenant] = math.fsum(self._amounts[tenant])
+        self.releases_by_tenant[tenant] = (
+            self.releases_by_tenant.get(tenant, 0) + 1
+        )
+        self.records += 1
+        self.last_seq = max(self.last_seq, int(record["seq"]))
+
+    def to_dict(self) -> dict:
+        """JSON shape served by ``GET /v1/audit/summary``."""
+        return {
+            "records": self.records,
+            "last_seq": self.last_seq,
+            "tenants": {
+                tenant: {
+                    "epsilon": self.epsilon_by_tenant[tenant],
+                    "releases": self.releases_by_tenant[tenant],
+                }
+                for tenant in sorted(self.epsilon_by_tenant)
+            },
+        }
+
+
+def _validate_record(record: object) -> dict:
+    if (
+        not isinstance(record, dict)
+        or record.get("kind") != "release"
+        or not isinstance(record.get("tenant"), str)
+        or not isinstance(record.get("seq"), int)
+        or not isinstance(record.get("epsilon"), (int, float))
+        or record["epsilon"] < 0
+        or not isinstance(record.get("estimator"), str)
+    ):
+        raise AuditRecordError(f"malformed audit record: {record!r}")
+    return record
+
+
+def replay_audit(path: str | os.PathLike) -> AuditSummary:
+    """Replay the log at ``path`` into per-tenant totals.
+
+    A missing file is an empty history; a torn final line (crash
+    mid-append) is tolerated by the storage layer; any other damage
+    raises.
+    """
+    summary = AuditSummary()
+    for record in read_jsonl_records(path):
+        summary.add(_validate_record(record))
+    return summary
+
+
+class AuditLog:
+    """The daemon's exclusive handle on its append-only release log.
+
+    Opening replays the existing log once — yielding the startup
+    summary used for account reconciliation and the next sequence
+    number — then holds the file open in append mode for the process
+    lifetime (one fsync per release, no per-record ``open``).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self.startup_summary = replay_audit(self.path)
+        self._next_seq = self.startup_summary.last_seq + 1
+        self._writer = JsonlLogWriter(self.path)
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next release will be recorded under."""
+        return self._next_seq
+
+    def append_release(
+        self,
+        *,
+        tenant: str,
+        request_id: object,
+        estimator: str,
+        epsilon: float,
+        fingerprint: Optional[str],
+        seq: int,
+        timestamp: Optional[float] = None,
+    ) -> dict:
+        """Durably append one release record; returns it."""
+        if seq != self._next_seq:
+            raise ValueError(
+                f"audit seq {seq} out of order (expected {self._next_seq})"
+            )
+        record = {
+            "kind": "release",
+            "seq": seq,
+            "ts": time.time() if timestamp is None else timestamp,
+            "tenant": tenant,
+            "request_id": request_id,
+            "estimator": estimator,
+            "epsilon": float(epsilon),
+            "fingerprint": fingerprint,
+        }
+        self._writer.append(record)
+        self._next_seq = seq + 1
+        return record
+
+    def allocate_seq(self) -> int:
+        """The sequence number for a release about to be computed.
+
+        Allocation does not advance the counter — only a successful
+        :meth:`append_release` does — so a failed release leaves no gap
+        in the log.
+        """
+        return self._next_seq
+
+    def replay(self) -> AuditSummary:
+        """Fresh replay of the log as it stands on disk now."""
+        return replay_audit(self.path)
+
+    def close(self) -> None:
+        self._writer.close()

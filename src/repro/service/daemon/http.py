@@ -1,0 +1,152 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Just enough protocol for the release daemon: request-line + headers +
+``Content-Length`` bodies in, JSON responses out, with keep-alive.  No
+chunked encoding, no TLS, no multipart — the daemon speaks a small
+JSON API to trusted clients behind the operator's own perimeter, and
+taking a web framework for that would break the repo's no-new-deps
+rule.
+
+Malformed framing raises :class:`HttpProtocolError`; the connection
+handler answers with a structured 400 and closes the connection (a
+client that cannot frame a request cannot be trusted to re-sync).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpProtocolError",
+    "HttpRequest",
+    "read_http_request",
+    "json_response_bytes",
+]
+
+# Framing limits: far above any legitimate daemon request (the largest
+# bodies are release requests naming a graph *path*, not graph data),
+# small enough that a misbehaving client cannot balloon the process.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpProtocolError(ValueError):
+    """The peer sent bytes that do not frame as an HTTP/1.1 request."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json_body(self):
+        """The body decoded as JSON; raises ``ValueError`` on garbage."""
+        if not self.body:
+            raise ValueError("request body is empty")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> HttpRequest | None:
+    """Read one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpProtocolError` for anything that does not frame:
+    oversized headers or body, a mangled request line, a missing or
+    non-numeric ``Content-Length`` on a request that carries a body.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpProtocolError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpProtocolError("request head exceeds the size limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpProtocolError("request head exceeds the size limit")
+
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise HttpProtocolError(f"malformed request line: {exc}") from exc
+    if not version.startswith("HTTP/1."):
+        raise HttpProtocolError(f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpProtocolError("non-numeric Content-Length") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpProtocolError("body exceeds the size limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpProtocolError("connection closed mid-body") from exc
+
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def json_response_bytes(
+    status: int, payload: dict, *, keep_alive: bool = True
+) -> bytes:
+    """Serialize one JSON response (sorted keys, like every other wire
+    format in the repo)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -19,6 +19,14 @@ discipline, implemented here exactly once:
   belong to a live concurrent writer — unlinking a fresh ``.tmp``
   would make that writer's ``os.replace`` fail.
 
+Alongside the replace-whole-record stores there is one **append-only**
+primitive, :class:`JsonlLogWriter` (used by the serving daemon's audit
+log): records are single JSON lines appended to an always-growing file,
+each flushed and fsynced before the append returns, so a kill at any
+instant loses at most the one record being written — and that record
+only ever as a *torn final line*, which :func:`read_jsonl_records`
+tolerates (a torn line anywhere *else* means foreign damage and raises).
+
 This module sits below every layer and imports nothing from the
 package, so any subsystem can depend on it without cycles.
 """
@@ -36,6 +44,9 @@ __all__ = [
     "read_json_or_none",
     "iter_keys",
     "clean_stale_tmp",
+    "JsonlLogWriter",
+    "append_jsonl",
+    "read_jsonl_records",
 ]
 
 
@@ -119,6 +130,150 @@ def iter_keys(root: str | os.PathLike):
         for name in sorted(os.listdir(shard_dir)):
             if name.endswith(".json"):
                 yield name[: -len(".json")]
+
+
+class JsonlLogWriter:
+    """Append-only, fsync-per-record JSONL log.
+
+    The durable twin of :func:`atomic_write_json` for *growing* data:
+    where the atomic writer replaces a whole record, this appends one
+    JSON line at a time to a single file and forces it to stable
+    storage (``flush`` + ``fsync``) before :meth:`append` returns.  A
+    ``kill -9`` therefore loses at most the record currently being
+    written, and only ever as an incomplete final line — never a hole
+    in the middle of the log.
+
+    The file handle stays open across appends (one ``open`` per process
+    lifetime, not per record); use as a context manager or call
+    :meth:`close`.  One writer per file: append-only logs are
+    single-owner by design (the serving daemon holds its audit log
+    exclusively), concurrent writers would interleave partial lines.
+
+    Opening **repairs a torn tail**: a final line left incomplete (or
+    undecodable, or blank) by a crash mid-append is truncated away, so
+    the next append starts a fresh line instead of concatenating onto
+    the fragment — which would have corrupted both records and turned a
+    tolerated torn *final* line into fatal *interior* damage on the next
+    replay.  Only unacknowledged data can be dropped this way: append
+    returns only after fsync, so a torn line was never confirmed to any
+    caller.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._truncate_torn_tail()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop trailing lines that are not complete JSON records."""
+        try:
+            handle = open(self.path, "r+b")
+        except FileNotFoundError:
+            return
+        with handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            while size > 0:
+                # Locate the start of the final line with a growing
+                # backward window (records are single lines, usually
+                # far smaller than the initial window).
+                window = 4096
+                while True:
+                    chunk_start = max(0, size - window)
+                    handle.seek(chunk_start)
+                    buffer = handle.read(size - chunk_start)
+                    body = (
+                        buffer[:-1] if buffer.endswith(b"\n") else buffer
+                    )
+                    newline_at = body.rfind(b"\n")
+                    if newline_at != -1 or chunk_start == 0:
+                        break
+                    window *= 2
+                line_start = chunk_start + newline_at + 1
+                line = body[newline_at + 1:]
+                if buffer.endswith(b"\n") and line.strip():
+                    try:
+                        json.loads(line.decode("utf-8"))
+                        break  # final line is one whole valid record
+                    except (ValueError, UnicodeDecodeError):
+                        pass
+                handle.truncate(line_start)
+                handle.flush()
+                os.fsync(handle.fileno())
+                size = line_start
+
+    def append(self, record: dict) -> None:
+        """Durably append one record as a single JSON line."""
+        line = json.dumps(record, sort_keys=True)
+        if "\n" in line:  # pragma: no cover - json.dumps never emits one
+            raise ValueError("record serialized to more than one line")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def append_jsonl(path: str | os.PathLike, record: dict) -> None:
+    """One-shot durable append (open, write one line, fsync, close).
+
+    Convenience wrapper over :class:`JsonlLogWriter` for callers that
+    append rarely; a long-lived writer should hold the class instance
+    instead and pay the ``open`` once.
+    """
+    with JsonlLogWriter(path) as writer:
+        writer.append(record)
+
+
+def read_jsonl_records(path: str | os.PathLike):
+    """Yield the records of an append-only JSONL log, oldest first.
+
+    A missing file yields nothing.  An undecodable **final** line is
+    tolerated silently — it is exactly what a process killed mid-append
+    leaves behind, and the append discipline guarantees the records
+    before it are intact.  An undecodable line anywhere else cannot be
+    produced by the writer and raises :class:`ValueError` (the log was
+    damaged by something foreign; better loud than silently dropping
+    audit records).
+    """
+    path = os.fspath(path)
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        return
+    with handle:
+        pending_error: ValueError | None = None
+        pending_line_number = 0
+        for line_number, line in enumerate(handle, start=1):
+            if pending_error is not None:
+                raise ValueError(
+                    f"{path}: undecodable record on line "
+                    f"{pending_line_number} (not the final line: "
+                    "foreign damage, not a torn append)"
+                ) from pending_error
+            if not line.strip():
+                # A blank final line is a torn append of a record whose
+                # payload never made it; blank interior lines are held
+                # to the same foreign-damage standard as decode errors.
+                pending_error = ValueError("blank line")
+                pending_line_number = line_number
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                pending_error = ValueError(str(exc))
+                pending_line_number = line_number
 
 
 def clean_stale_tmp(root: str | os.PathLike, max_age_seconds: float = 3600.0) -> int:

@@ -1,0 +1,525 @@
+"""Tests for the durable multi-tenant release daemon (``repro serve``).
+
+Covers the three durable layers (accounts, audit log, daemon app) plus
+the acceptance criterion end-to-end: ``kill -9`` mid-stream, restart,
+per-tenant ε preserved exactly, over-budget requests rejected with a
+structured error, and audit-replay totals matching every account's
+ledger.
+"""
+
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import planted_components_compact
+from repro.graphs.io import write_edge_list
+from repro.mechanisms.accountant import PrivacyAccountant
+from repro.service.daemon import (
+    AccountExistsError,
+    AccountStore,
+    AuditLog,
+    InvalidTenantError,
+    ReleaseDaemon,
+    replay_audit,
+)
+from repro.service.daemon.accounts import validate_tenant
+from repro.service.daemon.audit import AuditRecordError
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = planted_components_compact(
+        [10, 8], 0.4, np.random.default_rng(5)
+    )
+    path = str(tmp_path / "graph.edges")
+    write_edge_list(graph, path)
+    return path
+
+
+def _http(method, url, body=None, timeout=30.0):
+    """Tiny JSON-over-HTTP client: returns ``(status, decoded_body)``
+    for success *and* error responses alike."""
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestTenantValidation:
+    def test_safe_names_accepted(self):
+        for name in ("acme", "a", "T-1", "org.unit_7", "0leading-digit"):
+            assert validate_tenant(name) == name
+
+    def test_unsafe_names_rejected(self):
+        bad = ["", ".hidden", "../escape", "a/b", "a\\b", "a b",
+               "x" * 65, None, 7, "-dash-first"]
+        for name in bad:
+            with pytest.raises(InvalidTenantError):
+                validate_tenant(name)
+
+
+class TestAccountStore:
+    def test_create_get_and_durability(self, tmp_path):
+        store = AccountStore(tmp_path / "accounts")
+        account = store.create("acme", 2.0)
+        account.accountant.spend(0.5, "first")
+        store.save(account)
+        # A brand-new store over the same directory (fresh process
+        # after a restart) sees the spend exactly.
+        reopened = AccountStore(tmp_path / "accounts")
+        loaded = reopened.get("acme")
+        assert loaded is not None
+        assert loaded.accountant.spent() == account.accountant.spent()
+        assert loaded.accountant.ledger() == account.accountant.ledger()
+        assert reopened.tenants() == ["acme"]
+
+    def test_create_twice_refused(self, tmp_path):
+        store = AccountStore(tmp_path)
+        store.create("acme", 1.0)
+        with pytest.raises(AccountExistsError):
+            store.create("acme", 5.0)
+
+    def test_get_or_create_respects_default(self, tmp_path):
+        store = AccountStore(tmp_path)
+        assert store.get_or_create("ghost", None) is None
+        account = store.get_or_create("auto", 3.0)
+        assert account is not None
+        assert account.accountant.total_epsilon == 3.0
+        # Second sighting returns the same account, not a reset one.
+        account.accountant.spend(1.0)
+        store.save(account)
+        again = store.get_or_create("auto", 3.0)
+        assert again.accountant.spent() == pytest.approx(1.0)
+
+    def test_reconcile_heals_audit_gap(self, tmp_path):
+        store = AccountStore(tmp_path)
+        account = store.create("acme", 2.0)
+        account.accountant.spend(0.5, "landed")
+        store.save(account)
+        # Audit says 0.9 was released but only 0.5 landed in the
+        # account (crash between audit append and account write).
+        healed = store.reconcile_with_audit({"acme": 0.9})
+        assert healed == {"acme": pytest.approx(0.4)}
+        assert store.get("acme").accountant.spent() == pytest.approx(0.9)
+        labels = [label for label, _ in store.get("acme").accountant.ledger()]
+        assert "audit-reconcile" in labels
+        # Idempotent: a second reconcile with the same totals heals
+        # nothing more.
+        assert store.reconcile_with_audit({"acme": 0.9}) == {}
+
+    def test_reconcile_ignores_unknown_and_in_sync(self, tmp_path):
+        store = AccountStore(tmp_path)
+        account = store.create("acme", 1.0)
+        account.accountant.spend(0.25)
+        store.save(account)
+        healed = store.reconcile_with_audit(
+            {"acme": 0.25, "never-provisioned": 9.0}
+        )
+        assert healed == {}
+
+
+class TestAuditLog:
+    def test_append_replay_and_seq_continuation(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = AuditLog(path)
+        assert log.next_seq == 0
+        for i, (tenant, eps) in enumerate(
+            [("a", 0.5), ("b", 1.0), ("a", 0.25)]
+        ):
+            seq = log.allocate_seq()
+            assert seq == i
+            log.append_release(
+                tenant=tenant, request_id=f"r{i}", estimator="cc",
+                epsilon=eps, fingerprint="f" * 64, seq=seq,
+            )
+        log.close()
+
+        summary = replay_audit(path)
+        assert summary.records == 3
+        assert summary.last_seq == 2
+        assert summary.epsilon_by_tenant["a"] == pytest.approx(0.75)
+        assert summary.releases_by_tenant == {"a": 2, "b": 1}
+
+        # Reopening continues the sequence where it left off.
+        reopened = AuditLog(path)
+        assert reopened.next_seq == 3
+        reopened.close()
+
+    def test_allocate_does_not_advance(self, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl")
+        assert log.allocate_seq() == log.allocate_seq() == 0
+        log.close()
+
+    def test_out_of_order_seq_refused(self, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl")
+        with pytest.raises(ValueError, match="out of order"):
+            log.append_release(
+                tenant="a", request_id=0, estimator="cc",
+                epsilon=0.5, fingerprint=None, seq=7,
+            )
+        log.close()
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = AuditLog(path)
+        log.append_release(
+            tenant="a", request_id=0, estimator="cc",
+            epsilon=0.5, fingerprint=None, seq=0,
+        )
+        log.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "release", "seq": 1, "ten')  # kill -9
+        summary = replay_audit(path)
+        assert summary.records == 1
+        assert summary.epsilon_by_tenant == {"a": pytest.approx(0.5)}
+        # And the log stays appendable: the next writer truncates the
+        # torn fragment and continues from the last *complete* record.
+        reopened = AuditLog(path)
+        assert reopened.next_seq == 1
+        reopened.append_release(
+            tenant="a", request_id=1, estimator="cc",
+            epsilon=0.25, fingerprint=None, seq=1,
+        )
+        reopened.close()
+        summary = replay_audit(path)
+        assert summary.records == 2
+        assert summary.epsilon_by_tenant == {"a": pytest.approx(0.75)}
+
+    def test_interior_damage_raises(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text('{"torn interior\n{"kind": "release", "seq": 0, '
+                        '"tenant": "a", "epsilon": 0.5, '
+                        '"estimator": "cc"}\n')
+        with pytest.raises(ValueError):
+            replay_audit(path)
+
+    def test_malformed_record_raises(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text('{"kind": "release", "seq": 0, "tenant": "a", '
+                        '"epsilon": -2.0, "estimator": "cc"}\n')
+        with pytest.raises(AuditRecordError):
+            replay_audit(path)
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        summary = replay_audit(tmp_path / "never-written.jsonl")
+        assert summary.records == 0
+        assert summary.last_seq == -1
+
+
+class TestDaemonHttp:
+    """End-to-end over a real socket via ``start_in_background``."""
+
+    def test_health_estimators_and_stats(self, tmp_path):
+        daemon = ReleaseDaemon(tmp_path / "state")
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            status, body = _http("GET", f"{base}/healthz")
+            assert status == 200 and body["status"] == "ok"
+            status, body = _http("GET", f"{base}/v1/estimators")
+            assert status == 200
+            names = {spec["name"] for spec in body["estimators"]}
+            assert {"cc", "sf", "edge_dp"} <= names
+            status, body = _http("GET", f"{base}/v1/stats")
+            assert status == 200
+            assert body["releases_served"] == 0
+            status, body = _http("GET", f"{base}/nope")
+            assert status == 404 and body["error"]["code"] == "not_found"
+
+    def test_tenant_provisioning(self, tmp_path):
+        daemon = ReleaseDaemon(tmp_path / "state")
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            status, body = _http(
+                "PUT", f"{base}/v1/tenants/acme", {"total_epsilon": 2.0}
+            )
+            assert status == 201
+            assert body["total_epsilon"] == 2.0 and body["spent"] == 0.0
+            status, body = _http(
+                "PUT", f"{base}/v1/tenants/acme", {"total_epsilon": 9.0}
+            )
+            assert status == 409
+            assert body["error"]["code"] == "account_exists"
+            status, body = _http("GET", f"{base}/v1/tenants/acme")
+            assert status == 200 and body["remaining"] == 2.0
+            status, body = _http("GET", f"{base}/v1/tenants/ghost")
+            assert status == 404
+            assert body["error"]["code"] == "unknown_tenant"
+            status, body = _http(
+                "PUT", f"{base}/v1/tenants/..escape",
+                {"total_epsilon": 1.0},
+            )
+            assert status == 400
+            assert body["error"]["code"] == "invalid_tenant"
+            status, body = _http(
+                "PUT", f"{base}/v1/tenants/bad", {"total_epsilon": -1}
+            )
+            assert status == 400
+            assert body["error"]["code"] == "malformed_request"
+
+    def test_release_admission_and_budget_flow(self, tmp_path, graph_file):
+        daemon = ReleaseDaemon(
+            tmp_path / "state", default_tenant_budget=2.0
+        )
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            release = {"tenant": "acme", "estimator": "cc",
+                       "epsilon": 1.0, "graph": graph_file, "seed": 1}
+            status, first = _http("POST", f"{base}/v1/release", release)
+            assert status == 200
+            assert first["tenant"] == "acme" and first["seq"] == 0
+            assert "value" in first
+            assert first["budget"]["remaining"] == pytest.approx(1.0)
+
+            status, second = _http("POST", f"{base}/v1/release", release)
+            assert status == 200
+            assert second["budget"]["remaining"] == pytest.approx(0.0)
+
+            # Third request: structured over-budget rejection, no crash.
+            status, rejected = _http("POST", f"{base}/v1/release", release)
+            assert status == 429
+            assert rejected["error"]["code"] == "over_budget"
+            assert rejected["budget"]["spent"] == pytest.approx(2.0)
+
+            # The daemon is still healthy and the audit matches.
+            status, audit = _http("GET", f"{base}/v1/audit/summary")
+            assert status == 200
+            assert audit["tenants"]["acme"] == {
+                "epsilon": pytest.approx(2.0), "releases": 2,
+            }
+
+    def test_structured_rejections(self, tmp_path, graph_file):
+        daemon = ReleaseDaemon(
+            tmp_path / "state", default_tenant_budget=1.0
+        )
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            url = f"{base}/v1/release"
+            cases = [
+                ({"estimator": "cc", "epsilon": 1.0},
+                 400, "invalid_tenant"),          # missing tenant
+                ({"tenant": "t", "epsilon": 1.0},
+                 400, "malformed_request"),       # missing estimator
+                ({"tenant": "t", "estimator": "nope", "epsilon": 1.0},
+                 404, "unknown_estimator"),
+                ({"tenant": "t", "estimator": "cc"},
+                 400, "malformed_request"),       # missing epsilon
+                ({"tenant": "t", "estimator": "cc", "epsilon": -3},
+                 400, "malformed_request"),
+                ({"tenant": "t", "estimator": "non_private",
+                  "graph": graph_file},
+                 403, "non_private_refused"),
+                ({"tenant": "t", "estimator": "cc", "epsilon": 0.5,
+                  "graph": str(graph_file) + ".missing"},
+                 400, "invalid_request"),
+            ]
+            for body, want_status, want_code in cases:
+                status, response = _http("POST", url, body)
+                assert (status, response["error"]["code"]) == (
+                    want_status, want_code
+                ), body
+            # Undecodable body: structured 400, connection survives.
+            request = urllib.request.Request(
+                url, data=b"{not json", method="POST"
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=30.0) as resp:
+                    status, body = resp.status, json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                status, body = exc.code, json.loads(exc.read())
+            assert status == 400
+            assert body["error"]["code"] == "malformed_request"
+            status, body = _http("GET", f"{base}/healthz")
+            assert status == 200
+
+    def test_unknown_tenant_without_default_budget(
+        self, tmp_path, graph_file
+    ):
+        daemon = ReleaseDaemon(tmp_path / "state")  # no default budget
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            status, body = _http("POST", f"{base}/v1/release", {
+                "tenant": "drifter", "estimator": "cc",
+                "epsilon": 0.5, "graph": graph_file,
+            })
+            assert status == 404
+            assert body["error"]["code"] == "unknown_tenant"
+            assert "PUT /v1/tenants/drifter" in body["error"]["message"]
+
+    def test_restart_preserves_budgets_exactly(self, tmp_path, graph_file):
+        state = tmp_path / "state"
+        release = {"tenant": "acme", "estimator": "sf",
+                   "epsilon": 0.75, "graph": graph_file, "seed": 9}
+        daemon = ReleaseDaemon(state, default_tenant_budget=2.0)
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            status, first = _http("POST", f"{base}/v1/release", release)
+            assert status == 200
+            status, before = _http("GET", f"{base}/v1/tenants/acme")
+            assert status == 200
+
+        # Fresh daemon over the same state dir — a restart.
+        daemon2 = ReleaseDaemon(state, default_tenant_budget=2.0)
+        assert daemon2.healed_at_startup == {}  # clean shutdown: no gap
+        with daemon2.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            status, after = _http("GET", f"{base}/v1/tenants/acme")
+            assert status == 200
+            assert after["spent"] == before["spent"]  # bit-exact
+            assert after["remaining"] == before["remaining"]
+            # Audit sequence continues, no renumbering.
+            status, reply = _http("POST", f"{base}/v1/release", release)
+            assert status == 200
+            assert reply["seq"] == 1
+            assert reply["budget"]["spent"] == pytest.approx(1.5)
+
+    def test_startup_heals_audit_account_gap(self, tmp_path, graph_file):
+        """Simulated kill -9 between audit append and account write:
+        the next startup force-spends the audited ε into the account."""
+        state = tmp_path / "state"
+        daemon = ReleaseDaemon(state, default_tenant_budget=2.0)
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            status, _ = _http("POST", f"{base}/v1/release", {
+                "tenant": "acme", "estimator": "cc", "epsilon": 0.5,
+                "graph": graph_file, "seed": 1,
+            })
+            assert status == 200
+
+        # Rewind the *account* to its pre-spend state (what disk looks
+        # like when the crash lands after the audit fsync but before
+        # the account write).
+        store = AccountStore(state / "accounts")
+        account = store.get("acme")
+        rewound = PrivacyAccountant(account.accountant.total_epsilon)
+        account.accountant = rewound
+        store.save(account)
+
+        daemon2 = ReleaseDaemon(state, default_tenant_budget=2.0)
+        assert daemon2.healed_at_startup == {"acme": pytest.approx(0.5)}
+        healed = daemon2.accounts.get("acme").accountant
+        assert healed.spent() == pytest.approx(0.5)
+        assert [label for label, _ in healed.ledger()] == [
+            "audit-reconcile"
+        ]
+        daemon2.close()
+
+
+@pytest.mark.slow
+class TestKillNineAcceptance:
+    """The ISSUE acceptance criterion, against the real CLI process."""
+
+    def _start(self, state, graph_file, tmp_path):
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            _SRC if not existing else _SRC + os.pathsep + existing
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--state-dir", str(state), "--port", "0",
+             "--tenant-budget", "2.0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, text=True, cwd=str(tmp_path),
+        )
+        # The CLI prints one parseable line once the socket listens.
+        deadline = time.time() + 60.0
+        line = ""
+        while time.time() < deadline:
+            line = process.stdout.readline()
+            if "listening on" in line:
+                break
+        else:
+            process.kill()
+            pytest.fail(f"daemon never announced a port: {line!r}")
+        address = line.split("http://", 1)[1].split()[0]
+        port = int(address.rsplit(":", 1)[1].strip("/"))
+        return process, f"http://127.0.0.1:{port}"
+
+    def test_kill_nine_midstream_preserves_epsilon(
+        self, tmp_path, graph_file
+    ):
+        state = tmp_path / "state"
+        process, base = self._start(state, graph_file, tmp_path)
+        try:
+            release = {"tenant": "acme", "estimator": "cc",
+                       "epsilon": 0.5, "graph": graph_file}
+            for seed in (1, 2):
+                status, body = _http(
+                    "POST", f"{base}/v1/release",
+                    {**release, "seed": seed},
+                )
+                assert status == 200, body
+            status, account = _http("GET", f"{base}/v1/tenants/acme")
+            assert status == 200
+            assert account["spent"] == pytest.approx(1.0)
+        finally:
+            # kill -9 mid-stream: no atexit, no flush, no goodbye.
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30.0)
+
+        # Restart over the same state dir.
+        process, base = self._start(state, graph_file, tmp_path)
+        try:
+            # Per-tenant ε preserved exactly.
+            status, account = _http("GET", f"{base}/v1/tenants/acme")
+            assert status == 200
+            assert account["spent"] == pytest.approx(1.0)
+            assert account["remaining"] == pytest.approx(1.0)
+            assert account["releases"] == 2
+
+            # Audit replay: one record per successful release, totals
+            # matching the account ledger.
+            status, audit = _http("GET", f"{base}/v1/audit/summary")
+            assert status == 200
+            assert audit["records"] == 2
+            assert audit["tenants"]["acme"]["releases"] == 2
+            assert audit["tenants"]["acme"]["epsilon"] == pytest.approx(
+                account["spent"]
+            )
+
+            # Next over-budget request: structured rejection, not a
+            # crash.
+            status, rejected = _http("POST", f"{base}/v1/release", {
+                "tenant": "acme", "estimator": "cc", "epsilon": 1.5,
+                "graph": graph_file, "seed": 3,
+            })
+            assert status == 429
+            assert rejected["error"]["code"] == "over_budget"
+
+            # An in-budget request still succeeds after the restart.
+            status, ok = _http("POST", f"{base}/v1/release", {
+                "tenant": "acme", "estimator": "cc", "epsilon": 1.0,
+                "graph": graph_file, "seed": 4,
+            })
+            assert status == 200
+            assert ok["budget"]["remaining"] == pytest.approx(0.0)
+            assert ok["seq"] == 2  # sequence resumed, not reset
+
+            # Cross-check on disk: audit fsum equals the account's
+            # compensated ledger sum for every tenant.
+            summary = replay_audit(state / "audit.jsonl")
+            store = AccountStore(state / "accounts")
+            for tenant, total in summary.epsilon_by_tenant.items():
+                ledger = store.get(tenant).accountant.ledger()
+                assert math.fsum(a for _, a in ledger) == pytest.approx(
+                    total, rel=1e-12
+                )
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30.0)

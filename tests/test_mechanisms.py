@@ -368,3 +368,113 @@ class TestAccountant:
             split_budget(0.0, {"a": 1.0})
         with pytest.raises(ValueError):
             split_budget(1.0, {"a": -0.5, "b": 1.5})
+
+
+class TestAccountantCompensatedSummation:
+    """The serving-daemon satellite: long spend streams must neither
+    drift past the budget nor spuriously reject in-budget requests."""
+
+    @given(
+        total=st.floats(min_value=1e-3, max_value=1e3),
+        n=st.integers(min_value=1, max_value=5000),
+    )
+    def test_n_spends_of_total_over_n_always_fit(self, total, n):
+        """N spends of ε/N must all be admitted (no spurious rejection)
+        and their exact sum must stay within the advertised budget plus
+        the documented 1e-9 relative slack (no drift past it)."""
+        acct = PrivacyAccountant(total)
+        step = total / n
+        for _ in range(n):
+            acct.spend(step, "step")  # must never raise
+        exact = math.fsum(amount for _, amount in acct.ledger())
+        assert exact <= total * (1.0 + 1e-9) + 1e-300
+        # The compensated running total agrees with the exact ledger
+        # sum to ~1 ulp regardless of stream length.
+        assert acct.spent() == pytest.approx(exact, rel=1e-15, abs=0.0)
+
+    def test_long_stream_matches_fsum_exactly_enough(self):
+        rng = np.random.default_rng(7)
+        amounts = rng.uniform(1e-9, 1e-3, size=20000)
+        acct = PrivacyAccountant(float(amounts.sum()) * 2.0)
+        for amount in amounts:
+            acct.spend(float(amount))
+        exact = math.fsum(float(a) for a in amounts)
+        assert acct.spent() == pytest.approx(exact, rel=1e-15, abs=0.0)
+
+    def test_naive_drift_scenario_does_not_overadmit(self):
+        """0.1 is inexact in binary; 10^5 spends of total/10^5 must not
+        let the true composition exceed the budget beyond slack."""
+        total = 0.1
+        n = 100_000
+        acct = PrivacyAccountant(total)
+        for _ in range(n):
+            acct.spend(total / n)
+        assert math.fsum(
+            amount for _, amount in acct.ledger()
+        ) <= total * (1.0 + 1e-9)
+        with pytest.raises(BudgetExceededError):
+            acct.spend(total * 1e-6)
+
+
+class TestAccountantRoundTrip:
+    """Durable serialization for the daemon's per-tenant accounts."""
+
+    def test_from_dict_reproduces_state_bit_for_bit(self):
+        acct = PrivacyAccountant(2.0)
+        acct.spend(0.3, "gem selection")
+        acct.spend(0.7, "laplace release")
+        clone = PrivacyAccountant.from_dict(acct.to_dict())
+        assert clone.total_epsilon == acct.total_epsilon
+        assert clone.ledger() == acct.ledger()
+        assert clone.spent() == acct.spent()  # bit-identical replay
+        assert clone.remaining() == acct.remaining()
+
+    def test_json_round_trip_continues_spending(self):
+        acct = PrivacyAccountant(1.0)
+        acct.spend(0.5, "before restart")
+        clone = PrivacyAccountant.from_json(acct.to_json())
+        clone.spend(0.5, "after restart")
+        assert clone.remaining() == pytest.approx(0.0)
+        with pytest.raises(BudgetExceededError):
+            clone.spend(0.1)
+
+    @given(
+        total=st.floats(min_value=1e-3, max_value=1e3),
+        fractions=st.lists(
+            st.floats(min_value=1e-6, max_value=1.0), min_size=0,
+            max_size=50,
+        ),
+    )
+    def test_round_trip_spent_is_bit_identical(self, total, fractions):
+        acct = PrivacyAccountant(total)
+        for i, fraction in enumerate(fractions):
+            amount = total * fraction / (2 * max(len(fractions), 1))
+            acct.spend(amount, f"s{i}")
+        clone = PrivacyAccountant.from_dict(acct.to_dict())
+        assert clone.spent() == acct.spent()
+
+    def test_malformed_states_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant.from_dict("not a dict")
+        with pytest.raises(ValueError):
+            PrivacyAccountant.from_dict({"ledger": []})
+        with pytest.raises(ValueError):
+            PrivacyAccountant.from_dict(
+                {"total_epsilon": 1.0, "ledger": [{"label": "x"}]}
+            )
+        with pytest.raises(ValueError):
+            PrivacyAccountant.from_dict(
+                {"total_epsilon": 1.0,
+                 "ledger": [{"label": "x", "epsilon": -1.0}]}
+            )
+
+    def test_force_spend_skips_admission_for_reconciliation(self):
+        acct = PrivacyAccountant(1.0)
+        acct.spend(0.9, "real")
+        # Replaying an audited spend after a crash must reproduce
+        # history even when admission would now refuse it.
+        acct.spend(0.3, "audit-reconcile", force=True)
+        assert acct.spent() == pytest.approx(1.2)
+        assert acct.remaining() == 0.0
+        with pytest.raises(ValueError):
+            acct.spend(-0.1, force=True)  # validation still applies

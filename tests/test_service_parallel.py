@@ -16,7 +16,7 @@ import pytest
 from repro.graphs.generators import planted_components_compact
 from repro.graphs.io import write_edge_list
 from repro.service import ReleaseSession, serve_jsonl, serve_jsonl_parallel
-from repro.service.batch import _FingerprintRouter, _shard_of
+from repro.service.batch import _content_shard, _FingerprintRouter, _shard_of
 
 
 @pytest.fixture
@@ -142,17 +142,108 @@ class TestRouting:
         for workers in (1, 2, 3, 8):
             assert 0 <= _shard_of("ab12cd34" * 8, workers) < workers
 
-    def test_unroutable_lines_spread_by_index(self, tmp_path):
+    def test_unroutable_lines_route_by_content_not_index(self, tmp_path):
+        """Regression: the fallback used to be ``index % workers``, so
+        the same unresolvable request landed on different workers
+        depending on stream position — breaking single-writer cache
+        ownership.  Routing must depend on content only."""
         router = _FingerprintRouter(2)
-        assert router.shard_for_line(0, "{bad") == 0
-        assert router.shard_for_line(1, "{bad") == 1
+        malformed = "{bad"
+        # Same content → same shard at every index.
+        assert len({
+            router.shard_for_line(i, malformed) for i in (0, 1, 5, 99)
+        }) == 1
         missing = json.dumps({"estimator": "cc", "epsilon": 1.0,
                               "graph": str(tmp_path / "nope.edges")})
-        assert router.shard_for_line(5, missing) == 1
+        assert len({
+            router.shard_for_line(i, missing) for i in (0, 1, 5, 99)
+        }) == 1
+        assert _content_shard(malformed, 2) == router.shard_for_line(
+            3, malformed
+        )
+        # Unreadable paths route by the *path*, so all requests for one
+        # path stay on one worker even before the file exists.
+        assert _content_shard(str(tmp_path / "nope.edges"), 2) == (
+            router.shard_for_line(7, missing)
+        )
+
+    def test_unroutable_routing_stable_under_reorder(self, tmp_path):
+        """Reordering a stream of unknown-graph lines must not change
+        which worker owns each request."""
+        router = _FingerprintRouter(3)
+        lines = ["{bad json %d" % i for i in range(6)] + [
+            json.dumps({"estimator": "cc", "epsilon": 1.0,
+                        "graph": str(tmp_path / f"missing{i}.edges")})
+            for i in range(6)
+        ]
+        forward = {line: router.shard_for_line(i, line)
+                   for i, line in enumerate(lines)}
+        backward = {line: router.shard_for_line(i, line)
+                    for i, line in enumerate(reversed(lines))}
+        assert forward == backward
+
+    def test_content_shard_in_range_and_distributes(self):
+        for workers in (1, 2, 3, 8):
+            shards = {_content_shard(f"token-{i}", workers)
+                      for i in range(64)}
+            assert shards <= set(range(workers))
+            if workers > 1:
+                assert len(shards) > 1  # not everything on one worker
 
     def test_workers_must_be_positive(self):
         with pytest.raises(ValueError, match=">= 1"):
             serve_jsonl_parallel([], workers=0)
+
+
+class TestWorkerCrash:
+    def test_sigkilled_worker_surfaces_structured_errors(
+        self, graph_files
+    ):
+        """A worker SIGKILL'd mid-batch must not hang the collector:
+        its dispatched-but-unanswered requests come back as structured
+        ``WorkerCrashed`` error records and surviving workers' output
+        is untouched."""
+        lines = _request_lines(graph_files)
+        baseline = serve_jsonl_parallel(lines, workers=2)
+        # Kill the worker that owns the first routable request, right
+        # when it dequeues that request.
+        kill_index = next(
+            i for i, line in enumerate(lines)
+            if line.strip() and not line.lstrip().startswith("#")
+        )
+        result = serve_jsonl_parallel(
+            lines, workers=2, _kill_at_index=kill_index
+        )
+        assert len(result.responses) == len(baseline.responses)
+        crashed = [r for r in result.responses
+                   if r.get("error_type") == "WorkerCrashed"]
+        assert crashed, "expected WorkerCrashed records for the victim"
+        for record in crashed:
+            assert "died" in record["error"]
+            assert "exit code" in record["error"]
+        # Every slot is either the victim's structured crash record or
+        # byte-identical to a crash-free run (the survivor's output is
+        # untouched).
+        for got, want in zip(result.responses, baseline.responses):
+            if got.get("error_type") != "WorkerCrashed":
+                assert got == want
+        # Only the survivor reports stats.
+        assert len(result.worker_stats) == 1
+
+    def test_crash_records_carry_request_ids(self, graph_files):
+        lines = [
+            json.dumps({"id": f"req-{i}", "estimator": "cc",
+                        "epsilon": 1.0, "graph": graph_files[0]})
+            for i in range(4)
+        ]
+        result = serve_jsonl_parallel(lines, workers=1, _kill_at_index=0)
+        assert all(
+            r.get("error_type") == "WorkerCrashed" for r in result.responses
+        )
+        assert [r["id"] for r in result.responses] == [
+            f"req-{i}" for i in range(4)
+        ]
+        assert result.worker_stats == []
 
 
 class TestCliParallel:

@@ -145,3 +145,111 @@ class TestAtomicWrite:
         atomic_write_json(path, {"v": 1})
         atomic_write_json(path, {"v": 2})
         assert read_json_or_none(path) == {"v": 2}
+
+
+class TestJsonlLog:
+    """The fsync'd append-only primitive behind the daemon's audit log."""
+
+    def test_append_and_read_back_in_order(self, tmp_path):
+        from repro.storage import JsonlLogWriter, read_jsonl_records
+
+        path = tmp_path / "log.jsonl"
+        with JsonlLogWriter(path) as writer:
+            for i in range(5):
+                writer.append({"seq": i, "payload": "x" * i})
+        records = list(read_jsonl_records(path))
+        assert [r["seq"] for r in records] == list(range(5))
+
+    def test_one_shot_append_and_missing_file(self, tmp_path):
+        from repro.storage import append_jsonl, read_jsonl_records
+
+        path = tmp_path / "deep" / "dirs" / "log.jsonl"
+        append_jsonl(path, {"a": 1})
+        append_jsonl(path, {"b": 2})
+        assert list(read_jsonl_records(path)) == [{"a": 1}, {"b": 2}]
+        assert list(read_jsonl_records(tmp_path / "nope.jsonl")) == []
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        from repro.storage import append_jsonl, read_jsonl_records
+
+        path = tmp_path / "log.jsonl"
+        append_jsonl(path, {"seq": 0})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 1, "pay')  # kill -9 mid-append
+        assert list(read_jsonl_records(path)) == [{"seq": 0}]
+        # Blank final line (newline landed, payload did not): also torn.
+        path2 = tmp_path / "log2.jsonl"
+        append_jsonl(path2, {"seq": 0})
+        with open(path2, "a", encoding="utf-8") as handle:
+            handle.write("\n")
+        assert list(read_jsonl_records(path2)) == [{"seq": 0}]
+
+    def test_interior_damage_raises(self, tmp_path):
+        from repro.storage import read_jsonl_records
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"seq": 0}\n{torn interior\n{"seq": 2}\n')
+        with pytest.raises(ValueError, match="not the final line"):
+            list(read_jsonl_records(path))
+        path.write_text('{"seq": 0}\n\n{"seq": 2}\n')
+        with pytest.raises(ValueError, match="not the final line"):
+            list(read_jsonl_records(path))
+
+    def test_reopen_repairs_torn_tail_before_appending(self, tmp_path):
+        """Append-after-crash: a new writer must truncate the torn
+        final line, otherwise its first append would concatenate onto
+        the fragment — corrupting both records and turning tolerated
+        *final*-line damage into fatal *interior* damage on the next
+        replay."""
+        from repro.storage import (
+            JsonlLogWriter,
+            append_jsonl,
+            read_jsonl_records,
+        )
+
+        for torn_tail in ('{"seq": 1, "pay', "\n", '{"whole bad"}\n',
+                          '{"a": 1\n\n'):
+            path = tmp_path / f"log-{hash(torn_tail) & 0xffff}.jsonl"
+            append_jsonl(path, {"seq": 0})
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(torn_tail)  # kill -9 / foreign damage
+            writer = JsonlLogWriter(path)
+            writer.append({"seq": 1})
+            writer.close()
+            assert list(read_jsonl_records(path)) == [
+                {"seq": 0}, {"seq": 1},
+            ], torn_tail
+
+    def test_reopen_of_clean_or_missing_log_touches_nothing(self, tmp_path):
+        from repro.storage import JsonlLogWriter, read_jsonl_records
+
+        path = tmp_path / "log.jsonl"
+        with JsonlLogWriter(path) as writer:
+            writer.append({"seq": 0})
+            writer.append({"seq": 1})
+        before = path.read_bytes()
+        JsonlLogWriter(path).close()  # reopen, no append
+        assert path.read_bytes() == before
+        assert list(read_jsonl_records(path)) == [{"seq": 0}, {"seq": 1}]
+        # A writer on a whole-file fragment truncates to empty.
+        torn_only = tmp_path / "torn.jsonl"
+        torn_only.write_text('{"never finis')
+        with JsonlLogWriter(torn_only) as writer:
+            writer.append({"seq": 0})
+        assert list(read_jsonl_records(torn_only)) == [{"seq": 0}]
+
+    def test_fsync_called_per_append(self, tmp_path, monkeypatch):
+        from repro.storage import JsonlLogWriter
+
+        calls = []
+        real_fsync = os.fsync
+
+        def counting_fsync(fd):
+            calls.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", counting_fsync)
+        with JsonlLogWriter(tmp_path / "log.jsonl") as writer:
+            writer.append({"a": 1})
+            writer.append({"b": 2})
+        assert len(calls) == 2
