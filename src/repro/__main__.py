@@ -17,6 +17,9 @@ Subcommands
                  an fsync'd append-only audit log, and structured
                  admission-control rejections.  ``serve-batch`` stays
                  the offline path.
+``profile``      Run one release under span tracing and print a
+                 per-stage time breakdown (extension build, LP solves,
+                 GEM selection, noise).
 ``stats``        Print exact (non-private) structural statistics.
 ``generate``     Sample a graph from a built-in family and write it out.
 ``sweep``        Run a config-driven experiment sweep into a resumable
@@ -50,6 +53,8 @@ Examples
         --cache-dir ext-cache --output releases.jsonl
     python -m repro serve --port 8765 --state-dir daemon-state \
         --tenant-budget 4.0 --graph contacts.edges
+    python -m repro profile contacts.edges --estimator cc --epsilon 1.0 \
+        --seed 1
 """
 
 from __future__ import annotations
@@ -59,9 +64,11 @@ import asyncio
 import json
 import signal
 import sys
+import time
 
 import numpy as np
 
+from . import telemetry
 from .core.algorithm import PrivateConnectedComponents
 from .estimators import create, get_spec, registry_specs
 from .experiments import cli as experiments_cli
@@ -185,6 +192,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "by graph fingerprint and output is byte-identical to "
         "--workers 1 (incompatible with --total-epsilon)",
     )
+    serve.add_argument(
+        "--telemetry-log",
+        default=None,
+        help="append JSONL telemetry events here (per-release root "
+        "spans with --workers 1, plus a final metrics snapshot); "
+        "never changes served output",
+    )
 
     daemon = subparsers.add_parser(
         "serve",
@@ -246,6 +260,33 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also serve the exact non_private estimator, which spends "
         "no tenant budget",
+    )
+    daemon.add_argument(
+        "--telemetry-log",
+        default=None,
+        help="append one JSONL telemetry event per served release here "
+        "(tenant, estimator, epsilon, latency); never changes responses",
+    )
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run one release under span tracing and print a per-stage "
+        "time breakdown",
+    )
+    profile.add_argument("input", help="edge-list file (.gz ok)")
+    profile.add_argument(
+        "--estimator",
+        default="cc",
+        help="registry name or alias (see estimate --list-estimators)",
+    )
+    profile.add_argument(
+        "--epsilon", type=float, default=1.0, help="privacy budget"
+    )
+    profile.add_argument("--seed", type=int, default=None, help="RNG seed")
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the breakdown as one JSON object instead of a table",
     )
 
     stats = subparsers.add_parser("stats", help="exact, non-private statistics")
@@ -394,6 +435,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         sys.stdin if args.requests == "-" else open(args.requests, "r")
     )
     output = sys.stdout if args.output == "-" else open(args.output, "w")
+    telemetry_log = (
+        None
+        if args.telemetry_log is None
+        else telemetry.TelemetryLog(args.telemetry_log)
+    )
+    tracer_installed = False
     served = errors = 0
     try:
         if args.workers == 1:
@@ -403,6 +450,17 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 allow_non_private=args.allow_non_private,
                 cache_dir=args.cache_dir,
             )
+            if telemetry_log is not None:
+                # Stream root spans (one per release) to the log;
+                # keep_spans=False bounds memory on long batches.
+                telemetry.enable(
+                    telemetry.Tracer(
+                        keep_spans=False,
+                        sink=telemetry_log.span_sink,
+                        sink_max_depth=0,
+                    )
+                )
+                tracer_installed = True
             responses = serve_jsonl(
                 requests,
                 session,
@@ -458,7 +516,34 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 f"{warm} disk warm starts",
                 file=sys.stderr,
             )
+            # Worker registries merge into one snapshot; surface the
+            # pipeline-level counters the per-worker stats don't carry.
+            merged = result.metrics
+            releases = telemetry.counter_value(merged, "repro_releases_total")
+            memo_hits = telemetry.counter_value(
+                merged, "repro_lp_memo_total", result="hit"
+            )
+            memo_total = memo_hits + telemetry.counter_value(
+                merged, "repro_lp_memo_total", result="miss"
+            )
+            print(
+                f"worker telemetry: {releases:.0f} pipeline releases; "
+                f"lp memo hit rate "
+                f"{memo_hits / memo_total if memo_total else 0.0:.0%} "
+                f"({memo_hits:.0f}/{memo_total:.0f})",
+                file=sys.stderr,
+            )
+        if telemetry_log is not None:
+            telemetry_log.metrics_event(
+                snapshot=None if args.workers == 1 else result.metrics,
+                served=served,
+                errors=errors,
+            )
     finally:
+        if tracer_installed:
+            telemetry.disable()
+        if telemetry_log is not None:
+            telemetry_log.close()
         if requests is not sys.stdin:
             requests.close()
         if output is not sys.stdout:
@@ -480,6 +565,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             extension_cache_dir=args.cache_dir,
             base_seed=args.base_seed,
             allow_non_private=args.allow_non_private,
+            telemetry_log_path=args.telemetry_log,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -531,6 +617,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    try:
+        spec = get_spec(args.estimator)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    graph = read_edge_list_auto(args.input)
+    if graph.number_of_vertices() == 0:
+        print("error: graph has no vertices", file=sys.stderr)
+        return 1
+    estimator = create(
+        spec.name,
+        epsilon=args.epsilon if spec.requires_epsilon else None,
+        graph=graph,
+    )
+    if not estimator.supports(graph):
+        print(
+            f"error: estimator {spec.name!r} does not support this input "
+            "as configured (size or degree restriction)",
+            file=sys.stderr,
+        )
+        return 1
+    rng = np.random.default_rng(args.seed)
+    with telemetry.tracing() as tracer:
+        wall_start = time.perf_counter()
+        release = estimator.release(graph, rng)
+        wall_seconds = time.perf_counter() - wall_start
+    stages = telemetry.aggregate_stage_times(tracer.spans)
+    stage_total = sum(s["self_seconds"] for s in stages.values())
+    ordered = sorted(
+        stages.items(), key=lambda item: item[1]["self_seconds"], reverse=True
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "estimator": spec.name,
+                    "epsilon": release.epsilon,
+                    "seed": args.seed,
+                    "value": release.value,
+                    "wall_seconds": wall_seconds,
+                    "stage_total_seconds": stage_total,
+                    "stages": {
+                        name: dict(stage) for name, stage in ordered
+                    },
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"profile of {spec.name} release on {args.input}")
+    print(f"  value:   {release.value:.4f}")
+    print(f"  wall:    {wall_seconds * 1e3:.2f} ms "
+          f"({len(tracer.spans)} spans)")
+    print(f"  {'stage':<28} {'calls':>6} {'self ms':>10} {'% wall':>7}")
+    for name, stage in ordered:
+        pct = 100.0 * stage["self_seconds"] / wall_seconds if wall_seconds else 0.0
+        print(
+            f"  {name:<28} {stage['count']:>6} "
+            f"{stage['self_seconds'] * 1e3:>10.3f} {pct:>6.1f}%"
+        )
+    traced_pct = 100.0 * stage_total / wall_seconds if wall_seconds else 0.0
+    print(
+        f"  {'total traced':<28} {'':>6} "
+        f"{stage_total * 1e3:>10.3f} {traced_pct:>6.1f}%"
+    )
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -645,6 +800,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "generate":

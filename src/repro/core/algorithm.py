@@ -34,6 +34,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..graphs.components import spanning_forest_size
 from ..mechanisms.accountant import PrivacyAccountant
 from ..mechanisms.gem import (
@@ -237,9 +238,10 @@ class PrivateSpanningForestSize:
             # used for the final Laplace release.
             return q_by_candidate[float(delta)]
 
-        gem_result = generalized_exponential_mechanism(
-            candidates, q_function, epsilon_select, beta, rng
-        )
+        with telemetry.span("gem.select", candidates=len(candidates)):
+            gem_result = generalized_exponential_mechanism(
+                candidates, q_function, epsilon_select, beta, rng
+            )
         accountant.spend(epsilon_select, "gem selection")
 
         delta_hat = gem_result.selected
@@ -247,7 +249,8 @@ class PrivateSpanningForestSize:
         # (possibly int) grid candidate without any truncation.
         extension_value = float(grid_values[candidates.index(delta_hat)])
         scale = delta_hat / epsilon_noise
-        value = extension_value + laplace_noise(scale, rng)
+        with telemetry.span("laplace.noise"):
+            value = extension_value + laplace_noise(scale, rng)
         accountant.spend(epsilon_noise, "laplace release")
 
         return SpanningForestRelease(
@@ -332,7 +335,8 @@ class PrivateConnectedComponents:
         accountant = PrivacyAccountant(self.epsilon)
         epsilon_count = self.epsilon * self.count_fraction
         count_mechanism = LaplaceMechanism(sensitivity=1.0, epsilon=epsilon_count)
-        n_hat = count_mechanism.release(float(n), rng)
+        with telemetry.span("laplace.noise"):
+            n_hat = count_mechanism.release(float(n), rng)
         accountant.spend(epsilon_count, "vertex count")
         sf_release = self._sf_estimator.release(graph, rng, extension=extension)
         for label, amount in sf_release.ledger:

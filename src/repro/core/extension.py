@@ -33,6 +33,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..graphs.compact import CompactGraph
 from ..graphs.components import connected_components, spanning_forest_size
 from ..graphs.graph import Graph
@@ -49,6 +50,20 @@ __all__ = [
     "extension_for",
     "evaluate_lipschitz_extension",
 ]
+
+# Always-on pipeline counters.  Repairs are per Algorithm-3 attempt;
+# certificate hits count components whose earlier repair success (the
+# monotone ``_exact_from`` memo) answered a later Δ with no new work.
+_REPAIRS = telemetry.counter(
+    "repro_extension_repairs_total",
+    "Algorithm-3 bounded-degree repair attempts, by outcome",
+    labels=("outcome",),
+)
+_CERTIFICATE_HITS = telemetry.counter(
+    "repro_extension_certificate_hits_total",
+    "Components answered from a memoized Algorithm-3 certificate "
+    "during a Delta evaluation",
+)
 
 
 def evaluate_lipschitz_extension(graph: Graph, delta: float, **lp_options) -> float:
@@ -143,10 +158,15 @@ class _ComponentwiseExtension:
         Runs on the local-index compact kernel for both front ends so the
         decision is representation-independent.
         """
-        return (
-            self._component_graph(i).repair_spanning_forest(floor_delta).forest
-            is not None
-        )
+        with telemetry.span("extension.repair", component=i, cap=floor_delta):
+            repaired = (
+                self._component_graph(i)
+                .repair_spanning_forest(floor_delta)
+                .forest
+                is not None
+            )
+        _REPAIRS.inc(outcome="success" if repaired else "failure")
+        return repaired
 
     # -- public API ---------------------------------------------------------
     @property
@@ -163,11 +183,15 @@ class _ComponentwiseExtension:
         if cached is not None:
             return cached
         if not self._prepared:
-            self._prepare()
+            with telemetry.span("extension.prepare"):
+                self._prepare()
         if self._sizes.size == 0:
             total = 0.0
         else:
-            exact = (self._maxdeg <= key) | (self._exact_from <= key)
+            certified = self._exact_from <= key
+            if certified.any():
+                _CERTIFICATE_HITS.inc(int(np.count_nonzero(certified)))
+            exact = (self._maxdeg <= key) | certified
             total = float((self._sizes[exact] - 1).sum())
             for i in np.nonzero(~exact)[0].tolist():
                 total += self._component_value(i, key)
@@ -182,11 +206,16 @@ class _ComponentwiseExtension:
         component (the forest work is shared, never recomputed per Δ);
         the returned array follows the input order.
         """
-        order = np.argsort(np.asarray(candidates, dtype=float), kind="stable")
-        values = np.empty(len(candidates))
-        for pos in order.tolist():
-            values[pos] = self.value(candidates[pos])
-        return values
+        with telemetry.span(
+            "extension.values_for_grid", candidates=len(candidates)
+        ):
+            order = np.argsort(
+                np.asarray(candidates, dtype=float), kind="stable"
+            )
+            values = np.empty(len(candidates))
+            for pos in order.tolist():
+                values[pos] = self.value(candidates[pos])
+            return values
 
     def gap(self, delta: float) -> float:
         """Return the approximation gap ``f_sf(G) − f_Δ(G) ≥ 0``."""

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..core.algorithm import (
     PrivateConnectedComponents,
     PrivateSpanningForestSize,
@@ -60,6 +61,16 @@ _STATISTICS: dict[str, Callable] = {
     "cc": number_of_connected_components,
     "sf": spanning_forest_size,
 }
+
+# One bump per completed release, whatever the entry point (direct,
+# session, serve-batch worker, daemon executor).  The matching root
+# span makes ``repro profile``'s stage breakdown sum to the release
+# wall time.
+_RELEASES = telemetry.counter(
+    "repro_releases_total",
+    "Completed releases, by estimator",
+    labels=("estimator",),
+)
 
 
 def true_statistic_for(statistic: str) -> Callable:
@@ -129,10 +140,12 @@ class SpanningForestEstimator(_SessionBound):
         return graph.number_of_vertices() >= 1
 
     def release(self, graph, rng: np.random.Generator, *, extension=None) -> Release:
-        graph, extension = self._resolve(graph, extension)
-        start = time.perf_counter()
-        inner = self._inner.release(graph, rng, extension=extension)
-        elapsed = time.perf_counter() - start
+        with telemetry.span("release", estimator=self.name):
+            graph, extension = self._resolve(graph, extension)
+            start = time.perf_counter()
+            inner = self._inner.release(graph, rng, extension=extension)
+            elapsed = time.perf_counter() - start
+        _RELEASES.inc(estimator=self.name)
         return Release(
             estimator=self.name,
             statistic=self.statistic,
@@ -166,10 +179,12 @@ class ConnectedComponentsEstimator(_SessionBound):
         return graph.number_of_vertices() >= 1
 
     def release(self, graph, rng: np.random.Generator, *, extension=None) -> Release:
-        graph, extension = self._resolve(graph, extension)
-        start = time.perf_counter()
-        inner = self._inner.release(graph, rng, extension=extension)
-        elapsed = time.perf_counter() - start
+        with telemetry.span("release", estimator=self.name):
+            graph, extension = self._resolve(graph, extension)
+            start = time.perf_counter()
+            inner = self._inner.release(graph, rng, extension=extension)
+            elapsed = time.perf_counter() - start
+        _RELEASES.inc(estimator=self.name)
         return Release(
             estimator=self.name,
             statistic=self.statistic,
@@ -224,9 +239,11 @@ class GenericSpanningForestEstimator:
                 f"n={graph.number_of_vertices()} > {self.max_vertices} "
                 "(raise max_vertices explicitly to override)"
             )
-        start = time.perf_counter()
-        inner = self._inner.release(graph, rng)
-        elapsed = time.perf_counter() - start
+        with telemetry.span("release", estimator=self.name):
+            start = time.perf_counter()
+            inner = self._inner.release(graph, rng)
+            elapsed = time.perf_counter() - start
+        _RELEASES.inc(estimator=self.name)
         return Release(
             estimator=self.name,
             statistic=self.statistic,
@@ -279,9 +296,11 @@ class _BaselineAdapter:
 
     def release(self, graph, rng: np.random.Generator) -> Release:
         mechanism = self._mechanism(graph)
-        start = time.perf_counter()
-        value = float(mechanism.release(graph, rng))
-        elapsed = time.perf_counter() - start
+        with telemetry.span("release", estimator=self.name):
+            start = time.perf_counter()
+            value = float(mechanism.release(graph, rng))
+            elapsed = time.perf_counter() - start
+        _RELEASES.inc(estimator=self.name)
         return Release(
             estimator=self.name,
             statistic=self.statistic,

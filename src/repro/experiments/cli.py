@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .. import telemetry
 from ..analysis.tables import format_table, write_csv
 from .config import load_sweep_spec
 from .runner import CSV_HEADERS, SweepResult, report_from_store, run_sweep
@@ -64,6 +65,13 @@ def add_subparsers(subparsers) -> None:
             "rebuilds entirely (pre-noise state; permission it like "
             "the raw graph data)",
         )
+        sub.add_argument(
+            "--telemetry-log",
+            default=None,
+            help="append JSONL telemetry events here (per-release root "
+            "spans with --workers 1, plus a final metrics snapshot); "
+            "never changes sweep results",
+        )
 
     report = subparsers.add_parser(
         "report",
@@ -114,14 +122,45 @@ def cmd_sweep(args: argparse.Namespace, *, resuming: bool) -> int:
         tag = "cached  " if cached else "computed"
         print(f"[{done}/{total}] {tag} {cell.label()}", file=sys.stderr)
 
-    result = run_sweep(
-        spec,
-        store,
-        max_workers=args.workers,
-        max_cells=args.max_cells,
-        progress=progress,
-        extension_cache_dir=args.extension_cache,
+    telemetry_log = (
+        None
+        if args.telemetry_log is None
+        else telemetry.TelemetryLog(args.telemetry_log)
     )
+    tracer_installed = False
+    try:
+        if telemetry_log is not None:
+            # Root spans only (one per in-process release); pool
+            # workers with --workers > 1 trace in their own processes
+            # and are not captured here.
+            telemetry.enable(
+                telemetry.Tracer(
+                    keep_spans=False,
+                    sink=telemetry_log.span_sink,
+                    sink_max_depth=0,
+                )
+            )
+            tracer_installed = True
+        result = run_sweep(
+            spec,
+            store,
+            max_workers=args.workers,
+            max_cells=args.max_cells,
+            progress=progress,
+            extension_cache_dir=args.extension_cache,
+        )
+        if telemetry_log is not None:
+            telemetry_log.metrics_event(
+                sweep=spec.name,
+                cached=result.n_cached,
+                computed=result.n_computed,
+                pending=result.n_pending,
+            )
+    finally:
+        if tracer_installed:
+            telemetry.disable()
+        if telemetry_log is not None:
+            telemetry_log.close()
     print(
         f"sweep {spec.name!r}: {len(result.results)} of "
         f"{spec.cell_count()} cells done "

@@ -39,6 +39,8 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from .. import telemetry
+
 from ..flow.maxflow import INFINITY, FlowNetwork
 from ..graphs.compact import CompactGraph
 
@@ -109,6 +111,20 @@ _SOLVE_CACHE_MAX = 100_000
 _SOLVE_CACHE_MAX_N = 64
 _SOLVE_CACHE_MAX_M = 96
 
+# Always-on memo accounting (a counter bump per *lookup*, far below the
+# cost of even a memoized dict probe's surrounding work); the solve
+# timing histogram and span only engage under an active tracer.
+_MEMO_LOOKUPS = telemetry.counter(
+    "repro_lp_memo_total",
+    "Content-addressed component-solve memo lookups, by result",
+    labels=("result",),
+)
+_SOLVE_SECONDS = telemetry.histogram(
+    "repro_lp_solve_seconds",
+    "Wall time of uncached per-component LP solves "
+    "(recorded only while tracing is enabled)",
+)
+
 
 def clear_solve_cache() -> None:
     """Drop every memoized component solve (frees the cache memory)."""
@@ -160,21 +176,26 @@ def solve_component(
         )
         hit = _SOLVE_CACHE.get(cache_key)
         if hit is not None:
+            _MEMO_LOOKUPS.inc(result="hit")
             return hit
-    result = _solve_component_uncached(
-        n,
-        u,
-        v,
-        delta,
-        target,
-        m,
-        separation_tolerance=separation_tolerance,
-        max_rounds=max_rounds,
-        exact_threshold=exact_threshold,
-        cg_max_iterations=cg_max_iterations,
-        assume_half_integral=assume_half_integral,
-        use_fast_paths=use_fast_paths,
-    )
+        _MEMO_LOOKUPS.inc(result="miss")
+    with telemetry.span("lp.solve", n=int(n), m=int(m)) as timing:
+        result = _solve_component_uncached(
+            n,
+            u,
+            v,
+            delta,
+            target,
+            m,
+            separation_tolerance=separation_tolerance,
+            max_rounds=max_rounds,
+            exact_threshold=exact_threshold,
+            cg_max_iterations=cg_max_iterations,
+            assume_half_integral=assume_half_integral,
+            use_fast_paths=use_fast_paths,
+        )
+    if timing.seconds is not None:
+        _SOLVE_SECONDS.observe(timing.seconds)
     if cache_key is not None:
         if len(_SOLVE_CACHE) >= _SOLVE_CACHE_MAX:
             _SOLVE_CACHE.pop(next(iter(_SOLVE_CACHE)))

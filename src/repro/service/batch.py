@@ -52,6 +52,7 @@ from typing import Iterable, Iterator, NamedTuple, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..graphs.compact import as_compact
 from ..graphs.io import read_edge_list_auto
 from ..mechanisms.accountant import BudgetExceededError
@@ -246,10 +247,18 @@ def serve_jsonl(
 # Sharded parallel serving
 # ----------------------------------------------------------------------
 class ParallelServeResult(NamedTuple):
-    """Outcome of one :func:`serve_jsonl_parallel` run."""
+    """Outcome of one :func:`serve_jsonl_parallel` run.
+
+    ``worker_stats`` holds one session-stats dict per worker that
+    reported; a worker that crashed after completing some work still
+    contributes its last piggybacked snapshot, marked
+    ``"crashed": True``.  ``metrics`` is the surviving workers' merged
+    telemetry-registry snapshot (see
+    :func:`repro.telemetry.merge_snapshots`)."""
 
     responses: list[dict]
     worker_stats: list[dict]
+    metrics: dict = {}
 
 
 def _shard_of(fingerprint: str, workers: int) -> int:
@@ -357,14 +366,31 @@ def _worker_main(
         if kill_at_index is not None and index == kill_at_index:
             # Test seam: simulate a hard worker death (OOM-kill, power
             # loss) exactly at this request — SIGKILL leaves no chance
-            # for cleanup, which is the point.
+            # for cleanup, which is the point.  Flush the out-queue's
+            # feeder thread first so already-*delivered* responses are
+            # not retroactively lost with the process (the death is at
+            # this request, not at some earlier one).
             import os
             import signal
 
+            out_queue.close()
+            out_queue.join_thread()
             os.kill(os.getpid(), signal.SIGKILL)
-        out_queue.put(("response", index, server.serve_line(index, raw)))
+        # The current stats snapshot rides along with every response —
+        # atomically, in the same queue message — so the parent always
+        # knows how much work this worker had completed *as of its last
+        # delivered response*.  If the worker dies later, the merged
+        # summary still counts that work instead of writing it off
+        # (there is no separate stats message to race the crash).
+        out_queue.put((
+            "response",
+            index,
+            (server.serve_line(index, raw), worker_id,
+             session.stats.to_dict()),
+        ))
     session.persist_warm_extensions()
     out_queue.put(("stats", worker_id, session.stats.to_dict()))
+    out_queue.put(("metrics", worker_id, telemetry.snapshot()))
 
 
 def _worker_crash_record(raw: str, index: int, worker: int, exitcode) -> dict:
@@ -426,10 +452,13 @@ def serve_jsonl_parallel(
     batch: the parent notices the dead process promptly, synthesizes a
     structured ``{"id", "error", "error_type": "WorkerCrashed"}``
     record for every request dispatched to it but never answered, and
-    the surviving workers' responses come back untouched.  The dead
-    worker contributes no stats entry.  (``_kill_at_index`` is the test
-    seam simulating exactly this — the owning worker SIGKILLs itself on
-    that request index.)
+    the surviving workers' responses come back untouched.  Because each
+    response carries the worker's stats snapshot, a dead worker that
+    finished any work still contributes an entry (marked
+    ``"crashed": True`` with the counts as of its last delivered
+    response); a worker killed before answering anything contributes
+    none.  (``_kill_at_index`` is the test seam simulating exactly this
+    — the owning worker SIGKILLs itself on that request index.)
 
     The full response list is materialized in memory (ordering requires
     holding out-of-order arrivals anyway); the request stream itself is
@@ -483,17 +512,22 @@ def serve_jsonl_parallel(
 
         responses: dict[int, dict] = {}
         worker_stats: list[dict] = []
+        worker_metrics: list[dict] = []
+        latest_stats: dict[int, dict] = {}
         pending = set(dispatched)
         stats_pending = set(range(workers))
+        metrics_pending = set(range(workers))
         crashed: set[int] = set()
         idle_after_exit = 0
-        while pending or stats_pending:
+        while pending or stats_pending or metrics_pending:
             # Reap crashed workers *every* pass, not only when the
             # result queue runs dry: a worker killed mid-batch is
             # surfaced promptly even while surviving workers are still
             # streaming responses.  Every request dispatched to the
             # dead worker and not yet answered becomes a structured
-            # error record in its slot; its stats entry is written off.
+            # error record in its slot; its *final* stats message is
+            # written off, but the snapshot piggybacked on its last
+            # delivered response still counts the work it finished.
             for w, process in enumerate(processes):
                 if (
                     w not in crashed
@@ -502,6 +536,12 @@ def serve_jsonl_parallel(
                 ):
                     crashed.add(w)
                     stats_pending.discard(w)
+                    metrics_pending.discard(w)
+                    if w in latest_stats:
+                        worker_stats.append(
+                            {"worker": w, "crashed": True,
+                             **latest_stats[w]}
+                        )
                     for index in dispatched_to[w]:
                         if index in pending:
                             responses[index] = _worker_crash_record(
@@ -509,7 +549,7 @@ def serve_jsonl_parallel(
                                 w, process.exitcode,
                             )
                             pending.discard(index)
-            if not pending and not stats_pending:
+            if not pending and not stats_pending and not metrics_pending:
                 break
             try:
                 kind, tag, payload = out_queue.get(timeout=0.25)
@@ -530,12 +570,18 @@ def serve_jsonl_parallel(
                 # flushed to the pipe before the worker died) wins over
                 # the synthesized error record: real data beats an
                 # apology.
-                responses[tag] = payload
+                response, from_worker, stats_snapshot = payload
+                responses[tag] = response
+                latest_stats[from_worker] = stats_snapshot
                 pending.discard(tag)
                 raw_by_index.pop(tag, None)
-            else:
+            elif kind == "stats":
                 worker_stats.append({"worker": tag, **payload})
                 stats_pending.discard(tag)
+                latest_stats.pop(tag, None)
+            else:  # "metrics"
+                worker_metrics.append(payload)
+                metrics_pending.discard(tag)
     finally:
         for process in processes:
             process.join(timeout=10.0)
@@ -546,4 +592,5 @@ def serve_jsonl_parallel(
     return ParallelServeResult(
         responses=[responses[index] for index in dispatched],
         worker_stats=worker_stats,
+        metrics=telemetry.merge_snapshots(worker_metrics),
     )

@@ -52,7 +52,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Sequence
 
-from .. import __version__
+from .. import __version__, telemetry
 from ..storage import (
     atomic_write_json,
     clean_stale_tmp,
@@ -96,6 +96,21 @@ def extension_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+_DISK_LOOKUPS = telemetry.counter(
+    "repro_extension_cache_lookups_total",
+    "Persistent extension-cache lookups, by result",
+    labels=("result",),
+)
+_DISK_STORES = telemetry.counter(
+    "repro_extension_cache_stores_total",
+    "Warm tables written to the persistent extension cache",
+)
+_DISK_INVALIDATIONS = telemetry.counter(
+    "repro_extension_cache_invalidations_total",
+    "Persistent extension-cache entries dropped as invalid",
+)
+
+
 @dataclass
 class CacheStats:
     """Counters describing how the on-disk cache is doing."""
@@ -109,6 +124,24 @@ class CacheStats:
         """Fraction of disk lookups that returned a usable table."""
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
+
+    # Recorders mirror every count onto the process-wide registry
+    # (``repro_extension_cache_*``) for /metrics and CLI summaries.
+    def record_hit(self) -> None:
+        self.hits += 1
+        _DISK_LOOKUPS.inc(result="hit")
+
+    def record_miss(self) -> None:
+        self.misses += 1
+        _DISK_LOOKUPS.inc(result="miss")
+
+    def record_store(self) -> None:
+        self.stores += 1
+        _DISK_STORES.inc()
+
+    def record_invalidation(self) -> None:
+        self.invalidations += 1
+        _DISK_INVALIDATIONS.inc()
 
 
 class ExtensionCache:
@@ -182,13 +215,13 @@ class ExtensionCache:
             if os.path.exists(path):
                 # Present but undecodable: torn or foreign content.
                 self._invalidate_path(path)
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
         if not self._valid(record, fingerprint, lp_options, grid):
             self._invalidate_path(path)
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
-        self.stats.hits += 1
+        self.stats.record_hit()
         return record
 
     def store(
@@ -218,7 +251,7 @@ class ExtensionCache:
                 "version": self.version,
             },
         )
-        self.stats.stores += 1
+        self.stats.record_store()
         return key
 
     def invalidate(
@@ -242,7 +275,7 @@ class ExtensionCache:
             os.unlink(path)
         except OSError:
             return False
-        self.stats.invalidations += 1
+        self.stats.record_invalidation()
         return True
 
     def _valid(

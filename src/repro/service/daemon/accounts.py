@@ -146,6 +146,15 @@ class AccountStore:
     def path_for(self, tenant: str) -> str:
         return os.path.join(self.root, f"{validate_tenant(tenant)}.json")
 
+    def probe(self) -> Optional[str]:
+        """Health check: ``None`` when account writes can land, else a
+        human-readable failure description (``/healthz`` surfaces it)."""
+        if not os.path.isdir(self.root):
+            return f"account directory {self.root!r} is missing"
+        if not os.access(self.root, os.W_OK | os.X_OK):
+            return f"account directory {self.root!r} is not writable"
+        return None
+
     def tenants(self) -> list[str]:
         """Every tenant with an account on disk, sorted."""
         return sorted(

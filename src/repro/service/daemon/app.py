@@ -26,7 +26,10 @@ startup reconciliation force-spends the audited ε into the account
 Endpoints
 ---------
 =======  ========================  ===========================================
-GET      ``/healthz``              liveness probe
+GET      ``/healthz``              liveness + audit/account-store probes
+                                   (503 when a durable layer degrades)
+GET      ``/metrics``              Prometheus text exposition (per-tenant
+                                   release/ε/latency series, error codes)
 GET      ``/v1/estimators``        the estimator registry
 GET      ``/v1/stats``             session/cache counters, uptime
 GET      ``/v1/tenants/<t>``       one tenant's budget account
@@ -48,6 +51,7 @@ import threading
 import time
 from typing import Any, Mapping, Optional
 
+from ... import telemetry
 from ...estimators.registry import canonical_name, get_spec, registry_specs
 from ...mechanisms.accountant import BudgetExceededError
 from ..batch import _RequestServer
@@ -64,6 +68,7 @@ from .http import (
     HttpRequest,
     json_response_bytes,
     read_http_request,
+    text_response_bytes,
 )
 
 __all__ = ["ReleaseDaemon", "BackgroundDaemon", "ERROR_CODES"]
@@ -85,7 +90,39 @@ ERROR_CODES = {
 }
 
 
+# Daemon-level registry series (scraped via ``GET /metrics``).  The
+# tenant-labelled families only ever see validated tenant names, so the
+# label cardinality is bounded by the provisioned accounts.
+_REQUESTS = telemetry.counter(
+    "repro_daemon_requests_total",
+    "Release requests admitted past tenant validation, by tenant",
+    labels=("tenant",),
+)
+_RELEASES = telemetry.counter(
+    "repro_daemon_releases_total",
+    "Releases served and durably committed, by tenant",
+    labels=("tenant",),
+)
+_EPSILON = telemetry.counter(
+    "repro_daemon_epsilon_spent_total",
+    "Privacy budget spent on committed releases, by tenant",
+    labels=("tenant",),
+)
+_LATENCY = telemetry.histogram(
+    "repro_daemon_request_seconds",
+    "End-to-end release latency (compute + audit fsync + account "
+    "write), by tenant",
+    labels=("tenant",),
+)
+_ERRORS = telemetry.counter(
+    "repro_daemon_errors_total",
+    "Error responses, by structured admission-control code",
+    labels=("code",),
+)
+
+
 def _error_body(code: str, message: str, **extra) -> tuple[int, dict]:
+    _ERRORS.inc(code=code)
     return ERROR_CODES[code], {
         "error": {"code": code, "message": message}, **extra
     }
@@ -124,6 +161,7 @@ class ReleaseDaemon:
         base_seed: int = 0,
         allow_non_private: bool = False,
         extension_options: Optional[Mapping[str, Any]] = None,
+        telemetry_log_path: Optional[str] = None,
     ) -> None:
         if default_tenant_budget is not None and default_tenant_budget <= 0:
             raise ValueError(
@@ -156,9 +194,16 @@ class ReleaseDaemon:
         # session sees one query at a time, while read-only endpoints
         # stay responsive off-lock.
         self._serving_lock = asyncio.Lock()
-        self.started_at = time.time()
+        # Monotonic clock for uptime: wall clock (time.time) can step
+        # under NTP correction, making uptime jump or go negative.
+        self._started_monotonic = time.monotonic()
         self.releases_served = 0
         self.requests_rejected = 0
+        self.telemetry_log = (
+            telemetry.TelemetryLog(telemetry_log_path)
+            if telemetry_log_path is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -190,11 +235,17 @@ class ReleaseDaemon:
                     )
                 if status != 200:
                     self.requests_rejected += 1
-                writer.write(
-                    json_response_bytes(
+                if isinstance(body, str):
+                    # /metrics is the one plain-text route (Prometheus
+                    # exposition); everything else speaks JSON.
+                    payload = text_response_bytes(
                         status, body, keep_alive=request.keep_alive
                     )
-                )
+                else:
+                    payload = json_response_bytes(
+                        status, body, keep_alive=request.keep_alive
+                    )
+                writer.write(payload)
                 await writer.drain()
                 if not request.keep_alive:
                     break
@@ -207,12 +258,16 @@ class ReleaseDaemon:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _route(self, request: HttpRequest) -> tuple[int, dict]:
+    async def _route(self, request: HttpRequest) -> tuple[int, dict | str]:
         path = request.path.rstrip("/") or "/"
         if path == "/healthz":
             if request.method != "GET":
                 return _error_body("method_not_allowed", "GET only")
-            return 200, {"status": "ok", "uptime_seconds": self.uptime()}
+            return self._healthz_body()
+        if path == "/metrics":
+            if request.method != "GET":
+                return _error_body("method_not_allowed", "GET only")
+            return 200, telemetry.render_prometheus()
         if path == "/v1/estimators":
             if request.method != "GET":
                 return _error_body("method_not_allowed", "GET only")
@@ -242,7 +297,26 @@ class ReleaseDaemon:
     # Read-only endpoints
     # ------------------------------------------------------------------
     def uptime(self) -> float:
-        return time.time() - self.started_at
+        return time.monotonic() - self._started_monotonic
+
+    def _healthz_body(self) -> tuple[int, dict]:
+        """Liveness + dependency probes.
+
+        ``checks`` maps each durable dependency to ``"ok"`` or a
+        failure description; any failure degrades the endpoint to 503
+        (so a scraping load balancer stops routing to a daemon that
+        can no longer commit releases durably)."""
+        checks = {
+            "audit_log": self.audit.probe() or "ok",
+            "account_store": self.accounts.probe() or "ok",
+        }
+        healthy = all(status == "ok" for status in checks.values())
+        body = {
+            "status": "ok" if healthy else "degraded",
+            "uptime_seconds": self.uptime(),
+            "checks": checks,
+        }
+        return (200 if healthy else 503), body
 
     @staticmethod
     def _estimator_index() -> list[dict]:
@@ -322,6 +396,8 @@ class ReleaseDaemon:
         except InvalidTenantError as exc:
             return _error_body("invalid_tenant", str(exc))
         request_id = body.get("id")
+        _REQUESTS.inc(tenant=tenant)
+        request_started = time.perf_counter()
 
         estimator = body.get("estimator")
         if not isinstance(estimator, str) or not estimator:
@@ -433,6 +509,21 @@ class ReleaseDaemon:
                 )
             self.accounts.save(account)
             self.releases_served += 1
+            elapsed = time.perf_counter() - request_started
+            _RELEASES.inc(tenant=tenant)
+            if epsilon is not None:
+                _EPSILON.inc(epsilon, tenant=tenant)
+            _LATENCY.observe(elapsed, tenant=tenant)
+            if self.telemetry_log is not None:
+                self.telemetry_log.event(
+                    "release",
+                    tenant=tenant,
+                    estimator=name,
+                    epsilon=0.0 if epsilon is None else epsilon,
+                    seq=seq,
+                    seconds=elapsed,
+                    fingerprint=response.get("fingerprint"),
+                )
 
             response["id"] = request_id if request_id is not None else seq
             response["tenant"] = tenant
@@ -482,10 +573,17 @@ class ReleaseDaemon:
 
     def close(self) -> None:
         """Flush durable state: spill warm extension tables (when a
-        persistent cache is attached) and close the audit log."""
+        persistent cache is attached), write a final metrics snapshot
+        to the telemetry log, and close the audit log."""
         try:
             self.session.persist_warm_extensions()
         finally:
+            if self.telemetry_log is not None:
+                self.telemetry_log.metrics_event(
+                    releases_served=self.releases_served,
+                    requests_rejected=self.requests_rejected,
+                )
+                self.telemetry_log.close()
             self.audit.close()
 
     def start_in_background(

@@ -168,5 +168,17 @@ class AuditLog:
         """Fresh replay of the log as it stands on disk now."""
         return replay_audit(self.path)
 
+    def probe(self) -> Optional[str]:
+        """Health check: ``None`` when the log can take appends, else a
+        human-readable failure description (``/healthz`` surfaces it)."""
+        if self._writer.closed:
+            return "audit log writer is closed"
+        directory = os.path.dirname(self.path) or "."
+        if not os.access(directory, os.W_OK | os.X_OK):
+            return f"audit directory {directory!r} is not writable"
+        if os.path.exists(self.path) and not os.access(self.path, os.W_OK):
+            return f"audit log {self.path!r} is not writable"
+        return None
+
     def close(self) -> None:
         self._writer.close()

@@ -24,6 +24,7 @@ __all__ = [
     "HttpRequest",
     "read_http_request",
     "json_response_bytes",
+    "text_response_bytes",
 ]
 
 # Framing limits: far above any legitimate daemon request (the largest
@@ -145,6 +146,31 @@ def json_response_bytes(
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def text_response_bytes(
+    status: int,
+    text: str,
+    *,
+    keep_alive: bool = True,
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+) -> bytes:
+    """Serialize one plain-text response.
+
+    The default content type is the Prometheus text exposition format
+    (version 0.0.4) — ``GET /metrics`` is the only non-JSON route the
+    daemon serves.
+    """
+    body = text.encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         "\r\n"

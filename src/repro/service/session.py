@@ -32,6 +32,7 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..core.extension import extension_for
 from ..estimators.base import Release
 from ..estimators.registry import canonical_name, create, get_spec
@@ -39,6 +40,30 @@ from ..graphs.compact import CompactGraph, as_compact
 from ..mechanisms.accountant import BudgetExceededError, PrivacyAccountant
 from ..mechanisms.gem import power_of_two_grid
 from .cache import ExtensionCache
+
+# Registry twins of the per-session counters.  SessionStats stays the
+# JSON-safe per-session record (the sharded workers ship it across the
+# process boundary); the registry series aggregate across sessions and
+# surface in ``/metrics`` and the CLI summaries.
+_QUERIES = telemetry.counter(
+    "repro_session_queries_total", "Release queries answered by sessions"
+)
+_GRAPH_LOOKUPS = telemetry.counter(
+    "repro_session_graph_lookups_total",
+    "Session graph-cache lookups, by result",
+    labels=("result",),
+)
+_EVICTIONS = telemetry.counter(
+    "repro_session_evictions_total", "Session LRU graph evictions"
+)
+_EPSILON_SPENT = telemetry.counter(
+    "repro_session_epsilon_spent_total",
+    "Privacy budget spent by successful session queries",
+)
+_DISK_WARM_STARTS = telemetry.counter(
+    "repro_session_disk_warm_starts_total",
+    "Extensions preloaded from the persistent on-disk cache",
+)
 
 __all__ = ["ReleaseSession", "SessionStats", "DEFAULT_EXTENSION_OPTIONS"]
 
@@ -78,6 +103,32 @@ class SessionStats:
         """Fraction of graph lookups served from the cache."""
         lookups = self.graph_hits + self.graph_misses
         return self.graph_hits / lookups if lookups else 0.0
+
+    # Increments route through these recorders so every per-session
+    # count also lands on the process-wide registry series.
+    def record_query(self) -> None:
+        self.queries += 1
+        _QUERIES.inc()
+
+    def record_graph_hit(self) -> None:
+        self.graph_hits += 1
+        _GRAPH_LOOKUPS.inc(result="hit")
+
+    def record_graph_miss(self) -> None:
+        self.graph_misses += 1
+        _GRAPH_LOOKUPS.inc(result="miss")
+
+    def record_eviction(self) -> None:
+        self.evictions += 1
+        _EVICTIONS.inc()
+
+    def record_epsilon_spent(self, epsilon: float) -> None:
+        self.epsilon_spent += epsilon
+        _EPSILON_SPENT.inc(epsilon)
+
+    def record_disk_warm_start(self) -> None:
+        self.disk_warm_starts += 1
+        _DISK_WARM_STARTS.inc()
 
     def to_dict(self) -> dict:
         """JSON-safe counters (used by the sharded serving workers)."""
@@ -213,9 +264,9 @@ class ReleaseSession:
         entry = self._entries.get(fingerprint)
         if entry is not None:
             self._entries.move_to_end(fingerprint)
-            self.stats.graph_hits += 1
+            self.stats.record_graph_hit()
             return fingerprint
-        self.stats.graph_misses += 1
+        self.stats.record_graph_miss()
         self._entries[fingerprint] = _GraphEntry(graph=compact)
         while len(self._entries) > self._max_graphs:
             evicted_key, evicted = self._entries.popitem(last=False)
@@ -223,7 +274,7 @@ class ReleaseSession:
             # cache is attached) so re-admission is a disk warm start,
             # not a fresh LP pass.
             self._persist_entry(evicted_key, evicted)
-            self.stats.evictions += 1
+            self.stats.record_eviction()
         return fingerprint
 
     def _entry_for(
@@ -237,7 +288,7 @@ class ReleaseSession:
                     "register(graph) it first"
                 )
             self._entries.move_to_end(fingerprint)
-            self.stats.graph_hits += 1
+            self.stats.record_graph_hit()
             return fingerprint, entry
         if graph is None:
             raise ValueError("query needs a graph or a fingerprint")
@@ -320,7 +371,7 @@ class ReleaseSession:
         self._persisted.add(
             self.cache.key(fingerprint, self._extension_options, grid)
         )
-        self.stats.disk_warm_starts += 1
+        self.stats.record_disk_warm_start()
         return True
 
     def _persist_entry(
@@ -457,8 +508,8 @@ class ReleaseSession:
         if spec.requires_epsilon:
             # Session-scoped accounting, shared accountant or not —
             # never reset by LRU eviction or graph re-admission.
-            self.stats.epsilon_spent += epsilon
-        self.stats.queries += 1
+            self.stats.record_epsilon_spent(epsilon)
+        self.stats.record_query()
         if shared_extension:
             # The release just evaluated the whole grid: make the warm
             # table durable (one set lookup per query once stored).

@@ -214,6 +214,11 @@ class JsonlLogWriter:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` already ran (appends would fail)."""
+        return self._handle.closed
+
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()

@@ -1,0 +1,73 @@
+"""Structured JSONL telemetry event sink.
+
+One event per line, durably appended via
+:class:`repro.storage.JsonlLogWriter` (same fsync-per-record and
+torn-tail-repair discipline as the daemon's audit log, so a crashed
+serving run leaves a readable telemetry log).  Event shape::
+
+    {"event": "<kind>", "ts": <unix seconds>, ...kind-specific fields}
+
+Kinds emitted by the CLI/daemon integrations:
+
+* ``span``    — one finished root span (``name``, ``seconds``,
+  ``depth``, ``attrs``); wired as a tracer sink.
+* ``metrics`` — a full registry snapshot, typically written once at
+  the end of a run.
+* ``release`` / ``rejection`` — per-request events from the daemon.
+
+The ``ts`` wall-clock stamp exists **only** in this side-channel file;
+nothing read from the clock here ever flows into served responses, so
+serving output stays byte-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..storage import JsonlLogWriter
+from . import metrics as _metrics
+from .tracing import SpanRecord
+
+__all__ = ["TelemetryLog"]
+
+
+class TelemetryLog:
+    """Append-only JSONL sink for telemetry events (single owner)."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._writer = JsonlLogWriter(path)
+        self.path = self._writer.path
+
+    def event(self, kind: str, **fields) -> None:
+        """Durably append one event; silently a no-op after close
+        (shutdown paths may race a final event against teardown)."""
+        if self._writer.closed:
+            return
+        self._writer.append({"event": kind, "ts": time.time(), **fields})
+
+    def span_sink(self, record: SpanRecord) -> None:
+        """Tracer ``sink`` adapter: one ``span`` event per record."""
+        self.event(
+            "span",
+            name=record.name,
+            seconds=record.seconds,
+            depth=record.depth,
+            attrs=record.attrs,
+        )
+
+    def metrics_event(self, snapshot: dict | None = None, **fields) -> None:
+        """Write a ``metrics`` event (default-registry snapshot when
+        none is supplied)."""
+        if snapshot is None:
+            snapshot = _metrics.snapshot()
+        self.event("metrics", metrics=snapshot, **fields)
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "TelemetryLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

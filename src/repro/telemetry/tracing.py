@@ -1,0 +1,251 @@
+"""Lightweight span-based tracing with a no-op fast path.
+
+``span(name, **attrs)`` is sprinkled through the Algorithm-1 pipeline
+(extension build, per-component LP solves, GEM selection, Laplace
+noise).  The contract that makes that affordable:
+
+* **Disabled is (almost) free.**  With no tracer enabled, ``span``
+  reads one module global and returns a shared null context manager —
+  no object allocation, no clock read.  The overhead benchmark
+  (``benchmarks/bench_telemetry_overhead.py``) gates the *enabled*
+  path too.
+* **Tracing never perturbs results.**  Spans read
+  ``time.perf_counter`` and append to a Python list; they never touch
+  NumPy's RNG or any released value.  Serving output with tracing on
+  is pinned byte-identical to tracing off in
+  ``tests/test_telemetry_serving.py``.
+* **Bounded memory.**  A tracer keeps at most ``max_spans`` records
+  and counts the rest in ``dropped``; long serving runs should stream
+  to a ``sink`` (e.g. :meth:`repro.telemetry.TelemetryLog.span_sink`)
+  with ``keep_spans=False`` instead of accumulating.
+
+Thread-safety: each thread has its own span stack (parenting never
+crosses threads); the record list and index counter are shared under a
+lock, so the daemon's executor threads can trace concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "enabled",
+    "enable",
+    "disable",
+    "tracing",
+    "aggregate_stage_times",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span.  ``index`` orders spans by *entry*;
+    ``parent`` is the index of the enclosing span (None at root)."""
+
+    name: str
+    seconds: float
+    attrs: dict = field(default_factory=dict)
+    index: int = 0
+    parent: int | None = None
+    depth: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "attrs": self.attrs,
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    seconds = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("_tracer", "name", "attrs", "seconds",
+                 "_start", "_index", "_parent", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.seconds: float | None = None
+
+    def __enter__(self):
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._parent = stack[-1]._index if stack else None
+        self._depth = len(stack)
+        self._index = tracer._next_index()
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        end = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.seconds = end - self._start
+        self._tracer._record(self)
+        return False
+
+
+class Tracer:
+    """Collects :class:`SpanRecord`s from ``with span(...)`` blocks.
+
+    Parameters
+    ----------
+    keep_spans:
+        Keep records in :attr:`spans` (capped at ``max_spans``; the
+        overflow is counted in :attr:`dropped`).  Turn off for
+        long-running streams that only need the ``sink``.
+    sink:
+        Optional callable invoked with each finished record (after the
+        span exits, so child records reach the sink before parents).
+    sink_max_depth:
+        When set, only records with ``depth <= sink_max_depth`` reach
+        the sink — ``0`` streams root spans only, which is the right
+        granularity for a per-release serving log.
+    """
+
+    def __init__(self, *, keep_spans: bool = True, max_spans: int = 1_000_000,
+                 sink=None, sink_max_depth: int | None = None) -> None:
+        self.spans: list[SpanRecord] = []
+        self.dropped = 0
+        self._keep = keep_spans
+        self._max = max_spans
+        self._sink = sink
+        self._sink_max_depth = sink_max_depth
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_index(self) -> int:
+        with self._lock:
+            index = self._counter
+            self._counter += 1
+        return index
+
+    def _record(self, span: _Span) -> None:
+        record = SpanRecord(
+            name=span.name, seconds=span.seconds, attrs=span.attrs,
+            index=span._index, parent=span._parent, depth=span._depth,
+        )
+        if self._keep:
+            with self._lock:
+                if len(self.spans) < self._max:
+                    self.spans.append(record)
+                else:
+                    self.dropped += 1
+        if self._sink is not None and (
+            self._sink_max_depth is None
+            or record.depth <= self._sink_max_depth
+        ):
+            self._sink(record)
+
+
+_ACTIVE: Tracer | None = None
+
+
+def enabled() -> bool:
+    """Is a tracer currently installed?  This is the one attribute
+    check instrumented hot paths pay while telemetry is off."""
+    return _ACTIVE is not None
+
+
+def span(name: str, **attrs):
+    """Context manager timing one pipeline stage.
+
+    Returns a shared null object when tracing is disabled; otherwise a
+    live span whose ``seconds`` attribute holds the elapsed time after
+    the block exits (callers can feed it to a histogram)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return _Span(tracer, name, attrs)
+
+
+def enable(tracer: Tracer | None = None) -> Tracer:
+    """Install ``tracer`` (a fresh one by default) as the process-wide
+    active tracer and return it."""
+    global _ACTIVE
+    if tracer is None:
+        tracer = Tracer()
+    _ACTIVE = tracer
+    return tracer
+
+
+def disable() -> Tracer | None:
+    """Remove the active tracer (returning it, spans intact)."""
+    global _ACTIVE
+    tracer = _ACTIVE
+    _ACTIVE = None
+    return tracer
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None):
+    """Scoped ``enable``/``disable`` that restores the previous tracer."""
+    global _ACTIVE
+    previous = _ACTIVE
+    installed = enable(tracer)
+    try:
+        yield installed
+    finally:
+        _ACTIVE = previous
+
+
+def aggregate_stage_times(spans) -> dict:
+    """Collapse span records into per-stage totals.
+
+    Returns ``{name: {"count", "seconds", "self_seconds"}}`` where
+    ``self_seconds`` is each span's duration minus its *direct*
+    children — so summing ``self_seconds`` over all stages equals the
+    root spans' total duration and a percentage breakdown adds to
+    ~100% (records dropped by the tracer cap fold into their parent's
+    self time, keeping the total consistent)."""
+    spans = list(spans)
+    child_seconds: dict[int, float] = {}
+    for record in spans:
+        if record.parent is not None:
+            child_seconds[record.parent] = (
+                child_seconds.get(record.parent, 0.0) + record.seconds
+            )
+    stages: dict[str, dict] = {}
+    for record in spans:
+        self_seconds = record.seconds - child_seconds.get(record.index, 0.0)
+        stage = stages.setdefault(
+            record.name, {"count": 0, "seconds": 0.0, "self_seconds": 0.0}
+        )
+        stage["count"] += 1
+        stage["seconds"] += record.seconds
+        stage["self_seconds"] += max(self_seconds, 0.0)
+    return stages

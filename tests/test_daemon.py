@@ -523,3 +523,140 @@ class TestKillNineAcceptance:
         finally:
             process.send_signal(signal.SIGKILL)
             process.wait(timeout=30.0)
+
+
+class TestDaemonTelemetry:
+    """``GET /metrics`` + ``GET /healthz`` probes + monotonic uptime."""
+
+    def _http_text(self, url):
+        with urllib.request.urlopen(url, timeout=30.0) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type"),
+                response.read().decode("utf-8"),
+            )
+
+    def test_metrics_exposition_after_release(self, tmp_path, graph_file):
+        daemon = ReleaseDaemon(
+            tmp_path / "state", default_tenant_budget=5.0
+        )
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            for seed in (1, 2):
+                status, _ = _http("POST", f"{base}/v1/release", {
+                    "tenant": "tel-acme", "estimator": "cc",
+                    "epsilon": 0.5, "graph": graph_file, "seed": seed,
+                })
+                assert status == 200
+            status, content_type, text = self._http_text(f"{base}/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        lines = text.splitlines()
+        # Per-tenant release counter and epsilon spend (tenant name is
+        # unique to this test, so exact values hold even though the
+        # registry is process-global).
+        assert 'repro_daemon_releases_total{tenant="tel-acme"} 2' in lines
+        assert 'repro_daemon_requests_total{tenant="tel-acme"} 2' in lines
+        assert 'repro_daemon_epsilon_spent_total{tenant="tel-acme"} 1' \
+            in lines
+        # Latency histogram: cumulative buckets ending at +Inf == count.
+        assert 'repro_daemon_request_seconds_bucket' \
+            '{tenant="tel-acme",le="+Inf"} 2' in lines
+        assert 'repro_daemon_request_seconds_count{tenant="tel-acme"} 2' \
+            in lines
+        assert "# TYPE repro_daemon_request_seconds histogram" in lines
+        assert "# TYPE repro_daemon_releases_total counter" in lines
+
+    def test_metrics_rejects_non_get(self, tmp_path):
+        daemon = ReleaseDaemon(tmp_path / "state")
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            status, body = _http("POST", f"{base}/metrics", {})
+            assert status == 405
+            assert body["error"]["code"] == "method_not_allowed"
+
+    def test_error_code_counters(self, tmp_path):
+        daemon = ReleaseDaemon(tmp_path / "state")
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            before = _http("GET", f"{base}/nope")  # not_found
+            assert before[0] == 404
+            _, _, text = self._http_text(f"{base}/metrics")
+        for line in text.splitlines():
+            if line.startswith('repro_daemon_errors_total{code="not_found"}'):
+                assert int(line.rsplit(" ", 1)[1]) >= 1
+                break
+        else:
+            raise AssertionError("not_found error counter missing")
+
+    def test_healthz_reports_probe_checks(self, tmp_path):
+        daemon = ReleaseDaemon(tmp_path / "state")
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            status, body = _http("GET", f"{base}/healthz")
+            assert status == 200
+            assert body["status"] == "ok"
+            assert body["checks"] == {
+                "audit_log": "ok", "account_store": "ok",
+            }
+            assert body["uptime_seconds"] >= 0.0
+
+    def test_healthz_degrades_when_audit_log_unwritable(self, tmp_path):
+        daemon = ReleaseDaemon(tmp_path / "state")
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            # Simulate a wedged audit log (e.g. disk pulled out from
+            # under the daemon): the writer can no longer append.
+            daemon.audit._writer.close()
+            status, body = _http("GET", f"{base}/healthz")
+            assert status == 503
+            assert body["status"] == "degraded"
+            assert "closed" in body["checks"]["audit_log"]
+            assert body["checks"]["account_store"] == "ok"
+
+    def test_uptime_uses_monotonic_clock(self, tmp_path, monkeypatch):
+        """Regression: uptime was ``time.time() - started_at``, so an
+        NTP step made it jump or go negative.  It must track the
+        monotonic clock only."""
+        from types import SimpleNamespace
+
+        import repro.service.daemon.app as app_module
+
+        clock = {"mono": 500.0, "wall": 1_700_000_000.0}
+        monkeypatch.setattr(app_module, "time", SimpleNamespace(
+            monotonic=lambda: clock["mono"],
+            time=lambda: clock["wall"],
+            perf_counter=time.perf_counter,
+        ))
+        daemon = ReleaseDaemon(tmp_path / "state")
+        clock["mono"] += 7.5
+        clock["wall"] -= 3600.0  # wall clock steps an hour backward
+        assert daemon.uptime() == pytest.approx(7.5)
+
+    def test_telemetry_log_records_releases(self, tmp_path, graph_file):
+        from repro.storage import read_jsonl_records
+
+        log_path = tmp_path / "telemetry.jsonl"
+        daemon = ReleaseDaemon(
+            tmp_path / "state", default_tenant_budget=5.0,
+            telemetry_log_path=str(log_path),
+        )
+        with daemon.start_in_background() as handle:
+            base = f"http://127.0.0.1:{handle.port}"
+            status, body = _http("POST", f"{base}/v1/release", {
+                "tenant": "acme", "estimator": "cc", "epsilon": 0.5,
+                "graph": graph_file, "seed": 1,
+            })
+            assert status == 200
+        events = list(read_jsonl_records(log_path))
+        kinds = [e["event"] for e in events]
+        assert "release" in kinds
+        release = next(e for e in events if e["event"] == "release")
+        assert release["tenant"] == "acme"
+        assert release["estimator"] == "cc"
+        assert release["epsilon"] == 0.5
+        assert release["seconds"] > 0.0
+        assert release["seq"] == body["seq"]
+        # Shutdown flushes a final metrics snapshot.
+        assert kinds[-1] == "metrics"

@@ -97,6 +97,21 @@ class TestByteIdentity:
         other = serve_jsonl_parallel(lines, workers=3, cache_dir=cache_dir)
         assert _dumps(other.responses) == _dumps(cold.responses)
 
+    def test_merged_metrics_snapshot_counts_the_batch(self, graph_files):
+        """Worker registries start zeroed, so the merged telemetry
+        snapshot counts exactly the releases this batch served."""
+        from repro import telemetry
+
+        lines = _request_lines(graph_files)
+        result = serve_jsonl_parallel(lines, workers=2)
+        served = sum(1 for r in result.responses if "value" in r)
+        assert telemetry.counter_value(
+            result.metrics, "repro_releases_total"
+        ) == served
+        assert telemetry.counter_value(
+            result.metrics, "repro_session_queries_total"
+        ) == served
+
     def test_error_records_survive_sharding(self, graph_files):
         lines = _request_lines(graph_files)
         result = serve_jsonl_parallel(lines, workers=2)
@@ -229,6 +244,30 @@ class TestWorkerCrash:
                 assert got == want
         # Only the survivor reports stats.
         assert len(result.worker_stats) == 1
+
+    def test_crashed_worker_stats_count_completed_work(self, graph_files):
+        """A crashed worker's last stats snapshot (piggybacked on each
+        response) still reaches the merged summary, marked crashed —
+        operators can see how much work the victim finished."""
+        lines = [
+            json.dumps({"id": i, "estimator": "cc", "epsilon": 1.0,
+                        "graph": graph_files[0], "seed": i})
+            for i in range(4)
+        ]
+        result = serve_jsonl_parallel(lines, workers=1, _kill_at_index=2)
+        assert [("value" in r) for r in result.responses] == [
+            True, True, False, False,
+        ]
+        (entry,) = result.worker_stats
+        assert entry["crashed"] is True
+        assert entry["queries"] == 2  # exactly the delivered responses
+        assert entry["worker"] == 0
+
+    def test_crash_free_workers_report_uncrashed_stats(self, graph_files):
+        lines = _request_lines(graph_files)
+        result = serve_jsonl_parallel(lines, workers=2)
+        assert len(result.worker_stats) == 2
+        assert all("crashed" not in s for s in result.worker_stats)
 
     def test_crash_records_carry_request_ids(self, graph_files):
         lines = [
