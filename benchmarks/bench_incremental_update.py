@@ -1,0 +1,174 @@
+"""E15 — Incremental graph updates: edit-batch serving vs full rebuild.
+
+Acceptance benchmark for the PR-8 tentpole: after a small edit batch on
+a previously-served ``n = 1e5`` graph, a fresh serving process with the
+component-promoted extension cache must release at least **10×** faster
+than a cold full rebuild of the edited graph — while releasing
+**bit-identical** values (component-level cache reuse cannot change any
+released float) and performing **zero** compact→object coercions on the
+incremental path.
+
+Workload shape: the streaming contact-graph scenario.  The hard kernel
+work lives in ``n/2000`` planted communities of 50 vertices at average
+degree 3 (dense enough that Algorithm-3 repair fails on a wide Δ band
+and the component LP runs); the rest of the vertex set is isolated
+padding — realistic for contact graphs, and free on both legs since
+edgeless components never enter the extension engine.  The edit batch
+touches two communities and links one new contact pair; every other
+component's value table is promoted content-addressed state, so the
+incremental leg pays only the array-level component split, the
+fingerprint lookups, and the two touched components' LP work.
+
+Restart is simulated faithfully, exactly as in E12: each timed leg uses
+a fresh :class:`~repro.service.ReleaseSession` and a cleared
+process-wide LP memo, so the only state the incremental leg inherits is
+the content-addressed component tables under the cache directory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.graphs.compact import (
+    CompactGraph,
+    forbid_object_coercion,
+    object_coercion_count,
+)
+from repro.graphs.generators import planted_components_compact
+from repro.lp.forest_core import clear_solve_cache
+from repro.service import ReleaseSession
+
+from ._util import emit_table, reset_results
+
+_N = int(os.environ.get("REPRO_BENCH_INCREMENTAL_N", "100000"))
+_COMMUNITY_SIZE = 50
+_COMMUNITY_DEGREE = 3.0
+_BASE_SEED = 20230808
+# Local acceptance bar is 10x; CI sets REPRO_BENCH_MIN_INCREMENTAL_SPEEDUP
+# lower because shared runners add wall-clock jitter.
+_REQUIRED_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_INCREMENTAL_SPEEDUP", "10.0")
+)
+
+
+def _streaming_graph(rng: np.random.Generator) -> CompactGraph:
+    """``n/2000`` hard communities plus isolated padding to ``_N``."""
+    communities = max(_N // 2000, 6)
+    core = planted_components_compact(
+        [_COMMUNITY_SIZE] * communities,
+        _COMMUNITY_DEGREE / _COMMUNITY_SIZE,
+        rng,
+    )
+    u, v = core.edge_arrays()
+    return CompactGraph.from_edge_arrays(_N, u, v)
+
+
+def _serve(session: ReleaseSession, graph: CompactGraph) -> float:
+    release = session.query(
+        "cc",
+        epsilon=1.0,
+        graph=graph,
+        rng=np.random.default_rng(_BASE_SEED),
+    )
+    return release.value
+
+
+def _run_experiment(tmp_dir):
+    reset_results("E15")
+    cache_dir = os.path.join(tmp_dir, "extension-cache")
+    rng = np.random.default_rng(_BASE_SEED)
+    graph = _streaming_graph(rng)
+
+    # Populate pass (untimed): the run that served the pre-edit graph
+    # and promoted its per-component tables to the cache directory.
+    clear_solve_cache()
+    populate_session = ReleaseSession(cache_dir=cache_dir)
+    _serve(populate_session, graph)
+    assert populate_session.stats.component_promotions > 0
+
+    # A small edit batch: rewire inside one community, delete one edge
+    # of another, link one new contact pair in the padding.
+    eu, ev = graph.edge_arrays()
+    edited = graph.apply_edits(
+        inserts=[(3, 7), (_N - 2, _N - 1)],
+        deletes=[(int(eu[0]), int(ev[0]))],
+    )
+    assert edited.inserted + edited.deleted > 0
+
+    # Incremental update: fresh session, same cache directory.  Only
+    # the components touched by the edit batch may pay LP work; guarded
+    # against any object-graph fallback.
+    clear_solve_cache()
+    incremental_session = ReleaseSession(cache_dir=cache_dir)
+    coercions_before = object_coercion_count()
+    with forbid_object_coercion():
+        incremental_start = time.perf_counter()
+        incremental_value = _serve(incremental_session, edited.graph)
+        incremental_time = time.perf_counter() - incremental_start
+    assert object_coercion_count() == coercions_before, (
+        "incremental serving performed an object-graph coercion"
+    )
+    assert incremental_session.stats.component_hits > 0, (
+        "incremental leg reused no component tables"
+    )
+    assert (
+        incremental_session.stats.component_misses
+        <= len(edited.touched_new) + 1
+    ), "incremental leg missed more components than the edits touched"
+
+    # Full rebuild: fresh session, no cache, no promotion — the cost
+    # every edit used to pay when one insert invalidated everything.
+    clear_solve_cache()
+    rebuild_session = ReleaseSession(component_promotion=False)
+    rebuild_start = time.perf_counter()
+    rebuild_value = _serve(rebuild_session, edited.graph)
+    rebuild_time = time.perf_counter() - rebuild_start
+
+    # Bit-identity: component-level reuse changes nothing released.
+    assert incremental_value == rebuild_value, (
+        "incremental release diverged from the cold full rebuild"
+    )
+
+    speedup = rebuild_time / incremental_time
+    rows = [
+        [
+            _N,
+            graph.number_of_edges(),
+            edited.inserted + edited.deleted,
+            len(edited.touched_old),
+            rebuild_time,
+            incremental_time,
+            speedup,
+        ]
+    ]
+    emit_table(
+        "E15",
+        [
+            "n",
+            "edges",
+            "edits",
+            "touched",
+            "rebuild s",
+            "incremental s",
+            "speedup",
+        ],
+        rows,
+        "one release after a small edit batch on a previously-served "
+        "streaming contact graph: cold full rebuild vs component-level "
+        f"cache promotion (required speedup >= {_REQUIRED_SPEEDUP:g}x)",
+    )
+
+    assert speedup >= _REQUIRED_SPEEDUP, (
+        f"incremental-update speedup {speedup:.1f}x below the "
+        f"{_REQUIRED_SPEEDUP:g}x acceptance bar"
+    )
+    return rows
+
+
+def test_incremental_update_speedup(benchmark, tmp_path):
+    benchmark.pedantic(
+        _run_experiment, args=(str(tmp_path),), rounds=1, iterations=1
+    )

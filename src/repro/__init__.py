@@ -70,7 +70,7 @@ from .graphs import (
 # version into its content-addressed keys, so stored sweeps are never
 # silently reused across releases that sample or compute differently
 # (1.2.0: geometric/planted cells now draw from the compact samplers).
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .core import (
     SpanningForestExtension,

@@ -72,7 +72,12 @@ from . import telemetry
 from .core.algorithm import PrivateConnectedComponents
 from .estimators import create, get_spec, registry_specs
 from .experiments import cli as experiments_cli
-from .service import ReleaseSession, serve_jsonl, serve_jsonl_parallel
+from .service import (
+    ReleaseSession,
+    serve_edit_stream,
+    serve_jsonl,
+    serve_jsonl_parallel,
+)
 from .graphs import generators
 from .graphs.compact import as_compact
 from .graphs.components import number_of_connected_components, spanning_forest_size
@@ -198,6 +203,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append JSONL telemetry events here (per-release root "
         "spans with --workers 1, plus a final metrics snapshot); "
         "never changes served output",
+    )
+    serve.add_argument(
+        "--edits",
+        default=None,
+        help="serve an edit-stream JSONL instead of --requests: lines "
+        "with an 'edits' field ([op, u, v] triples, op '+'/'-') "
+        "advance the current graph version, every other line is a "
+        "release request against it; requires --graph (version zero) "
+        "and --workers 1",
+    )
+    serve.add_argument(
+        "--edits-mode",
+        choices=("incremental", "rebuild"),
+        default="incremental",
+        help="incremental: promote per-component extension tables so "
+        "only components touched by an edit batch recompute; rebuild: "
+        "disable promotion and pay a cold full rebuild per graph "
+        "version (served output is byte-identical either way)",
     )
 
     daemon = subparsers.add_parser(
@@ -424,6 +447,28 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.edits is not None:
+        if args.workers > 1:
+            print(
+                "error: --edits serves one evolving graph version chain "
+                "and is only supported with --workers 1",
+                file=sys.stderr,
+            )
+            return 1
+        if args.requests != "-":
+            print(
+                "error: --edits replaces --requests (the edit stream "
+                "carries the release requests)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.graph is None:
+            print(
+                "error: --edits needs --graph as version zero of the "
+                "evolving graph",
+                file=sys.stderr,
+            )
+            return 1
     default_graph = None
     if args.graph is not None:
         default_graph = read_edge_list_auto(args.graph)
@@ -431,8 +476,9 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             print("error: default graph has no vertices", file=sys.stderr)
             return 1
 
+    source_path = args.edits if args.edits is not None else args.requests
     requests = (
-        sys.stdin if args.requests == "-" else open(args.requests, "r")
+        sys.stdin if source_path == "-" else open(source_path, "r")
     )
     output = sys.stdout if args.output == "-" else open(args.output, "w")
     telemetry_log = (
@@ -449,6 +495,9 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 total_epsilon=args.total_epsilon,
                 allow_non_private=args.allow_non_private,
                 cache_dir=args.cache_dir,
+                component_promotion=(
+                    args.edits is None or args.edits_mode == "incremental"
+                ),
             )
             if telemetry_log is not None:
                 # Stream root spans (one per release) to the log;
@@ -461,12 +510,20 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                     )
                 )
                 tracer_installed = True
-            responses = serve_jsonl(
-                requests,
-                session,
-                default_graph=default_graph,
-                base_seed=args.base_seed,
-            )
+            if args.edits is not None:
+                responses = serve_edit_stream(
+                    requests,
+                    session,
+                    default_graph,
+                    base_seed=args.base_seed,
+                )
+            else:
+                responses = serve_jsonl(
+                    requests,
+                    session,
+                    default_graph=default_graph,
+                    base_seed=args.base_seed,
+                )
             summary_stats = None
         else:
             result = serve_jsonl_parallel(
@@ -486,9 +543,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             )
             responses = result.responses
             summary_stats = result.worker_stats
+        edits_applied = 0
         for response in responses:
             if "error" in response:
                 errors += 1
+            elif "applied" in response:
+                edits_applied += 1
             else:
                 served += 1
             output.write(json.dumps(response, sort_keys=True) + "\n")
@@ -504,6 +564,16 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 f"{session.stats.hit_rate():.0%}{cache_note}",
                 file=sys.stderr,
             )
+            if args.edits is not None:
+                stats = session.stats
+                print(
+                    f"applied {edits_applied} edit batches "
+                    f"({args.edits_mode} mode); component-table lookups: "
+                    f"{stats.component_hits} hits, "
+                    f"{stats.component_misses} misses; "
+                    f"{stats.component_promotions} tables promoted",
+                    file=sys.stderr,
+                )
         else:
             hits = sum(s["graph_hits"] for s in summary_stats)
             misses = sum(s["graph_misses"] for s in summary_stats)
@@ -550,7 +620,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             output.close()
     # One bad line never fails the batch; a batch where *nothing*
     # succeeded exits nonzero so operators notice.
-    return 1 if errors and not served else 0
+    return 1 if errors and not (served or edits_applied) else 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:

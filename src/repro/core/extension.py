@@ -29,12 +29,12 @@ Lemma 3.3 properties (all verified by the test suite):
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from .. import telemetry
-from ..graphs.compact import CompactGraph
+from ..graphs.compact import CompactGraph, component_fingerprint
 from ..graphs.components import connected_components, spanning_forest_size
 from ..graphs.graph import Graph
 from ..lp.forest_core import EXACT_THRESHOLD, solve_component
@@ -120,6 +120,7 @@ class _ComponentwiseExtension:
         self._lp_cache: list[dict[float, float]] = []
         self._compact_cache: list[Optional[CompactGraph]] = []
         self._value_cache: dict[float, float] = {}
+        self._component_fps: Optional[list[str]] = None
         self._true_fsf = 0
 
     # -- subclass interface -------------------------------------------------
@@ -141,6 +142,7 @@ class _ComponentwiseExtension:
         self._compact_cache: list[Optional[CompactGraph]] = [
             None
         ] * self._sizes.size
+        self._component_fps: Optional[list[str]] = None
         self._prepared = True
 
     def _component_graph(self, i: int) -> CompactGraph:
@@ -192,9 +194,18 @@ class _ComponentwiseExtension:
             if certified.any():
                 _CERTIFICATE_HITS.inc(int(np.count_nonzero(certified)))
             exact = (self._maxdeg <= key) | certified
-            total = float((self._sizes[exact] - 1).sum())
+            # Fill one slot per component, then reduce with a single
+            # fixed-shape ``np.sum``: the total depends only on the value
+            # in each slot, never on *which* path (vectorized mask,
+            # memoized certificate, preloaded component table, or live
+            # LP) produced it.  This is the bit-identity contract the
+            # per-component cache relies on — a warm process may certify
+            # a different subset of components than a cold one.
+            values = np.empty(self._sizes.size)
+            values[exact] = self._sizes[exact] - 1
             for i in np.nonzero(~exact)[0].tolist():
-                total += self._component_value(i, key)
+                values[i] = self._component_value(i, key)
+            total = float(np.sum(values))
         self._value_cache[key] = total
         return total
 
@@ -260,6 +271,88 @@ class _ComponentwiseExtension:
             if key <= 0:
                 raise ValueError(f"delta must be positive, got {delta}")
             self._value_cache[key] = float(value)
+
+    def component_fingerprints(self) -> list[str]:
+        """Canonical content hash of each edge-bearing component.
+
+        Engine order (ascending component root).  Hashes are computed
+        over the same canonical ``(n, u, v)`` local-index arrays the LP
+        core consumes — see
+        :func:`repro.graphs.compact.component_fingerprint` — so they
+        agree with :meth:`CompactGraph.component_fingerprints` and stay
+        stable across graph versions for components untouched by
+        :meth:`CompactGraph.apply_edits`.  Triggers :meth:`_prepare`.
+        """
+        if not self._prepared:
+            with telemetry.span("extension.prepare"):
+                self._prepare()
+        if self._component_fps is None:
+            self._component_fps = [
+                component_fingerprint(*self._component_arrays(i))
+                for i in range(self._sizes.size)
+            ]
+        return list(self._component_fps)
+
+    def export_component_tables(self) -> list[tuple[str, dict[float, float]]]:
+        """Per-component ``Δ -> f_Δ(component)`` tables for every
+        evaluated Δ, paired with the component's content fingerprint.
+
+        The component-level serialization surface of the persistent
+        extension cache: for each evaluated Δ the stored value is
+        exactly what a cold evaluation produces for that component —
+        ``size - 1`` when exactness is certified (degree bound or
+        Algorithm-3 forest), otherwise the memoized LP optimum.
+        Components whose value at some Δ is unknown simply omit that Δ.
+        Returns ``[]`` before any evaluation.
+        """
+        if not self._prepared:
+            return []
+        deltas = sorted(self._value_cache)
+        tables: list[tuple[str, dict[float, float]]] = []
+        for i, fp in enumerate(self.component_fingerprints()):
+            size_value = float(self._sizes[i] - 1)
+            lp = self._lp_cache[i]
+            table: dict[float, float] = {}
+            for key in deltas:
+                if self._maxdeg[i] <= key or self._exact_from[i] <= key:
+                    table[key] = size_value
+                else:
+                    cached = lp.get(key)
+                    if cached is not None:
+                        table[key] = cached
+            tables.append((fp, table))
+        return tables
+
+    def preload_component_tables(
+        self, tables: Mapping[str, Mapping[float, float]]
+    ) -> int:
+        """Install per-component value tables keyed by content fingerprint.
+
+        Counterpart of :meth:`export_component_tables` after an edit
+        batch: the component split still runs (it is pure array work),
+        but every component whose fingerprint appears in ``tables`` —
+        i.e. every component untouched by the edits — answers later
+        :meth:`value` calls from the preloaded table instead of paying
+        Algorithm-3 or the LP again.  Returns the number of components
+        warmed.  Values land in the per-component memo, so totals remain
+        bit-identical to a cold rebuild (see :meth:`value`).
+        """
+        if not self._prepared:
+            with telemetry.span("extension.prepare"):
+                self._prepare()
+        hits = 0
+        for i, fp in enumerate(self.component_fingerprints()):
+            table = tables.get(fp)
+            if not table:
+                continue
+            dest = self._lp_cache[i]
+            for delta, value in table.items():
+                key = float(delta)
+                if key <= 0:
+                    raise ValueError(f"delta must be positive, got {delta}")
+                dest[key] = float(value)
+            hits += 1
+        return hits
 
     # -- engine internals ---------------------------------------------------
     def _component_value(self, i: int, delta: float) -> float:

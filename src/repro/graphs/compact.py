@@ -45,8 +45,10 @@ from .independent_set import mis_of_adjacency
 __all__ = [
     "CompactGraph",
     "CompactRepairResult",
+    "EditResult",
     "as_compact",
     "as_object_graph",
+    "component_fingerprint",
     "object_coercion_count",
     "forbid_object_coercion",
 ]
@@ -91,6 +93,56 @@ def _record_coercion() -> None:
     _object_coercions += 1
 
 
+def _in_sorted(values: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
+    """Boolean membership mask of ``values`` in a sorted-unique array."""
+    member = np.zeros(values.size, dtype=bool)
+    if values.size and sorted_keys.size:
+        pos = np.searchsorted(sorted_keys, values)
+        inside = pos < sorted_keys.size
+        member[inside] = sorted_keys[pos[inside]] == values[inside]
+    return member
+
+
+def component_fingerprint(n: int, u: np.ndarray, v: np.ndarray) -> str:
+    """Content hash of one canonical component (hex SHA-256).
+
+    ``(n, u, v)`` is the canonical local-index form shared by the LP
+    core and the extension engine: vertices are ``0..n-1`` in the order
+    of their global indices, ``u < v`` elementwise, edges lexsorted.
+    Two components hash equal iff those arrays are byte-identical —
+    exactly the precondition under which every per-component pipeline
+    result (Algorithm-3 repair outcome, LP value) is bit-identical.
+    Labels are deliberately excluded: extension values never depend on
+    them.
+    """
+    digest = hashlib.sha256(b"compact-component-v1")
+    digest.update(int(n).to_bytes(8, "big"))
+    digest.update(np.ascontiguousarray(u, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(v, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+class EditResult(NamedTuple):
+    """Outcome of :meth:`CompactGraph.apply_edits`.
+
+    ``graph`` is the post-edit graph (a fresh immutable instance; the
+    input graph is never mutated).  ``touched_old`` / ``touched_new``
+    are the canonical component ids (minimum vertex index) of every
+    component incident to an *effective* change, in the pre-edit and
+    post-edit graph respectively — a component absent from these sets
+    kept its exact vertex and edge sets, so its canonical arrays (and
+    hence its :func:`component_fingerprint`) are unchanged.
+    ``inserted`` / ``deleted`` count the effective edits (no-op inserts
+    of existing edges and deletes of absent edges are skipped).
+    """
+
+    graph: "CompactGraph"
+    touched_old: frozenset[int]
+    touched_new: frozenset[int]
+    inserted: int
+    deleted: int
+
+
 class CompactRepairResult(NamedTuple):
     """Outcome of the Algorithm-3 construction on a :class:`CompactGraph`.
 
@@ -130,6 +182,7 @@ class CompactGraph:
         "_edge_v",
         "_component_labels",
         "_fingerprint",
+        "_component_fps",
     )
 
     def __init__(
@@ -166,6 +219,7 @@ class CompactGraph:
         self._edge_v: Optional[np.ndarray] = None
         self._component_labels: Optional[np.ndarray] = None
         self._fingerprint: Optional[str] = None
+        self._component_fps: Optional[dict[int, str]] = None
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -417,6 +471,128 @@ class CompactGraph:
                 digest.update(repr(self._labels).encode("utf-8"))
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def component_fingerprints(self) -> dict[int, str]:
+        """Content hash per component, keyed by canonical component id.
+
+        Each component is hashed over its canonical local-index arrays
+        (the same ``(n, u, v)`` form the extension engine and the LP
+        core consume — see :func:`component_fingerprint`), so a
+        component untouched by :meth:`apply_edits` keeps the same
+        fingerprint across graph versions even though the whole-graph
+        :meth:`fingerprint` changes.  The per-component extension cache
+        (:mod:`repro.service.cache`) keys on these hashes.  Memoized.
+        """
+        if self._component_fps is not None:
+            return dict(self._component_fps)
+        u, v = self.edge_arrays()
+        labels = self.component_labels()
+        if u.size:
+            edge_root = labels[u]
+            edge_order = np.argsort(edge_root, kind="stable")
+            eu, ev = u[edge_order], v[edge_order]
+            sorted_roots = edge_root[edge_order]
+            cuts = np.nonzero(np.diff(sorted_roots))[0] + 1
+            starts = np.concatenate([[0], cuts, [eu.size]])
+            group_roots = sorted_roots[starts[:-1]]
+        else:
+            group_roots = np.zeros(0, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        fps: dict[int, str] = {}
+        for verts in self.component_index_sets():
+            root = int(verts[0])
+            g = int(np.searchsorted(group_roots, root))
+            if g < group_roots.size and int(group_roots[g]) == root:
+                lo, hi = int(starts[g]), int(starts[g + 1])
+                lu = np.searchsorted(verts, eu[lo:hi])
+                lv = np.searchsorted(verts, ev[lo:hi])
+                order = np.lexsort((lv, lu))
+                fps[root] = component_fingerprint(
+                    int(verts.size), lu[order], lv[order]
+                )
+            else:
+                fps[root] = component_fingerprint(int(verts.size), empty, empty)
+        self._component_fps = fps
+        return dict(fps)
+
+    # ------------------------------------------------------------------
+    # Delta updates
+    # ------------------------------------------------------------------
+    def _edit_keys(self, pairs, kind: str) -> np.ndarray:
+        """Canonicalize an edit list to sorted-unique int64 edge keys."""
+        n = self.number_of_vertices()
+        if isinstance(pairs, np.ndarray):
+            arr = np.asarray(pairs, dtype=np.int64)
+        else:
+            arr = np.array(list(pairs), dtype=np.int64)
+        arr = arr.reshape(-1, 2)
+        if arr.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if arr.min() < 0 or arr.max() >= n:
+            raise ValueError(f"{kind} endpoints must lie in [0, {n})")
+        if np.any(arr[:, 0] == arr[:, 1]):
+            raise ValueError(f"self-loops are not allowed ({kind})")
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        return np.unique(lo * np.int64(n) + hi)
+
+    def apply_edits(self, inserts=(), deletes=()) -> EditResult:
+        """Apply a batch of edge inserts/deletes, returning the new graph
+        plus the set of touched components (old and new component ids).
+
+        The graph itself is immutable: the edited graph is a fresh
+        instance with fresh memos (its whole-graph :meth:`fingerprint`
+        and :meth:`component_fingerprints` are recomputed from the new
+        content, never inherited), and ``self`` is untouched.
+
+        Semantics
+        ---------
+        * the vertex set is fixed — endpoints must lie in ``[0, n)``;
+        * inserts of existing edges and deletes of absent edges are
+          idempotent no-ops, excluded from the effective batch and the
+          touched sets;
+        * an edge appearing in both lists raises :class:`ValueError`
+          (the intended final state is ambiguous);
+        * ``inserts`` / ``deletes`` are iterables of ``(u, v)`` int
+          pairs or ``(k, 2)`` arrays; duplicates within one list
+          collapse.
+
+        A component not in ``touched_old`` has identical vertex and
+        edge sets in both versions, hence an unchanged component
+        fingerprint — the invariant the component-level extension
+        cache relies on to reuse its value tables across versions.
+        """
+        n = self.number_of_vertices()
+        ins = self._edit_keys(inserts, "insert")
+        dels = self._edit_keys(deletes, "delete")
+        if ins.size and dels.size:
+            overlap = np.intersect1d(ins, dels, assume_unique=True)
+            if overlap.size:
+                a, b = divmod(int(overlap[0]), n)
+                raise ValueError(
+                    f"edge ({a}, {b}) appears in both inserts and deletes"
+                )
+        u, v = self.edge_arrays()
+        old_keys = u * np.int64(n) + v  # u < v rows: sorted, unique
+        eff_ins = ins[~_in_sorted(ins, old_keys)]
+        eff_del = dels[_in_sorted(dels, old_keys)]
+        if not eff_ins.size and not eff_del.size:
+            return EditResult(self, frozenset(), frozenset(), 0, 0)
+        new_keys = np.union1d(
+            np.setdiff1d(old_keys, eff_del, assume_unique=True), eff_ins
+        )
+        graph = CompactGraph.from_edge_arrays(
+            n, new_keys // n, new_keys % n, labels=self._labels
+        )
+        changed = np.concatenate([eff_ins, eff_del])
+        verts = np.unique(np.concatenate([changed // n, changed % n]))
+        return EditResult(
+            graph,
+            frozenset(self.component_labels()[verts].tolist()),
+            frozenset(graph.component_labels()[verts].tolist()),
+            int(eff_ins.size),
+            int(eff_del.size),
+        )
 
     # ------------------------------------------------------------------
     # Connected components (array union-find, Shiloach–Vishkin style)

@@ -16,9 +16,15 @@ budget accounts and an append-only audit log.
 """
 
 from .batch import ParallelServeResult, serve_jsonl, serve_jsonl_parallel
-from .cache import CacheStats, ExtensionCache, extension_key
+from .cache import (
+    CacheStats,
+    ExtensionCache,
+    component_extension_key,
+    extension_key,
+)
 from .daemon import ReleaseDaemon
 from .session import ReleaseSession, SessionStats
+from .streaming import serve_edit_stream
 
 __all__ = [
     "CacheStats",
@@ -27,7 +33,9 @@ __all__ = [
     "ReleaseDaemon",
     "ReleaseSession",
     "SessionStats",
+    "component_extension_key",
     "extension_key",
+    "serve_edit_stream",
     "serve_jsonl",
     "serve_jsonl_parallel",
 ]

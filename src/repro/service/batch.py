@@ -87,6 +87,18 @@ class _RequestServer:
         self._base_seed = base_seed
         self._path_cache: dict[str, str] = {}
 
+    def set_default_graph(self, graph) -> None:
+        """Swap the graph served to requests naming no ``graph`` field.
+
+        The edit-stream server (:mod:`repro.service.streaming`) advances
+        the current graph version this way after every applied edit
+        batch; subsequent releases target the new version while earlier
+        versions stay resident in the session LRU.
+        """
+        self._default_graph = (
+            as_compact(graph) if graph is not None else None
+        )
+
     def serve_line(self, index: int, raw: str) -> Optional[dict]:
         """Serve one raw request line; ``None`` for blanks/comments.
 

@@ -61,9 +61,15 @@ from ..storage import (
     sharded_path,
 )
 
-__all__ = ["ExtensionCache", "CacheStats", "extension_key"]
+__all__ = [
+    "ExtensionCache",
+    "CacheStats",
+    "extension_key",
+    "component_extension_key",
+]
 
 _RECORD_FIELDS = ("fingerprint", "lp", "grid", "values", "true_fsf", "version")
+_COMPONENT_FIELDS = ("fingerprint", "lp", "grid", "table", "version")
 
 
 def _canonical_lp(lp_options: Mapping[str, Any]) -> dict[str, Any]:
@@ -96,6 +102,33 @@ def extension_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def component_extension_key(
+    fingerprint: str,
+    lp_options: Mapping[str, Any],
+    grid: Sequence[float],
+    version: str = __version__,
+) -> str:
+    """Content address of one *component* value table (hex SHA-256).
+
+    ``fingerprint`` is a component content hash
+    (:func:`repro.graphs.compact.component_fingerprint`), not a graph
+    fingerprint; the explicit ``kind`` marker keeps the two key spaces
+    disjoint even if the hex strings ever collided.
+    """
+    payload = json.dumps(
+        {
+            "kind": "component",
+            "fingerprint": fingerprint,
+            "lp": _canonical_lp(lp_options),
+            "grid": _canonical_grid(grid),
+            "version": version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 _DISK_LOOKUPS = telemetry.counter(
     "repro_extension_cache_lookups_total",
     "Persistent extension-cache lookups, by result",
@@ -109,6 +142,15 @@ _DISK_INVALIDATIONS = telemetry.counter(
     "repro_extension_cache_invalidations_total",
     "Persistent extension-cache entries dropped as invalid",
 )
+_COMPONENT_LOOKUPS = telemetry.counter(
+    "repro_component_cache_lookups_total",
+    "Persistent per-component cache lookups, by result",
+    labels=("result",),
+)
+_COMPONENT_STORES = telemetry.counter(
+    "repro_component_cache_stores_total",
+    "Component value tables written to the persistent cache",
+)
 
 
 @dataclass
@@ -119,6 +161,9 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalidations: int = 0
+    component_hits: int = 0
+    component_misses: int = 0
+    component_stores: int = 0
 
     def hit_rate(self) -> float:
         """Fraction of disk lookups that returned a usable table."""
@@ -142,6 +187,18 @@ class CacheStats:
     def record_invalidation(self) -> None:
         self.invalidations += 1
         _DISK_INVALIDATIONS.inc()
+
+    def record_component_hit(self) -> None:
+        self.component_hits += 1
+        _COMPONENT_LOOKUPS.inc(result="hit")
+
+    def record_component_miss(self) -> None:
+        self.component_misses += 1
+        _COMPONENT_LOOKUPS.inc(result="miss")
+
+    def record_component_store(self) -> None:
+        self.component_stores += 1
+        _COMPONENT_STORES.inc()
 
 
 class ExtensionCache:
@@ -253,6 +310,113 @@ class ExtensionCache:
         )
         self.stats.record_store()
         return key
+
+    # ------------------------------------------------------------------
+    # Per-component tables (delta-update path)
+    # ------------------------------------------------------------------
+    def component_key(
+        self,
+        fingerprint: str,
+        lp_options: Mapping[str, Any],
+        grid: Sequence[float],
+    ) -> str:
+        """Content address of one component table under this cache."""
+        return component_extension_key(
+            fingerprint, lp_options, grid, self.version
+        )
+
+    def component_path_for(self, key: str) -> str:
+        """Where a component record lives (``components/`` sub-root)."""
+        return sharded_path(os.path.join(self.root, "components"), key)
+
+    def load_component(
+        self,
+        fingerprint: str,
+        lp_options: Mapping[str, Any],
+        grid: Sequence[float],
+    ) -> Optional[dict[float, float]]:
+        """Return the stored ``Δ -> value`` table for one component.
+
+        Same trust discipline as :meth:`load`: records are validated
+        against the requested coordinates, and anything torn or
+        mismatched is deleted and treated as a miss.
+        """
+        key = self.component_key(fingerprint, lp_options, grid)
+        path = self.component_path_for(key)
+        record = read_json_or_none(path)
+        if record is None:
+            if os.path.exists(path):
+                self._invalidate_path(path)
+            self.stats.record_component_miss()
+            return None
+        if not self._valid_component(record, fingerprint, lp_options, grid):
+            self._invalidate_path(path)
+            self.stats.record_component_miss()
+            return None
+        self.stats.record_component_hit()
+        return {float(d): float(v) for d, v in record["table"]}
+
+    def store_component(
+        self,
+        fingerprint: str,
+        lp_options: Mapping[str, Any],
+        grid: Sequence[float],
+        table: Mapping[float, float],
+    ) -> str:
+        """Atomically persist one component value table; returns its key.
+
+        ``table`` maps Δ to ``f_Δ(component)``; it is stored as sorted
+        ``[delta, value]`` pairs (JSON object keys would stringify the
+        floats).  Floats survive the JSON round trip exactly, so a
+        preload from this record reproduces the donor's values bit for
+        bit.
+        """
+        key = self.component_key(fingerprint, lp_options, grid)
+        pairs = sorted(
+            (float(d), float(v)) for d, v in table.items()
+        )
+        atomic_write_json(
+            self.component_path_for(key),
+            {
+                "fingerprint": fingerprint,
+                "lp": _canonical_lp(lp_options),
+                "grid": _canonical_grid(grid),
+                "table": [[d, v] for d, v in pairs],
+                "version": self.version,
+            },
+        )
+        self.stats.record_component_store()
+        return key
+
+    def _valid_component(
+        self,
+        record: Any,
+        fingerprint: str,
+        lp_options: Mapping[str, Any],
+        grid: Sequence[float],
+    ) -> bool:
+        """Whether a decoded record really is the requested component."""
+        if not isinstance(record, dict):
+            return False
+        if any(name not in record for name in _COMPONENT_FIELDS):
+            return False
+        table = record["table"]
+        return (
+            record["fingerprint"] == fingerprint
+            and record["lp"] == _canonical_lp(lp_options)
+            and record["grid"] == _canonical_grid(grid)
+            and record["version"] == self.version
+            and isinstance(table, list)
+            and all(
+                isinstance(row, list)
+                and len(row) == 2
+                and isinstance(row[0], (int, float))
+                and row[0] > 0
+                and isinstance(row[1], (int, float))
+                and math.isfinite(row[1])
+                for row in table
+            )
+        )
 
     def invalidate(
         self,

@@ -32,14 +32,14 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
-from .. import telemetry
+from .. import __version__, telemetry
 from ..core.extension import extension_for
 from ..estimators.base import Release
 from ..estimators.registry import canonical_name, create, get_spec
 from ..graphs.compact import CompactGraph, as_compact
 from ..mechanisms.accountant import BudgetExceededError, PrivacyAccountant
 from ..mechanisms.gem import power_of_two_grid
-from .cache import ExtensionCache
+from .cache import ExtensionCache, component_extension_key, extension_key
 
 # Registry twins of the per-session counters.  SessionStats stays the
 # JSON-safe per-session record (the sharded workers ship it across the
@@ -63,6 +63,15 @@ _EPSILON_SPENT = telemetry.counter(
 _DISK_WARM_STARTS = telemetry.counter(
     "repro_session_disk_warm_starts_total",
     "Extensions preloaded from the persistent on-disk cache",
+)
+_COMPONENT_LOOKUPS = telemetry.counter(
+    "repro_session_component_lookups_total",
+    "Session component-table lookups (in-memory memo or disk), by result",
+    labels=("result",),
+)
+_COMPONENT_PROMOTIONS = telemetry.counter(
+    "repro_session_component_promotions_total",
+    "Component value tables promoted to the content-addressed layer",
 )
 
 __all__ = ["ReleaseSession", "SessionStats", "DEFAULT_EXTENSION_OPTIONS"]
@@ -98,6 +107,9 @@ class SessionStats:
     evictions: int = 0
     epsilon_spent: float = 0.0
     disk_warm_starts: int = 0
+    component_hits: int = 0
+    component_misses: int = 0
+    component_promotions: int = 0
 
     def hit_rate(self) -> float:
         """Fraction of graph lookups served from the cache."""
@@ -130,6 +142,18 @@ class SessionStats:
         self.disk_warm_starts += 1
         _DISK_WARM_STARTS.inc()
 
+    def record_component_hit(self) -> None:
+        self.component_hits += 1
+        _COMPONENT_LOOKUPS.inc(result="hit")
+
+    def record_component_miss(self) -> None:
+        self.component_misses += 1
+        _COMPONENT_LOOKUPS.inc(result="miss")
+
+    def record_component_promotion(self) -> None:
+        self.component_promotions += 1
+        _COMPONENT_PROMOTIONS.inc()
+
     def to_dict(self) -> dict:
         """JSON-safe counters (used by the sharded serving workers)."""
         return {
@@ -139,6 +163,9 @@ class SessionStats:
             "evictions": self.evictions,
             "epsilon_spent": self.epsilon_spent,
             "disk_warm_starts": self.disk_warm_starts,
+            "component_hits": self.component_hits,
+            "component_misses": self.component_misses,
+            "component_promotions": self.component_promotions,
         }
 
 
@@ -189,6 +216,16 @@ class ReleaseSession:
         the cache.  The cache holds pre-noise state and must be
         permissioned like the raw graphs (see the module docstring of
         :mod:`repro.service.cache`).
+    component_promotion, component_memo_size:
+        The delta-update path (:meth:`CompactGraph.apply_edits`).  When
+        enabled (default), finished per-component value tables are
+        promoted to a bounded in-memory memo keyed by component content
+        fingerprint — and to the persistent cache when one is attached —
+        and a whole-graph extension miss falls back to warming every
+        component whose fingerprint is already known.  After an edit
+        batch only the touched components pay Algorithm-3/LP work again;
+        released values stay bit-identical to a cold full rebuild.
+        Set ``component_promotion=False`` to force full rebuilds.
 
     Examples
     --------
@@ -213,9 +250,15 @@ class ReleaseSession:
         allow_non_private: bool = False,
         cache_dir: Optional[str | os.PathLike] = None,
         extension_cache: Optional[ExtensionCache] = None,
+        component_promotion: bool = True,
+        component_memo_size: int = 4096,
     ) -> None:
         if max_graphs < 1:
             raise ValueError(f"max_graphs must be >= 1, got {max_graphs}")
+        if component_memo_size < 1:
+            raise ValueError(
+                f"component_memo_size must be >= 1, got {component_memo_size}"
+            )
         if cache_dir is not None and extension_cache is not None:
             raise ValueError(
                 "pass either cache_dir or extension_cache, not both"
@@ -240,6 +283,21 @@ class ReleaseSession:
         # process: persisting a warm table is then one set lookup per
         # query, not one disk write per query.
         self._persisted: set[str] = set()
+        # Component-level promotion (the delta-update path): finished
+        # per-component value tables are exported to a bounded
+        # fingerprint-keyed memo — and to the persistent cache when one
+        # is attached — so after CompactGraph.apply_edits only the
+        # touched components recompute.
+        self._component_promotion = component_promotion
+        self._component_memo_size = component_memo_size
+        self._component_memo: OrderedDict[str, dict[float, float]] = (
+            OrderedDict()
+        )
+        # Component keys already in the memo/disk layer (skip re-store),
+        # and (graph, grid) coordinates whose components were already
+        # exported (skip re-export on every hot query).
+        self._promoted_components: set[str] = set()
+        self._promoted_graphs: set[str] = set()
         self.stats = SessionStats()
 
     # ------------------------------------------------------------------
@@ -272,8 +330,10 @@ class ReleaseSession:
             evicted_key, evicted = self._entries.popitem(last=False)
             # Spill the evicted warm table to disk (when a persistent
             # cache is attached) so re-admission is a disk warm start,
-            # not a fresh LP pass.
+            # not a fresh LP pass — and promote its component tables so
+            # edited descendants of the graph still warm-start.
             self._persist_entry(evicted_key, evicted)
+            self._promote_components(evicted_key, evicted)
             self.stats.record_eviction()
         return fingerprint
 
@@ -345,14 +405,116 @@ class ReleaseSession:
             extension = extension_for(
                 entry.graph, **self._extension_options
             )
+            warmed = False
             if (
                 self.cache is not None
                 and fingerprint is not None
                 and grid is not None
             ):
-                self._warm_from_disk(extension, fingerprint, grid)
+                warmed = self._warm_from_disk(extension, fingerprint, grid)
+            # Whole-graph miss (a new graph version, typically): fall
+            # back to component granularity, so only components touched
+            # by an edit batch pay the LP again.  Skipped when neither
+            # the memo nor a disk cache could possibly answer.
+            if (
+                not warmed
+                and grid is not None
+                and self._component_promotion
+                and (self._component_memo or self.cache is not None)
+            ):
+                self._warm_components(extension, grid)
             entry.extension = extension
         return entry.extension
+
+    def _component_key(self, fingerprint: str, grid) -> str:
+        """Content address of one component table for this session."""
+        version = self.cache.version if self.cache is not None else __version__
+        return component_extension_key(
+            fingerprint, self._extension_options, grid, version
+        )
+
+    def _memo_put(self, key: str, table: dict[float, float]) -> None:
+        memo = self._component_memo
+        memo[key] = table
+        memo.move_to_end(key)
+        while len(memo) > self._component_memo_size:
+            memo.popitem(last=False)
+
+    def _warm_components(self, extension, grid) -> int:
+        """Preload per-component tables from the memo / persistent cache.
+
+        Runs the (pure array) component split, then answers every
+        component whose content fingerprint is already known — i.e.
+        every component untouched since the donor graph was served.
+        Returns the number of components warmed.
+        """
+        fps = extension.component_fingerprints()
+        tables: dict[str, dict[float, float]] = {}
+        for fp in dict.fromkeys(fps):
+            key = self._component_key(fp, grid)
+            table = self._component_memo.get(key)
+            if table is not None:
+                self._component_memo.move_to_end(key)
+            elif self.cache is not None:
+                table = self.cache.load_component(
+                    fp, self._extension_options, grid
+                )
+                if table is not None:
+                    self._memo_put(key, table)
+                    self._promoted_components.add(key)
+            if table:
+                tables[fp] = table
+                self.stats.record_component_hit()
+            else:
+                self.stats.record_component_miss()
+        if not tables:
+            return 0
+        return extension.preload_component_tables(tables)
+
+    def _promote_components(
+        self,
+        fingerprint: str,
+        entry: _GraphEntry,
+        grid: Optional[list] = None,
+    ) -> int:
+        """Export the entry's per-component value tables to the memo
+        (and the persistent cache when attached).
+
+        Runs at the same moments as :meth:`_persist_entry` — after a
+        shared-extension query, on LRU eviction, and from
+        :meth:`persist_warm_extensions` — and is equally idempotent:
+        each (graph, grid) exports once per process, and each component
+        key stores once.  Returns the number of tables promoted.
+        """
+        if not self._component_promotion or entry.extension is None:
+            return 0
+        if grid is None:
+            grid = self._default_grid(entry.graph)
+        graph_key = extension_key(
+            fingerprint,
+            self._extension_options,
+            grid,
+            self.cache.version if self.cache is not None else __version__,
+        )
+        if graph_key in self._promoted_graphs:
+            return 0
+        promoted = 0
+        for fp, table in entry.extension.export_component_tables():
+            if not table:
+                continue
+            key = self._component_key(fp, grid)
+            if key in self._promoted_components:
+                continue
+            self._memo_put(key, dict(table))
+            if self.cache is not None:
+                self.cache.store_component(
+                    fp, self._extension_options, grid, table
+                )
+            self._promoted_components.add(key)
+            self.stats.record_component_promotion()
+            promoted += 1
+        self._promoted_graphs.add(graph_key)
+        return promoted
 
     def _warm_from_disk(self, extension, fingerprint: str, grid) -> bool:
         """Preload ``extension`` from the persistent cache if possible."""
@@ -415,10 +577,11 @@ class ReleaseSession:
         runner before dropping its shared session, and usable by any
         long-running server at shutdown; a no-op without a cache.
         """
-        return sum(
-            self._persist_entry(fingerprint, entry)
-            for fingerprint, entry in self._entries.items()
-        )
+        written = 0
+        for fingerprint, entry in self._entries.items():
+            written += bool(self._persist_entry(fingerprint, entry))
+            self._promote_components(fingerprint, entry)
+        return written
 
     # ------------------------------------------------------------------
     # Queries
@@ -512,6 +675,9 @@ class ReleaseSession:
         self.stats.record_query()
         if shared_extension:
             # The release just evaluated the whole grid: make the warm
-            # table durable (one set lookup per query once stored).
+            # table durable (one set lookup per query once stored), and
+            # promote its per-component tables so future graph versions
+            # that share components warm-start at component granularity.
             self._persist_entry(key, entry, grid)
+            self._promote_components(key, entry, grid)
         return release

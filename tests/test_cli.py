@@ -239,12 +239,19 @@ class TestServeBatch:
              "--requests", str(requests), "--output", str(out_cold),
              "--cache-dir", str(cache_dir)]
         ) == 0
-        # The extension table was persisted for the restarted process.
+        # The extension table was persisted for the restarted process
+        # (per-component tables land under the components/ sub-root).
         stored = [
-            name for _, _, files in os.walk(cache_dir) for name in files
+            os.path.join(root, name)
+            for root, _, files in os.walk(cache_dir)
+            for name in files
             if name.endswith(".json")
         ]
-        assert len(stored) == 1
+        component_root = str(cache_dir / "components")
+        graph_tables = [
+            p for p in stored if not p.startswith(component_root)
+        ]
+        assert len(graph_tables) == 1
         assert main(
             ["serve-batch", "--graph", graph_file,
              "--requests", str(requests), "--output", str(out_warm),
