@@ -10,10 +10,27 @@ printed (visible with ``pytest -s``) *and* written to
 from __future__ import annotations
 
 import os
+import resource
+import sys
 
 from repro.analysis.tables import format_table
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process so far, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the value is
+    a high-water mark, so deltas between two calls bound the additional
+    memory a workload touched.  Recorded into every benchmark's
+    ``extra_info`` (see ``conftest.py``) so the perf-trajectory JSON
+    carries a memory axis alongside the timing one.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
 
 
 def emit_table(

@@ -13,3 +13,20 @@ import pytest
 def rng() -> np.random.Generator:
     """Deterministic RNG so every experiment table is reproducible."""
     return np.random.default_rng(20230413)
+
+
+@pytest.fixture(autouse=True)
+def _record_peak_rss(request):
+    """Stamp the process peak RSS into every benchmark's ``extra_info``.
+
+    Gives the perf-trajectory BENCH_<sha>.json a memory axis for free:
+    the recorded value is the process high-water mark after the
+    benchmark ran (an upper bound on what the benchmark itself needed,
+    exact for the largest benchmark in the session).
+    """
+    yield
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is not None:
+        from ._util import peak_rss_bytes
+
+        benchmark.extra_info["peak_rss_bytes"] = peak_rss_bytes()

@@ -68,7 +68,7 @@ import time
 
 import numpy as np
 
-from . import telemetry
+from . import kernels, telemetry
 from .core.algorithm import PrivateConnectedComponents
 from .estimators import create, get_spec, registry_specs
 from .experiments import cli as experiments_cli
@@ -359,7 +359,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "kernel (er, grid, geometric, planted, sbm, ba); needed for "
         "n >= 1e5, where the object path's per-pair walk stalls",
     )
-    generate.add_argument("--output", required=True, help="output path (.gz ok)")
+    generate.add_argument(
+        "--output",
+        required=True,
+        help="output path (.gz ok; .npz writes the memmap-ready binary "
+        "graph format directly, no edge-list text)",
+    )
 
     experiments_cli.add_subparsers(subparsers)
     return parser
@@ -603,6 +608,23 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 f"({memo_hits:.0f}/{memo_total:.0f})",
                 file=sys.stderr,
             )
+        # Storage/kernel backends in play: the parent's own counters
+        # (it loads the default graph) merged with the worker registries
+        # in the parallel case.
+        snap = telemetry.snapshot()
+        if args.workers > 1:
+            snap = telemetry.merge_snapshots([snap, result.metrics])
+        memmap_loads = telemetry.counter_value(
+            snap, "repro_graph_loads_total", backend="memmap"
+        )
+        ram_loads = telemetry.counter_value(
+            snap, "repro_graph_loads_total", backend="ram"
+        )
+        print(
+            f"kernel backend: {kernels.kernel_backend()}; graph loads: "
+            f"{memmap_loads:.0f} memmap, {ram_loads:.0f} ram",
+            file=sys.stderr,
+        )
         if telemetry_log is not None:
             telemetry_log.metrics_event(
                 snapshot=None if args.workers == 1 else result.metrics,
@@ -772,7 +794,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-_COMPACT_FAMILIES = ("er", "grid", "geometric", "planted", "sbm", "ba")
+_COMPACT_FAMILIES = (
+    "er", "grid", "geometric", "planted", "sbm", "ba", "forest"
+)
 
 
 def _sbm_inputs(args: argparse.Namespace) -> tuple[list[int], list[list[float]]]:
@@ -818,6 +842,8 @@ def _cmd_generate_inner(args: argparse.Namespace) -> int:
             )
         elif args.family == "ba":
             graph = generators.barabasi_albert_compact(args.n, args.m, rng)
+        elif args.family == "forest":
+            graph = generators.random_forest_compact(args.n, args.trees, rng)
         else:
             supported = ", ".join(_COMPACT_FAMILIES)
             print(

@@ -37,7 +37,11 @@ from .. import telemetry
 from ..graphs.compact import CompactGraph, component_fingerprint
 from ..graphs.components import connected_components, spanning_forest_size
 from ..graphs.graph import Graph
-from ..lp.forest_core import EXACT_THRESHOLD, solve_component
+from ..lp.forest_core import (
+    EXACT_THRESHOLD,
+    batched_tree_values,
+    solve_component,
+)
 from ..lp.forest_lp import (
     ForestLPResult,
     canonical_component_arrays,
@@ -64,6 +68,18 @@ _CERTIFICATE_HITS = telemetry.counter(
     "Components answered from a memoized Algorithm-3 certificate "
     "during a Delta evaluation",
 )
+_BATCHED_TREES = telemetry.counter(
+    "repro_extension_batched_trees_total",
+    "Tree components valued by the vectorized batched DP instead of "
+    "the per-component repair/LP loop",
+)
+
+
+def _multi_slice(starts: np.ndarray, lengths: np.ndarray, total: int) -> np.ndarray:
+    """Index array selecting ``concatenate([arange(s, s+l), ...])``
+    for parallel slice bounds, without a Python loop per slice."""
+    shifts = starts - np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    return np.arange(total, dtype=np.int64) + np.repeat(shifts, lengths)
 
 
 def evaluate_lipschitz_extension(graph: Graph, delta: float, **lp_options) -> float:
@@ -94,12 +110,30 @@ class _ComponentwiseExtension:
     ⌊Δ⌋-forest certifies exactness for every Δ' ≥ ⌊Δ⌋ (``_exact_from``),
     and a failed repair at a given cap is never retried.  Values are
     cached per Δ at both the component and the graph level.
+
+    With ``batched_certificates`` (the default), tree components — the
+    overwhelming majority in sparse workloads — are valued at integral Δ
+    by one vectorized degree-capped-forest DP across *all* of them
+    (:func:`repro.lp.forest_core.batched_tree_values`) instead of the
+    per-component repair/LP loop.  This is value-identical by
+    construction: on a tree whose max degree exceeds ⌊Δ⌋ the
+    Algorithm-3 repair *always* fails (a tree is its own unique spanning
+    forest, and no two neighbors of a tree vertex are adjacent, so no
+    swap exists), after which the legacy path runs the exact same
+    integral DP one component at a time.  Per-component bookkeeping is
+    lazy (dicts keyed by component index) so a million-component graph
+    pays nothing for the components the batched pass already settled.
     """
+
+    #: Max vertices per batched-DP chunk — bounds the working-set of the
+    #: scatter-add arrays while amortizing the vectorization overhead.
+    _BATCH_CHUNK_VERTICES = 4_000_000
 
     def __init__(
         self,
         *,
         use_fast_paths: bool = True,
+        batched_certificates: bool = True,
         separation_tolerance: float = 1e-7,
         max_rounds: int = 200,
         exact_threshold: int = EXACT_THRESHOLD,
@@ -107,6 +141,7 @@ class _ComponentwiseExtension:
         assume_half_integral: bool = True,
     ) -> None:
         self._use_fast_paths = use_fast_paths
+        self._batched_certificates = batched_certificates
         self._separation_tolerance = separation_tolerance
         self._max_rounds = max_rounds
         self._exact_threshold = exact_threshold
@@ -115,10 +150,11 @@ class _ComponentwiseExtension:
         self._prepared = False
         self._sizes = np.zeros(0, dtype=np.int64)
         self._maxdeg = np.zeros(0, dtype=np.int64)
+        self._edge_counts: Optional[np.ndarray] = None
         self._exact_from: np.ndarray = np.zeros(0)
-        self._repair_failed: list[set[int]] = []
-        self._lp_cache: list[dict[float, float]] = []
-        self._compact_cache: list[Optional[CompactGraph]] = []
+        self._repair_failed: dict[int, set[int]] = {}
+        self._lp_cache: dict[int, dict[float, float]] = {}
+        self._compact_cache: dict[int, CompactGraph] = {}
         self._value_cache: dict[float, float] = {}
         self._component_fps: Optional[list[str]] = None
         self._true_fsf = 0
@@ -132,22 +168,31 @@ class _ComponentwiseExtension:
     ) -> tuple[int, np.ndarray, np.ndarray]:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def _finish_prepare(self, sizes, maxdeg) -> None:
-        """Install the per-component tables (called by subclasses)."""
+    def _finish_prepare(self, sizes, maxdeg, edge_counts=None) -> None:
+        """Install the per-component tables (called by subclasses).
+
+        ``edge_counts`` (edges per component, engine order) enables the
+        batched tree pass; the per-component memos start empty — they
+        are dicts keyed by component index, populated only for the
+        components that actually reach the repair/LP machinery.
+        """
         self._sizes = np.asarray(sizes, dtype=np.int64)
         self._maxdeg = np.asarray(maxdeg, dtype=np.int64)
-        self._exact_from = np.full(self._sizes.size, np.inf)
-        self._repair_failed = [set() for _ in range(self._sizes.size)]
-        self._lp_cache = [{} for _ in range(self._sizes.size)]
-        self._compact_cache: list[Optional[CompactGraph]] = [
+        self._edge_counts = (
             None
-        ] * self._sizes.size
-        self._component_fps: Optional[list[str]] = None
+            if edge_counts is None
+            else np.asarray(edge_counts, dtype=np.int64)
+        )
+        self._exact_from = np.full(self._sizes.size, np.inf)
+        self._repair_failed = {}
+        self._lp_cache = {}
+        self._compact_cache = {}
+        self._component_fps = None
         self._prepared = True
 
     def _component_graph(self, i: int) -> CompactGraph:
         """Component ``i`` as a (cached) local-index :class:`CompactGraph`."""
-        cached = self._compact_cache[i]
+        cached = self._compact_cache.get(i)
         if cached is None:
             n, u, v = self._component_arrays(i)
             cached = CompactGraph.from_edge_arrays(n, u, v)
@@ -203,11 +248,112 @@ class _ComponentwiseExtension:
             # a different subset of components than a cold one.
             values = np.empty(self._sizes.size)
             values[exact] = self._sizes[exact] - 1
-            for i in np.nonzero(~exact)[0].tolist():
+            pending = np.nonzero(~exact)[0]
+            if pending.size:
+                pending = self._batched_tree_pass(pending, key, values)
+            for i in pending.tolist():
                 values[i] = self._component_value(i, key)
             total = float(np.sum(values))
         self._value_cache[key] = total
         return total
+
+    def _batched_tree_pass(
+        self, pending: np.ndarray, key: float, values: np.ndarray
+    ) -> np.ndarray:
+        """Value every pending *tree* component in one vectorized DP.
+
+        Fills ``values`` (and the per-component memo, exactly as
+        :meth:`_component_value` would) for the tree components without
+        a cached value at ``key``, and returns the component indices
+        still pending.  Only engages at integral Δ ≥ 1 with fast paths
+        on — the exact regime where the legacy per-component path is
+        guaranteed to resolve a tree by the same integral DP (see the
+        class docstring), so totals are bit-identical either way.
+        """
+        if not (
+            self._batched_certificates
+            and self._use_fast_paths
+            and self._edge_counts is not None
+            and key >= 1.0
+            and float(key).is_integer()
+        ):
+            return pending
+        batch = pending[
+            self._edge_counts[pending] == self._sizes[pending] - 1
+        ]
+        if batch.size and self._lp_cache:
+            cached = np.fromiter(
+                (
+                    i
+                    for i, table in self._lp_cache.items()
+                    if key in table
+                ),
+                dtype=np.int64,
+            )
+            if cached.size:
+                batch = np.setdiff1d(batch, cached)
+        if batch.size == 0:
+            return pending
+        cap = int(key)
+        with telemetry.span(
+            "extension.batched_trees", components=int(batch.size), cap=cap
+        ):
+            cumulative = np.cumsum(self._sizes[batch])
+            start = 0
+            while start < batch.size:
+                consumed = cumulative[start - 1] if start else 0
+                stop = int(
+                    np.searchsorted(
+                        cumulative,
+                        consumed + self._BATCH_CHUNK_VERTICES,
+                        side="right",
+                    )
+                )
+                stop = min(max(stop, start + 1), batch.size)
+                chunk = batch[start:stop]
+                chunk_values = self._batched_tree_values(chunk, cap)
+                values[chunk] = chunk_values
+                for i, val in zip(chunk.tolist(), chunk_values.tolist()):
+                    self._lp_cache.setdefault(i, {})[key] = val
+                start = stop
+        _BATCHED_TREES.inc(int(batch.size))
+        return np.setdiff1d(pending, batch, assume_unique=True)
+
+    def _batched_tree_values(self, chunk: np.ndarray, cap: int) -> np.ndarray:
+        """Exact f_Δ for each tree component in ``chunk`` (one DP call)."""
+        nloc, lu, lv, offsets = self._batch_local_arrays(chunk)
+        roots, root_values = batched_tree_values(nloc, lu, lv, cap)
+        if roots.size != chunk.size:  # pragma: no cover - engine invariant
+            raise RuntimeError(
+                "batched tree pass saw a non-tree component "
+                f"({roots.size} roots for {chunk.size} components)"
+            )
+        component = np.searchsorted(offsets, roots, side="right") - 1
+        out = np.empty(chunk.size)
+        out[component] = root_values
+        return out
+
+    def _batch_local_arrays(
+        self, batch: np.ndarray
+    ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenate the components in ``batch`` into one local forest.
+
+        Returns ``(nloc, u, v, offsets)`` where component ``batch[k]``
+        occupies the local vertices ``offsets[k]..offsets[k+1]-1``.
+        Subclasses with a vectorized component split override this; the
+        generic fallback stacks the canonical per-component arrays.
+        """
+        arrays = [self._component_arrays(int(i)) for i in batch.tolist()]
+        counts = np.array([a[0] for a in arrays], dtype=np.int64)
+        offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        lu = np.concatenate(
+            [a[1] + off for a, off in zip(arrays, offsets[:-1].tolist())]
+        )
+        lv = np.concatenate(
+            [a[2] + off for a, off in zip(arrays, offsets[:-1].tolist())]
+        )
+        return int(offsets[-1]), lu, lv, offsets
 
     def values_for_grid(self, candidates: Sequence[float]) -> np.ndarray:
         """Evaluate ``f_Δ`` for a whole candidate grid in one pass.
@@ -309,9 +455,10 @@ class _ComponentwiseExtension:
             return []
         deltas = sorted(self._value_cache)
         tables: list[tuple[str, dict[float, float]]] = []
+        empty: dict[float, float] = {}
         for i, fp in enumerate(self.component_fingerprints()):
             size_value = float(self._sizes[i] - 1)
-            lp = self._lp_cache[i]
+            lp = self._lp_cache.get(i, empty)
             table: dict[float, float] = {}
             for key in deltas:
                 if self._maxdeg[i] <= key or self._exact_from[i] <= key:
@@ -345,7 +492,7 @@ class _ComponentwiseExtension:
             table = tables.get(fp)
             if not table:
                 continue
-            dest = self._lp_cache[i]
+            dest = self._lp_cache.setdefault(i, {})
             for delta, value in table.items():
                 key = float(delta)
                 if key <= 0:
@@ -356,18 +503,20 @@ class _ComponentwiseExtension:
 
     # -- engine internals ---------------------------------------------------
     def _component_value(self, i: int, delta: float) -> float:
-        cached = self._lp_cache[i].get(delta)
+        table = self._lp_cache.get(i)
+        cached = table.get(delta) if table is not None else None
         if cached is not None:
             return cached
         if self._use_fast_paths:
             floor_delta = int(delta)
-            if floor_delta >= 1 and floor_delta not in self._repair_failed[i]:
+            failed = self._repair_failed.get(i)
+            if floor_delta >= 1 and (failed is None or floor_delta not in failed):
                 if self._attempt_repair(i, floor_delta):
                     self._exact_from[i] = min(
                         self._exact_from[i], float(floor_delta)
                     )
                     return float(self._sizes[i] - 1)
-                self._repair_failed[i].add(floor_delta)
+                self._repair_failed.setdefault(i, set()).add(floor_delta)
         n, u, v = self._component_arrays(i)
         core = solve_component(
             n,
@@ -381,7 +530,7 @@ class _ComponentwiseExtension:
             assume_half_integral=self._assume_half_integral,
             use_fast_paths=self._use_fast_paths,
         )
-        self._lp_cache[i][delta] = core.value
+        self._lp_cache.setdefault(i, {})[delta] = core.value
         return core.value
 
 
@@ -414,6 +563,7 @@ class SpanningForestExtension(_ComponentwiseExtension):
         graph: Graph,
         *,
         use_fast_paths: bool = True,
+        batched_certificates: bool = True,
         separation_tolerance: float = 1e-7,
         max_rounds: int = 200,
         exact_threshold: int = EXACT_THRESHOLD,
@@ -422,6 +572,7 @@ class SpanningForestExtension(_ComponentwiseExtension):
     ) -> None:
         super().__init__(
             use_fast_paths=use_fast_paths,
+            batched_certificates=batched_certificates,
             separation_tolerance=separation_tolerance,
             max_rounds=max_rounds,
             exact_threshold=exact_threshold,
@@ -442,6 +593,7 @@ class SpanningForestExtension(_ComponentwiseExtension):
     def _prepare(self) -> None:
         sizes: list[int] = []
         maxdeg: list[int] = []
+        edge_counts: list[int] = []
         for members in connected_components(self._graph):
             sub = self._graph.induced_subgraph(members)
             if sub.number_of_edges() == 0:
@@ -449,8 +601,9 @@ class SpanningForestExtension(_ComponentwiseExtension):
             self._components.append(sub)
             sizes.append(sub.number_of_vertices())
             maxdeg.append(sub.max_degree())
+            edge_counts.append(sub.number_of_edges())
         self._arrays = [None] * len(self._components)
-        self._finish_prepare(sizes, maxdeg)
+        self._finish_prepare(sizes, maxdeg, edge_counts)
 
     def _component_arrays(self, i: int) -> tuple[int, np.ndarray, np.ndarray]:
         cached = self._arrays[i]
@@ -500,6 +653,7 @@ class CompactSpanningForestExtension(_ComponentwiseExtension):
         graph: CompactGraph,
         *,
         use_fast_paths: bool = True,
+        batched_certificates: bool = True,
         separation_tolerance: float = 1e-7,
         max_rounds: int = 200,
         exact_threshold: int = EXACT_THRESHOLD,
@@ -508,6 +662,7 @@ class CompactSpanningForestExtension(_ComponentwiseExtension):
     ) -> None:
         super().__init__(
             use_fast_paths=use_fast_paths,
+            batched_certificates=batched_certificates,
             separation_tolerance=separation_tolerance,
             max_rounds=max_rounds,
             exact_threshold=exact_threshold,
@@ -516,7 +671,16 @@ class CompactSpanningForestExtension(_ComponentwiseExtension):
         )
         self._graph = graph
         self._true_fsf = graph.spanning_forest_size()
-        self._edges: list[tuple[int, np.ndarray, np.ndarray]] = []
+        # Lazy canonical per-component arrays, keyed by component index;
+        # populated only for components that reach the repair/LP path.
+        self._edges: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
+        self._eu = np.zeros(0, dtype=np.int64)
+        self._ev = np.zeros(0, dtype=np.int64)
+        self._estarts = np.zeros(1, dtype=np.int64)
+        self._vertex_order = np.zeros(0, dtype=np.int64)
+        self._vstarts = np.zeros(1, dtype=np.int64)
+        self._vg = np.zeros(0, dtype=np.int64)
+        self._local_ids: Optional[np.ndarray] = None
 
     @property
     def graph(self) -> CompactGraph:
@@ -524,41 +688,88 @@ class CompactSpanningForestExtension(_ComponentwiseExtension):
         return self._graph
 
     def _prepare(self) -> None:
+        """One vectorized pass over the sorted component ids.
+
+        Everything is reduceat/searchsorted work on int arrays — no
+        Python loop over components: sizes come from the vertex-group
+        boundaries, max degrees from a grouped ``np.maximum.reduceat``,
+        and the canonical local arrays each LP-bound component needs are
+        deferred to :meth:`_component_arrays` (most components never ask
+        — they are settled by the exactness mask or the batched DP).
+        """
         graph = self._graph
         u, v = graph.edge_arrays()
-        sizes: list[int] = []
-        maxdeg: list[int] = []
-        if u.size:
-            labels = graph.component_labels()
-            degrees = graph.degrees()
-            edge_root = labels[u]
-            edge_order = np.argsort(edge_root, kind="stable")
-            eu, ev = u[edge_order], v[edge_order]
-            sorted_roots = edge_root[edge_order]
-            cuts = np.nonzero(np.diff(sorted_roots))[0] + 1
-            starts = np.concatenate([[0], cuts, [eu.size]])
-            # Vertex slices per component, grouped by the same roots.
-            vertex_order = np.argsort(labels, kind="stable")
-            vroots = labels[vertex_order]
-            vcuts = np.nonzero(np.diff(vroots))[0] + 1
-            vstarts = np.concatenate([[0], vcuts, [vroots.size]])
-            vgroup_roots = vroots[vstarts[:-1]]
-            for g in range(starts.size - 1):
-                lo, hi = int(starts[g]), int(starts[g + 1])
-                root = int(sorted_roots[lo])
-                vg = int(np.searchsorted(vgroup_roots, root))
-                verts = vertex_order[vstarts[vg] : vstarts[vg + 1]]
-                verts = np.sort(verts)
-                lu = np.searchsorted(verts, eu[lo:hi])
-                lv = np.searchsorted(verts, ev[lo:hi])
-                order = np.lexsort((lv, lu))
-                self._edges.append((int(verts.size), lu[order], lv[order]))
-                sizes.append(int(verts.size))
-                maxdeg.append(int(degrees[verts].max()))
-        self._finish_prepare(sizes, maxdeg)
+        if u.size == 0:
+            self._finish_prepare([], [], [])
+            return
+        labels = graph.component_labels()
+        degrees = graph.degrees()
+        edge_root = labels[u]
+        edge_order = np.argsort(edge_root, kind="stable")
+        eu, ev = u[edge_order], v[edge_order]
+        sorted_roots = edge_root[edge_order]
+        cuts = np.nonzero(np.diff(sorted_roots))[0] + 1
+        starts = np.concatenate([[0], cuts, [eu.size]]).astype(np.int64)
+        # Vertex slices per component, grouped by the same roots; the
+        # stable argsort leaves each group's vertex ids ascending.
+        vertex_order = np.argsort(labels, kind="stable")
+        vroots = labels[vertex_order]
+        vcuts = np.nonzero(np.diff(vroots))[0] + 1
+        vstarts = np.concatenate([[0], vcuts, [vroots.size]]).astype(np.int64)
+        vgroup_roots = vroots[vstarts[:-1]]
+        # Map each edge-bearing group to its vertex group (vertex groups
+        # also cover isolated vertices, so the two indexings differ).
+        vg = np.searchsorted(vgroup_roots, sorted_roots[starts[:-1]])
+        sizes = vstarts[vg + 1] - vstarts[vg]
+        group_maxdeg = np.maximum.reduceat(degrees[vertex_order], vstarts[:-1])
+        self._eu, self._ev = eu, ev
+        self._estarts = starts
+        self._vertex_order = vertex_order
+        self._vstarts = vstarts
+        self._vg = np.asarray(vg, dtype=np.int64)
+        self._finish_prepare(sizes, group_maxdeg[vg], np.diff(starts))
 
     def _component_arrays(self, i: int) -> tuple[int, np.ndarray, np.ndarray]:
-        return self._edges[i]
+        cached = self._edges.get(i)
+        if cached is None:
+            lo, hi = int(self._estarts[i]), int(self._estarts[i + 1])
+            vg = int(self._vg[i])
+            verts = self._vertex_order[
+                self._vstarts[vg] : self._vstarts[vg + 1]
+            ]
+            lu = np.searchsorted(verts, self._eu[lo:hi])
+            lv = np.searchsorted(verts, self._ev[lo:hi])
+            order = np.lexsort((lv, lu))
+            cached = (int(verts.size), lu[order], lv[order])
+            self._edges[i] = cached
+        return cached
+
+    def _batch_local_arrays(
+        self, batch: np.ndarray
+    ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized multi-component gather from the prepared arrays.
+
+        Renumbers the batch's vertices into one dense local range with a
+        reusable O(n) scatter buffer — no per-component Python work, so
+        a million-tree batch is a handful of array ops.
+        """
+        vg = self._vg[batch]
+        vlo = self._vstarts[vg]
+        vlen = self._vstarts[vg + 1] - vlo
+        offsets = np.zeros(batch.size + 1, dtype=np.int64)
+        np.cumsum(vlen, out=offsets[1:])
+        nloc = int(offsets[-1])
+        verts = self._vertex_order[_multi_slice(vlo, vlen, nloc)]
+        if self._local_ids is None:
+            self._local_ids = np.empty(
+                self._graph.number_of_vertices(), dtype=np.int64
+            )
+        local = self._local_ids
+        local[verts] = np.arange(nloc, dtype=np.int64)
+        elo = self._estarts[batch]
+        elen = self._estarts[batch + 1] - elo
+        edge_index = _multi_slice(elo, elen, int(elen.sum()))
+        return nloc, local[self._eu[edge_index]], local[self._ev[edge_index]], offsets
 
 
 def extension_for(graph, **options):

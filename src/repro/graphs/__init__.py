@@ -12,8 +12,10 @@ from .compact import (
     as_compact,
     as_object_graph,
     forbid_object_coercion,
+    graph_content_fingerprint,
     object_coercion_count,
 )
+from .store import GraphStoreError, csr_nbytes, open_npz, save_npz
 from .independent_set import mis_of_adjacency
 from .components import (
     connected_components,
@@ -79,7 +81,12 @@ __all__ = [
     "as_compact",
     "as_object_graph",
     "forbid_object_coercion",
+    "graph_content_fingerprint",
     "object_coercion_count",
+    "GraphStoreError",
+    "csr_nbytes",
+    "open_npz",
+    "save_npz",
     "mis_of_adjacency",
     "connected_components",
     "component_of",

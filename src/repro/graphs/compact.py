@@ -49,6 +49,7 @@ __all__ = [
     "as_compact",
     "as_object_graph",
     "component_fingerprint",
+    "graph_content_fingerprint",
     "object_coercion_count",
     "forbid_object_coercion",
 ]
@@ -122,6 +123,26 @@ def component_fingerprint(n: int, u: np.ndarray, v: np.ndarray) -> str:
     return digest.hexdigest()
 
 
+def graph_content_fingerprint(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    labels: Optional[Sequence[Vertex]] = None,
+) -> str:
+    """Content hash of a whole graph's defining arrays (hex SHA-256).
+
+    The exact recipe behind :meth:`CompactGraph.fingerprint`, exposed at
+    module level so the on-disk store (:mod:`repro.graphs.store`) can
+    re-hash raw arrays during ``verify`` opens without building a graph.
+    """
+    digest = hashlib.sha256(b"compact-graph-v1")
+    digest.update(int(indptr.size - 1).to_bytes(8, "big"))
+    digest.update(np.ascontiguousarray(indptr).tobytes())
+    digest.update(np.ascontiguousarray(indices).tobytes())
+    if labels is not None:
+        digest.update(repr(list(labels)).encode("utf-8"))
+    return digest.hexdigest()
+
+
 class EditResult(NamedTuple):
     """Outcome of :meth:`CompactGraph.apply_edits`.
 
@@ -183,6 +204,7 @@ class CompactGraph:
         "_component_labels",
         "_fingerprint",
         "_component_fps",
+        "_backing",
     )
 
     def __init__(
@@ -220,6 +242,9 @@ class CompactGraph:
         self._component_labels: Optional[np.ndarray] = None
         self._fingerprint: Optional[str] = None
         self._component_fps: Optional[dict[int, str]] = None
+        # (path, fingerprint) when the CSR arrays are memmaps onto an
+        # on-disk archive (repro.graphs.store); None for in-RAM graphs.
+        self._backing: Optional[tuple[str, str]] = None
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -426,15 +451,32 @@ class CompactGraph:
             f"m={self.number_of_edges()})"
         )
 
-    def __getstate__(self) -> dict:
-        """Pickle only the defining structure (CSR arrays + labels).
+    @property
+    def source_path(self) -> Optional[str]:
+        """Archive path backing this graph's arrays, or ``None`` in RAM."""
+        return self._backing[0] if self._backing is not None else None
 
-        Derived memos (edge lists, component labels) are dropped — they
-        rebuild on demand — so graphs ship cheaply across process
-        boundaries (sweep pools, the sharded serve-batch workers).  The
-        memoized fingerprint rides along: it is content-derived, and
-        keeping it saves the receiving process a full re-hash.
+    def __getstate__(self) -> dict:
+        """Pickle the defining structure — or just a path for file-backed
+        graphs.
+
+        In-RAM graphs pickle their CSR arrays + labels; derived memos
+        (edge lists, component labels) are dropped — they rebuild on
+        demand — so graphs ship cheaply across process boundaries
+        (sweep pools, the sharded serve-batch workers).  The memoized
+        fingerprint rides along: it is content-derived, and keeping it
+        saves the receiving process a full re-hash.
+
+        File-backed graphs (opened via :func:`repro.graphs.store.open_npz`)
+        pickle only ``(path, fingerprint)``: the receiving process
+        re-opens the archive as a fresh memmap, so N workers share one
+        set of OS page-cache pages instead of each receiving a full CSR
+        copy over the pipe.  The open validates the stored fingerprint
+        against the pickled one and fails loudly if the file changed.
         """
+        if self._backing is not None:
+            path, fingerprint = self._backing
+            return {"path": path, "fingerprint": fingerprint}
         return {
             "indptr": self._indptr,
             "indices": self._indices,
@@ -443,6 +485,19 @@ class CompactGraph:
         }
 
     def __setstate__(self, state: dict) -> None:
+        if "path" in state:
+            from .store import open_npz
+
+            opened = open_npz(
+                state["path"], expected_fingerprint=state["fingerprint"]
+            )
+            self.__init__(
+                opened._indptr, opened._indices,
+                labels=opened._labels, _validate=False,
+            )
+            self._fingerprint = opened._fingerprint
+            self._backing = opened._backing
+            return
         # Re-enter through __init__ so the unpickled arrays are frozen
         # again (ndarray writeability does not survive pickling).
         self.__init__(
@@ -463,13 +518,9 @@ class CompactGraph:
         graph seed) share one extension table.
         """
         if self._fingerprint is None:
-            digest = hashlib.sha256(b"compact-graph-v1")
-            digest.update(self.number_of_vertices().to_bytes(8, "big"))
-            digest.update(np.ascontiguousarray(self._indptr).tobytes())
-            digest.update(np.ascontiguousarray(self._indices).tobytes())
-            if self._labels is not None:
-                digest.update(repr(self._labels).encode("utf-8"))
-            self._fingerprint = digest.hexdigest()
+            self._fingerprint = graph_content_fingerprint(
+                self._indptr, self._indices, self._labels
+            )
         return self._fingerprint
 
     def component_fingerprints(self) -> dict[int, str]:
@@ -601,34 +652,21 @@ class CompactGraph:
         """Return an array mapping each vertex index to its component's
         minimum vertex index (the canonical component id).
 
-        Vectorized hook-and-compress union-find: alternate full pointer
-        jumping with a vectorized "hook every cross edge to the smaller
-        root" step (`np.minimum.at` resolves conflicting hooks).  Roots
-        only ever decrease, so the pointer structure stays acyclic and
-        the loop merges at least one pair of roots per round -- O(log n)
-        rounds in practice, each a constant number of O(n + m) array ops.
+        Routed through :mod:`repro.kernels`: the default numpy backend
+        is a vectorized hook-and-compress union-find (Shiloach–Vishkin
+        style, O(log n) rounds of O(n + m) array ops); ``REPRO_KERNEL=
+        numba`` swaps in a compiled sequential union-find.  The labeling
+        is canonical (minimum vertex index per component), so every
+        backend returns the identical array.
         """
         if self._component_labels is not None:
             return self._component_labels
-        n = self.number_of_vertices()
-        parent = np.arange(n, dtype=np.int64)
+        from .. import kernels
+
         u, v = self.edge_arrays()
-        while True:
-            # Full path compression by pointer doubling.
-            while True:
-                grandparent = parent[parent]
-                if np.array_equal(grandparent, parent):
-                    break
-                parent = grandparent
-            pu, pv = parent[u], parent[v]
-            cross = pu != pv
-            if not cross.any():
-                break
-            pu, pv = pu[cross], pv[cross]
-            np.minimum.at(parent, np.maximum(pu, pv), np.minimum(pu, pv))
-            # Edges already inside one component stay that way; drop them
-            # so later rounds touch only the still-merging frontier.
-            u, v = u[cross], v[cross]
+        parent = kernels.connected_component_labels(
+            self.number_of_vertices(), u, v
+        )
         self._component_labels = parent
         return parent
 

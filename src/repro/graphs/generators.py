@@ -63,6 +63,7 @@ __all__ = [
     "planted_components",
     "random_graph_small",
     "erdos_renyi_compact",
+    "random_forest_compact",
     "grid_graph_compact",
     "path_graph_compact",
     "stochastic_block_model_compact",
@@ -500,6 +501,47 @@ def erdos_renyi_compact(
     selected = _sample_pair_indices(n * (n - 1) // 2, p, rng)
     i, j = _pairs_from_indices(selected, n)
     return CompactGraph.from_edge_arrays(n, i, j)
+
+
+def random_forest_compact(
+    n: int, n_trees: int, rng: np.random.Generator
+) -> CompactGraph:
+    """Sample a forest with ``n_trees`` trees directly as a
+    :class:`CompactGraph` — the large-n workload generator.
+
+    Tree sizes follow the same stars-and-bars split as
+    :func:`random_forest`; each tree is a uniform random *recursive*
+    (attachment) tree — every non-root vertex picks a uniformly random
+    earlier vertex of its tree as parent — rather than the Prüfer-uniform
+    labelled tree of the object generator.  That keeps the whole sample
+    O(n) vectorized array work (no per-vertex Python), which is the
+    point: at ``n = 10^7`` the object generator is minutes of heap
+    churn, this is a fraction of a second.  Max degree concentrates at
+    O(log n), exercising the batched certificate path realistically.
+    """
+    _check_size(n)
+    if not 1 <= n_trees <= max(n, 1):
+        raise ValueError(f"need 1 <= n_trees <= n, got {n_trees} for n={n}")
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0 or n == n_trees:
+        return CompactGraph.from_edge_arrays(n, empty, empty)
+    if n_trees > 1:
+        cuts = np.sort(rng.choice(n - 1, size=n_trees - 1, replace=False))
+        tree_starts = np.concatenate(([0], cuts + 1)).astype(np.int64)
+    else:
+        tree_starts = np.zeros(1, dtype=np.int64)
+    # start_of[i] = first vertex of i's tree; children are every vertex
+    # that is not a tree start.
+    start_of = tree_starts[
+        np.searchsorted(tree_starts, np.arange(n), side="right") - 1
+    ]
+    children = np.nonzero(np.arange(n) != start_of)[0]
+    span = children - start_of[children]
+    # floor(U * span) is uniform on [0, span) (U < 1 exactly).
+    parents = start_of[children] + (
+        rng.random(children.size) * span
+    ).astype(np.int64)
+    return CompactGraph.from_edge_arrays(n, parents, children)
 
 
 def _sample_pair_indices(

@@ -20,6 +20,13 @@ Two parse targets:
   :class:`~repro.graphs.compact.CompactGraph` directly from endpoint
   arrays when every label is an integer (the fast path the vectorized
   kernels want), and falls back to the object graph for string labels.
+
+Paths ending in ``.npz`` dispatch to the binary on-disk format of
+:mod:`repro.graphs.store` instead of the text parser: reads open the
+CSR arrays as O(1) memmaps (every path-based consumer — ``serve-batch``
+workers, the daemon, sweeps — inherits out-of-core serving for free),
+and writes stream a graph's arrays straight into the archive with no
+edge-list text round-trip.
 """
 
 from __future__ import annotations
@@ -30,8 +37,13 @@ from typing import IO, Iterable, Sequence, TextIO, Union
 
 import numpy as np
 
-from .compact import CompactGraph
+from .compact import CompactGraph, as_compact
 from .graph import Graph
+
+
+def _is_npz_path(path) -> bool:
+    name = os.fspath(path) if not hasattr(path, "read") else ""
+    return isinstance(name, str) and name.endswith(".npz")
 
 __all__ = [
     "read_edge_list",
@@ -196,18 +208,41 @@ def read_edge_list_auto(
     """
     if hasattr(path, "read"):
         return parse_edge_list_auto(path)  # type: ignore[arg-type]
+    if _is_npz_path(path):
+        from .store import open_npz
+
+        return open_npz(path)
     try:
         with _open_text(path, "r") as handle:
-            return _parse_compact_lines(handle)
+            graph = _parse_compact_lines(handle)
     except _NonIntegerLabel:
         with _open_text(path, "r") as handle:
-            return parse_edge_list(handle)
+            graph = parse_edge_list(handle)
+    _text_loaded()
+    return graph
+
+
+def _text_loaded() -> None:
+    """Count a text-format (in-RAM) graph load on the shared metric."""
+    from .store import GRAPH_LOADS
+
+    GRAPH_LOADS.inc(backend="ram")
 
 
 def write_edge_list(
     graph: Union[Graph, CompactGraph], path: str | os.PathLike | TextIO
 ) -> None:
-    """Write a graph to a path (``.gz`` ok) or an open text file."""
+    """Write a graph to a path (``.gz`` ok) or an open text file.
+
+    ``.npz`` paths write the binary on-disk format instead (array
+    streaming, no edge-list text): compact graphs go straight from
+    their CSR arrays to the archive.
+    """
+    if not hasattr(path, "write") and _is_npz_path(path):
+        from .store import save_npz
+
+        save_npz(as_compact(graph), path)
+        return
     text = format_edge_list(graph)
     if hasattr(path, "write"):
         path.write(text)  # type: ignore[union-attr]

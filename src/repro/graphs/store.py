@@ -1,0 +1,318 @@
+"""Versioned on-disk storage for :class:`CompactGraph` (memmap-ready).
+
+The format is a plain uncompressed ``.npz`` zip archive — loadable with
+stock ``np.load`` — holding one ``.npy`` member per CSR array plus a
+JSON metadata member:
+
+* ``meta.json`` — format name/version, ``n``, ``m``, the content
+  :meth:`~repro.graphs.compact.CompactGraph.fingerprint`, and the
+  (optional) label table;
+* ``indptr.npy`` / ``indices.npy`` — the CSR arrays, ZIP_STORED
+  (uncompressed) so each member's raw bytes sit contiguously in the
+  file and can be ``np.memmap``-ed in place.
+
+:func:`open_npz` opens a graph in O(1) memory by default: the CSR
+arrays are read-only memmaps onto the archive, so graphs larger than
+RAM serve from OS page cache, and N worker processes opening the same
+path share one set of physical pages instead of each holding a pickled
+copy.  Structural validation (shape/CSR invariants against the
+metadata) runs on every open; ``expected_fingerprint`` cross-checks the
+stored fingerprint (this is how :meth:`CompactGraph.__setstate__`
+re-opens file-backed graphs after a spawn-pickle), and ``verify=True``
+re-hashes the full array content.  Every mismatch raises
+:class:`GraphStoreError` loudly — never a silently wrong graph.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zipfile
+
+import numpy as np
+
+from .. import telemetry
+from .compact import CompactGraph, graph_content_fingerprint
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "GraphStoreError",
+    "save_npz",
+    "open_npz",
+    "csr_nbytes",
+]
+
+FORMAT_NAME = "repro-compact-graph"
+FORMAT_VERSION = 1
+
+_META_MEMBER = "meta.json"
+_ARRAY_MEMBERS = ("indptr.npy", "indices.npy")
+
+# Fixed zip timestamp: byte-identical archives for identical graphs.
+_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+GRAPH_LOADS = telemetry.counter(
+    "repro_graph_loads_total",
+    "Graphs loaded from disk, by storage backend",
+    labels=("backend",),
+)
+
+
+class GraphStoreError(RuntimeError):
+    """Raised on any malformed, mismatched, or unreadable graph archive."""
+
+
+def csr_nbytes(graph: CompactGraph) -> int:
+    """Raw CSR byte size of a graph (``indptr`` + ``indices``) — the
+    denominator of the large-n RSS gate."""
+    return int(graph.indptr.nbytes) + int(graph.indices.nbytes)
+
+
+def _check_labels_serializable(labels) -> None:
+    for label in labels:
+        if type(label) is not int and type(label) is not str:
+            raise GraphStoreError(
+                "only int/str vertex labels round-trip through the .npz "
+                f"label table; got {type(label).__name__}: {label!r}"
+            )
+
+
+def save_npz(graph: CompactGraph, path: str | os.PathLike) -> str:
+    """Write ``graph`` to ``path`` in the versioned on-disk format.
+
+    The write is atomic (tmp file + ``os.replace``) and deterministic:
+    the same graph content produces byte-identical archives.  Returns
+    the path written.  Labels beyond plain ``int``/``str`` are rejected
+    (they would not round-trip through JSON, silently changing the
+    fingerprint on reload).
+    """
+    path = os.fspath(path)
+    labels = graph._labels
+    if labels is not None:
+        _check_labels_serializable(labels)
+    meta = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "n": graph.number_of_vertices(),
+        "m": graph.number_of_edges(),
+        "fingerprint": graph.fingerprint(),
+        "labels": labels,
+    }
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".graph-", suffix=".npz.tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            with zipfile.ZipFile(handle, "w", zipfile.ZIP_STORED) as archive:
+                archive.writestr(
+                    zipfile.ZipInfo(_META_MEMBER, date_time=_EPOCH),
+                    json.dumps(meta, sort_keys=True),
+                )
+                for name, array in (
+                    ("indptr.npy", graph.indptr),
+                    ("indices.npy", graph.indices),
+                ):
+                    info = zipfile.ZipInfo(name, date_time=_EPOCH)
+                    with archive.open(info, "w", force_zip64=True) as member:
+                        np.lib.format.write_array(
+                            member,
+                            np.ascontiguousarray(array, dtype=np.int64),
+                            allow_pickle=False,
+                        )
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _member_memmap(
+    path: str, archive: zipfile.ZipFile, name: str
+) -> np.ndarray:
+    """Memmap one ZIP_STORED ``.npy`` member in place."""
+    try:
+        info = archive.getinfo(name)
+    except KeyError:
+        raise GraphStoreError(f"{path}: missing archive member {name!r}")
+    if info.compress_type != zipfile.ZIP_STORED:
+        raise GraphStoreError(
+            f"{path}: member {name!r} is compressed and cannot be memmapped"
+        )
+    with open(path, "rb") as handle:
+        # Skip the zip local file header to find the embedded .npy bytes
+        # (30-byte fixed header + filename + extra field).
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            raise GraphStoreError(
+                f"{path}: corrupt local header for member {name!r}"
+            )
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        try:
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                    handle
+                )
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(
+                    handle
+                )
+            else:
+                raise GraphStoreError(
+                    f"{path}: unsupported .npy version {version} in {name!r}"
+                )
+        except ValueError as exc:
+            raise GraphStoreError(
+                f"{path}: corrupt .npy header in {name!r}: {exc}"
+            ) from exc
+        data_offset = handle.tell()
+    if int(np.prod(shape)) == 0:
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=data_offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
+def _read_meta(path: str, archive: zipfile.ZipFile) -> dict:
+    try:
+        raw = archive.read(_META_MEMBER)
+    except KeyError:
+        raise GraphStoreError(
+            f"{path}: not a {FORMAT_NAME} archive (no {_META_MEMBER})"
+        )
+    try:
+        meta = json.loads(raw)
+    except ValueError as exc:
+        raise GraphStoreError(f"{path}: corrupt {_META_MEMBER}: {exc}") from exc
+    if not isinstance(meta, dict) or meta.get("format") != FORMAT_NAME:
+        raise GraphStoreError(
+            f"{path}: not a {FORMAT_NAME} archive "
+            f"(format={meta.get('format') if isinstance(meta, dict) else raw[:40]!r})"
+        )
+    if meta.get("version") != FORMAT_VERSION:
+        raise GraphStoreError(
+            f"{path}: unsupported format version {meta.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    return meta
+
+
+def _validate(
+    path: str,
+    meta: dict,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    expected_fingerprint: str | None,
+    verify: bool,
+) -> None:
+    n = meta.get("n")
+    m = meta.get("m")
+    labels = meta.get("labels")
+    problems = []
+    if indptr.ndim != 1 or indices.ndim != 1:
+        problems.append("CSR members are not one-dimensional")
+    elif indptr.size != int(n) + 1:
+        problems.append(
+            f"indptr has {indptr.size} entries, expected n+1={int(n) + 1}"
+        )
+    elif indices.size != 2 * int(m):
+        problems.append(
+            f"indices has {indices.size} entries, expected 2m={2 * int(m)}"
+        )
+    elif int(indptr[0]) != 0 or int(indptr[-1]) != indices.size:
+        problems.append("indptr endpoints disagree with the indices length")
+    if labels is not None and len(labels) != int(n):
+        problems.append(f"label table has {len(labels)} entries for n={n}")
+    if problems:
+        raise GraphStoreError(f"{path}: invalid graph archive: {problems[0]}")
+    stored = meta.get("fingerprint")
+    if not isinstance(stored, str) or not stored:
+        raise GraphStoreError(f"{path}: archive metadata has no fingerprint")
+    if expected_fingerprint is not None and stored != expected_fingerprint:
+        raise GraphStoreError(
+            f"{path}: fingerprint mismatch — expected "
+            f"{expected_fingerprint[:16]}…, archive holds {stored[:16]}… "
+            "(the file changed since this graph reference was created)"
+        )
+    if verify:
+        recomputed = graph_content_fingerprint(indptr, indices, labels)
+        if recomputed != stored:
+            raise GraphStoreError(
+                f"{path}: content hash mismatch — metadata claims "
+                f"{stored[:16]}…, arrays hash to {recomputed[:16]}… "
+                "(the archive is corrupt or was tampered with)"
+            )
+
+
+def open_npz(
+    path: str | os.PathLike,
+    *,
+    mmap: bool = True,
+    expected_fingerprint: str | None = None,
+    verify: bool = False,
+) -> CompactGraph:
+    """Open a graph archive written by :func:`save_npz`.
+
+    With ``mmap=True`` (the default) the CSR arrays are read-only
+    memmaps — the open is O(1) in memory and time regardless of graph
+    size, and the returned graph's :meth:`fingerprint` is the stored
+    content hash (no re-hash).  ``mmap=False`` reads the arrays fully
+    into RAM.  ``expected_fingerprint`` and ``verify`` add the two
+    levels of content checking described in the module docstring.
+    """
+    path = os.fspath(path)
+    backend = "memmap" if mmap else "ram"
+    with telemetry.span("graphstore.open", path=path, backend=backend):
+        try:
+            with zipfile.ZipFile(path) as archive:
+                meta = _read_meta(path, archive)
+                if mmap:
+                    indptr = _member_memmap(path, archive, "indptr.npy")
+                    indices = _member_memmap(path, archive, "indices.npy")
+                else:
+                    members = []
+                    for name in _ARRAY_MEMBERS:
+                        try:
+                            with archive.open(name) as member:
+                                members.append(
+                                    np.lib.format.read_array(
+                                        member, allow_pickle=False
+                                    )
+                                )
+                        except KeyError:
+                            raise GraphStoreError(
+                                f"{path}: missing archive member {name!r}"
+                            )
+                    indptr, indices = members
+        except zipfile.BadZipFile as exc:
+            raise GraphStoreError(f"{path}: not a zip archive: {exc}") from exc
+        except FileNotFoundError as exc:
+            raise GraphStoreError(
+                f"{path}: graph archive does not exist"
+            ) from exc
+        with telemetry.span("graphstore.validate", path=path, verify=verify):
+            _validate(
+                path, meta, indptr, indices, expected_fingerprint, verify
+            )
+        graph = CompactGraph(
+            indptr, indices, labels=meta.get("labels"), _validate=False
+        )
+        graph._fingerprint = meta["fingerprint"]
+        graph._backing = (os.path.abspath(path), meta["fingerprint"])
+        GRAPH_LOADS.inc(backend=backend)
+        return graph

@@ -39,7 +39,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
-from .. import telemetry
+from .. import kernels, telemetry
 
 from ..flow.maxflow import INFINITY, FlowNetwork
 from ..graphs.compact import CompactGraph
@@ -50,6 +50,7 @@ __all__ = [
     "CoreLPResult",
     "solve_component",
     "tree_component_value",
+    "batched_tree_values",
     "exhaustive_component_value",
     "cutting_plane_component",
     "column_generation_component",
@@ -276,8 +277,7 @@ def _unique_half_integer(lower: float, upper: float) -> Optional[float]:
 
 def _is_forest(n: int, u: np.ndarray, v: np.ndarray) -> bool:
     """True when the edge arrays are acyclic (cheap union-find sweep)."""
-    uf = _IntUnionFind(n)
-    return all(uf.union(int(a), int(b)) for a, b in zip(u.tolist(), v.tolist()))
+    return kernels.is_forest(n, u, v)
 
 
 # ----------------------------------------------------------------------
@@ -367,6 +367,80 @@ def tree_component_value(
                 budget[c] = cap
     value = float(sum(dp0[r] for r in roots))
     return CoreLPResult(value, x, 0, 0, 0.0, "exact")
+
+
+def batched_tree_values(
+    n: int, u: np.ndarray, v: np.ndarray, cap: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Degree-capped subforest DP over a whole forest, vectorized.
+
+    ``(n, u, v)`` is a forest (every connected component a tree; callers
+    guarantee acyclicity) over local vertices ``0..n-1``.  Returns
+    ``(roots, values)``: one root per tree (its minimum-peel survivor)
+    and the exact maximum number of edges of a degree-≤``cap`` subforest
+    of that tree, as float64.
+
+    This is :func:`tree_component_value` evaluated on every tree in one
+    array pass instead of a Python loop per component.  The per-child
+    "gain" of the reference DP is always 0 or 1 (``dp0 − dp1 ∈ {0, 1}``
+    by induction), so the reference's *sum of the top-``cap`` positive
+    gains* collapses to ``min(cap, #children with gain 1)`` — the whole
+    bottom-up pass reduces to integer scatter-adds grouped by leaf-peel
+    round.  Values are integral, so they match the reference floats
+    exactly (bit-identity pinned by the differential tests).
+
+    Complexity: O(n + m) total work — each peel round touches only the
+    vertices peeled in that round plus their parents (frontier-driven,
+    never a full rescan), so long paths cost O(n), not O(n²).
+    """
+    if cap < 1:
+        raise ValueError(f"cap must be >= 1, got {cap}")
+    u, v = _as_edge_arrays(u, v)
+    degree = np.bincount(u, minlength=n) + np.bincount(v, minlength=n)
+    degree = degree.astype(np.int64, copy=False)
+    # nbr_sum[x] = sum of x's not-yet-peeled neighbors: once x has
+    # exactly one neighbor left, nbr_sum[x] IS that neighbor's index.
+    nbr_sum = np.zeros(n, dtype=np.int64)
+    np.add.at(nbr_sum, u, v)
+    np.add.at(nbr_sum, v, u)
+
+    parent = np.full(n, -1, dtype=np.int64)
+    is_leaf = np.zeros(n, dtype=bool)
+    rounds: list[tuple[np.ndarray, np.ndarray]] = []
+    frontier = np.nonzero(degree == 1)[0]
+    while frontier.size:
+        leaves = frontier[degree[frontier] == 1]
+        if leaves.size == 0:
+            break
+        parents = nbr_sum[leaves]
+        # Mutual-leaf pairs (a 2-vertex tree, or the final edge of a
+        # path): peel only the larger endpoint so the smaller survives
+        # as the tree's root — matching one deterministic orientation.
+        is_leaf[leaves] = True
+        keep = ~(is_leaf[parents] & (parents > leaves))
+        is_leaf[leaves] = False
+        peeled = leaves[keep]
+        parents = parents[keep]
+        parent[peeled] = parents
+        degree[peeled] = 0
+        np.add.at(degree, parents, -1)
+        np.subtract.at(nbr_sum, parents, peeled)
+        rounds.append((peeled, parents))
+        frontier = np.unique(parents)
+
+    # Bottom-up DP: every child is peeled strictly before its parent, so
+    # processing rounds in peel order sees complete child aggregates.
+    base = np.zeros(n, dtype=np.int64)
+    cnt1 = np.zeros(n, dtype=np.int64)
+    for peeled, parents in rounds:
+        dp0 = base[peeled] + np.minimum(cap, cnt1[peeled])
+        dp1 = base[peeled] + np.minimum(cap - 1, cnt1[peeled])
+        gain = dp1 + 1 - dp0
+        np.add.at(base, parents, dp0)
+        np.add.at(cnt1, parents, gain)
+    roots = np.nonzero(parent < 0)[0]
+    values = (base[roots] + np.minimum(cap, cnt1[roots])).astype(np.float64)
+    return roots, values
 
 
 # ----------------------------------------------------------------------
@@ -601,45 +675,16 @@ def _forest_constraint_matrix(
 # ----------------------------------------------------------------------
 # Column generation (Dantzig–Wolfe, Kruskal pricing, array union-find)
 # ----------------------------------------------------------------------
-class _IntUnionFind:
-    """Array union-find over ``0..n-1`` (path halving, union by root id)."""
-
-    __slots__ = ("parent",)
-
-    def __init__(self, n: int) -> None:
-        self.parent = list(range(n))
-
-    def find(self, a: int) -> int:
-        parent = self.parent
-        while parent[a] != a:
-            parent[a] = parent[parent[a]]
-            a = parent[a]
-        return a
-
-    def union(self, a: int, b: int) -> bool:
-        ra, rb = self.find(a), self.find(b)
-        if ra == rb:
-            return False
-        self.parent[max(ra, rb)] = min(ra, rb)
-        return True
-
-
 def _max_weight_forest_arrays(
     n: int, u: np.ndarray, v: np.ndarray, weights: np.ndarray
 ) -> tuple[list[int], float]:
-    """Matroid-greedy maximum-weight forest (strictly positive weights)."""
-    order = np.argsort(-weights, kind="stable")
-    uf = _IntUnionFind(n)
-    chosen: list[int] = []
-    total = 0.0
-    for j in order.tolist():
-        w = weights[j]
-        if w <= 0:
-            break
-        if uf.union(int(u[j]), int(v[j])):
-            chosen.append(int(j))
-            total += float(w)
-    return chosen, total
+    """Matroid-greedy maximum-weight forest (strictly positive weights).
+
+    Dispatches to the active :mod:`repro.kernels` backend; both backends
+    accumulate the float total in the identical sequential order, so the
+    result is bit-identical regardless of ``REPRO_KERNEL``.
+    """
+    return kernels.max_weight_forest(n, u, v, weights)
 
 
 def _greedy_capped_forest_arrays(
@@ -649,17 +694,8 @@ def _greedy_capped_forest_arrays(
     order: list[int],
     caps: np.ndarray,
 ) -> tuple[list[int], np.ndarray]:
-    """Greedy forest respecting per-vertex degree caps."""
-    uf = _IntUnionFind(n)
-    degree = np.zeros(n, dtype=np.int64)
-    chosen: list[int] = []
-    for j in order:
-        a, b = int(u[j]), int(v[j])
-        if degree[a] < caps[a] and degree[b] < caps[b] and uf.union(a, b):
-            chosen.append(j)
-            degree[a] += 1
-            degree[b] += 1
-    return chosen, degree
+    """Greedy forest respecting per-vertex degree caps (kernel-routed)."""
+    return kernels.greedy_capped_forest(n, u, v, order, caps)
 
 
 def _seed_columns(

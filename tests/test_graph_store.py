@@ -1,0 +1,280 @@
+"""Differential tests for the on-disk CompactGraph store (PR-9 tentpole).
+
+The contract under test: a memmap-backed graph opened from a ``.npz``
+archive is *bit-indistinguishable* from the in-RAM graph it was saved
+from — same fingerprints, same component structure, same kernel
+results, same copy-on-write edits — and every corruption or mismatch
+fails loudly with :class:`GraphStoreError` rather than serving a wrong
+graph.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import zipfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import telemetry
+from repro.graphs.compact import CompactGraph, as_compact
+from repro.graphs.io import read_edge_list_auto, write_edge_list
+from repro.graphs.store import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    GraphStoreError,
+    csr_nbytes,
+    open_npz,
+    save_npz,
+)
+
+from .strategies import deterministic_corpus, small_graphs
+
+_CORPUS = deterministic_corpus()
+
+
+def _roundtrip(graph: CompactGraph, tmp_path, name="g.npz", **open_kwargs):
+    path = os.path.join(str(tmp_path), name)
+    save_npz(graph, path)
+    return open_npz(path, **open_kwargs), path
+
+
+def _assert_same_graph(a: CompactGraph, b: CompactGraph) -> None:
+    assert a.number_of_vertices() == b.number_of_vertices()
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert a.fingerprint() == b.fingerprint()
+    assert np.array_equal(a.component_labels(), b.component_labels())
+    assert a.component_fingerprints() == b.component_fingerprints()
+    assert a.number_of_connected_components() == (
+        b.number_of_connected_components()
+    )
+    assert a.spanning_forest_size() == b.spanning_forest_size()
+    assert a.star_number_lower_bound() == b.star_number_lower_bound()
+    assert a.star_number_upper_bound() == b.star_number_upper_bound()
+
+
+@pytest.mark.parametrize(
+    "name,graph", _CORPUS, ids=[name for name, _ in _CORPUS]
+)
+def test_roundtrip_corpus(name, graph, tmp_path):
+    compact = as_compact(graph)
+    if any(type(v) not in (int, str) for v in compact.vertices()):
+        # Only int/str labels are storable by design; keep the corpus
+        # entry's structure and drop the exotic labels.
+        compact = CompactGraph(compact.indptr, compact.indices)
+    opened, _ = _roundtrip(compact, tmp_path)
+    _assert_same_graph(compact, opened)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=small_graphs())
+def test_roundtrip_hypothesis(graph, tmp_path_factory):
+    compact = as_compact(graph)
+    opened, _ = _roundtrip(
+        compact, tmp_path_factory.mktemp("store"), name="h.npz"
+    )
+    _assert_same_graph(compact, opened)
+
+
+def test_memmap_is_zero_copy(tmp_path):
+    graph = CompactGraph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+    opened, path = _roundtrip(graph, tmp_path)
+    # ascontiguousarray on an aligned int64 memmap returns a view, so
+    # the CSR arrays must still be backed by the file mapping.
+    assert isinstance(opened.indptr.base, np.memmap)
+    assert isinstance(opened.indices.base, np.memmap)
+    assert opened.source_path == os.path.abspath(path)
+
+    in_ram = open_npz(path, mmap=False)
+    assert not isinstance(in_ram.indptr.base, np.memmap)
+    # mmap=False still records the backing path (cheap path-pickles);
+    # only derived graphs (e.g. apply_edits results) drop it.
+    assert in_ram.source_path == os.path.abspath(path)
+    _assert_same_graph(opened, in_ram)
+
+
+def test_apply_edits_on_memmapped_graph(tmp_path):
+    graph = CompactGraph.from_edges(8, [(0, 1), (1, 2), (3, 4), (5, 6)])
+    opened, _ = _roundtrip(graph, tmp_path)
+
+    edits = dict(inserts=[(6, 7), (2, 3)], deletes=[(0, 1)])
+    expected = graph.apply_edits(**edits)
+    actual = opened.apply_edits(**edits)
+
+    _assert_same_graph(expected.graph, actual.graph)
+    assert actual.graph.source_path is None  # copy-on-write: RAM result
+    assert expected.touched_old == actual.touched_old
+    assert expected.touched_new == actual.touched_new
+    # The memmapped original is untouched.
+    _assert_same_graph(opened, graph)
+
+
+def test_pickle_roundtrips_by_path(tmp_path):
+    graph = CompactGraph.from_edges(
+        2000, [(i, i + 1) for i in range(0, 1998, 2)]
+    )
+    opened, _ = _roundtrip(graph, tmp_path)
+
+    blob = pickle.dumps(opened)
+    # File-backed graphs pickle as (path, fingerprint), not as arrays:
+    # that is what keeps parallel-serving worker handoff zero-copy.
+    assert len(blob) < 2000
+    clone = pickle.loads(blob)
+    assert isinstance(clone.indptr.base, np.memmap)
+    _assert_same_graph(opened, clone)
+
+    # In-RAM graphs still pickle by value.
+    ram_blob = pickle.dumps(graph)
+    assert len(ram_blob) > len(blob)
+    _assert_same_graph(pickle.loads(ram_blob), graph)
+
+
+def test_pickle_detects_stale_file(tmp_path):
+    graph = CompactGraph.from_edges(5, [(0, 1), (2, 3)])
+    opened, path = _roundtrip(graph, tmp_path)
+    blob = pickle.dumps(opened)
+    # Overwrite the archive with a different graph: the unpickle must
+    # refuse to serve it in place of the graph that was pickled.
+    save_npz(CompactGraph.from_edges(5, [(0, 2), (2, 4)]), path)
+    with pytest.raises(GraphStoreError, match="fingerprint"):
+        pickle.loads(blob)
+
+
+def test_labels_roundtrip(tmp_path):
+    graph = CompactGraph.from_edges(
+        4, [(0, 1), (2, 3)], labels=["a", "b", "c", 3]
+    )
+    opened, _ = _roundtrip(graph, tmp_path)
+    assert list(opened.vertices()) == list(graph.vertices())
+    assert [type(v) for v in opened.vertices()] == [str, str, str, int]
+    assert opened.fingerprint() == graph.fingerprint()
+
+
+def test_unserializable_labels_rejected(tmp_path):
+    graph = CompactGraph.from_edges(
+        2, [(0, 1)], labels=[(0, 1), (2, 3)]
+    )
+    with pytest.raises(GraphStoreError, match="label"):
+        save_npz(graph, os.path.join(str(tmp_path), "bad.npz"))
+
+
+def test_verify_catches_tampered_bytes(tmp_path):
+    graph = CompactGraph.from_edges(64, [(i, i + 1) for i in range(63)])
+    _, path = _roundtrip(graph, tmp_path)
+
+    # Flip one byte inside the indices payload (not the zip directory).
+    with open(path, "r+b") as handle:
+        data = bytearray(handle.read())
+        needle = np.asarray(graph.indices[:8]).tobytes()
+        offset = bytes(data).index(needle)
+        data[offset + 3] ^= 0x01
+        handle.seek(0)
+        handle.write(data)
+
+    with pytest.raises(GraphStoreError):
+        open_npz(path, verify=True)
+
+
+def test_expected_fingerprint_mismatch(tmp_path):
+    graph = CompactGraph.from_edges(3, [(0, 1)])
+    _, path = _roundtrip(graph, tmp_path)
+    with pytest.raises(GraphStoreError, match="fingerprint"):
+        open_npz(path, expected_fingerprint="deadbeef")
+
+
+def _rewrite_meta(path: str, mutate) -> None:
+    import json
+
+    with zipfile.ZipFile(path) as archive:
+        members = {
+            info.filename: archive.read(info.filename)
+            for info in archive.infolist()
+        }
+    meta = json.loads(members["meta.json"])
+    mutate(meta)
+    members["meta.json"] = json.dumps(meta).encode()
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+        for name, payload in members.items():
+            archive.writestr(name, payload)
+
+
+def test_wrong_format_and_version_fail_loudly(tmp_path):
+    graph = CompactGraph.from_edges(3, [(0, 1)])
+    _, path = _roundtrip(graph, tmp_path)
+
+    _rewrite_meta(path, lambda m: m.update(version=FORMAT_VERSION + 1))
+    with pytest.raises(GraphStoreError, match="version"):
+        open_npz(path)
+
+    _, path = _roundtrip(graph, tmp_path, name="g2.npz")
+    _rewrite_meta(path, lambda m: m.update(format="not-a-graph"))
+    with pytest.raises(GraphStoreError, match="format"):
+        open_npz(path)
+
+    plain = os.path.join(str(tmp_path), "plain.npz")
+    np.savez(plain, indptr=np.array([0, 0]))
+    with pytest.raises(GraphStoreError):
+        open_npz(plain)
+
+
+def test_archive_is_np_load_compatible_and_deterministic(tmp_path):
+    graph = CompactGraph.from_edges(10, [(0, 1), (4, 7), (8, 9)])
+    _, path_a = _roundtrip(graph, tmp_path, name="a.npz")
+    _, path_b = _roundtrip(graph, tmp_path, name="b.npz")
+
+    with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+        assert fa.read() == fb.read()  # byte-identical archives
+
+    with np.load(path_a) as payload:
+        assert np.array_equal(payload["indptr"], graph.indptr)
+        assert np.array_equal(payload["indices"], graph.indices)
+
+    assert FORMAT_NAME == "repro-compact-graph"
+    assert csr_nbytes(graph) == graph.indptr.nbytes + graph.indices.nbytes
+
+
+def test_empty_graph_roundtrip(tmp_path):
+    for n in (0, 3):
+        graph = CompactGraph.from_edges(n, [])
+        opened, _ = _roundtrip(graph, tmp_path, name=f"empty{n}.npz")
+        _assert_same_graph(graph, opened)
+
+
+def test_io_dispatch_npz(tmp_path):
+    graph = CompactGraph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+    path = os.path.join(str(tmp_path), "dispatch.npz")
+    write_edge_list(graph, path)
+    opened = read_edge_list_auto(path)
+    assert isinstance(opened.indptr.base, np.memmap)
+    _assert_same_graph(graph, as_compact(opened))
+
+    # Text paths keep working through the same entry points.
+    text_path = os.path.join(str(tmp_path), "dispatch.txt")
+    write_edge_list(graph, text_path)
+    from_text = as_compact(read_edge_list_auto(text_path))
+    assert from_text.fingerprint() == graph.fingerprint()
+
+
+def test_graph_load_telemetry(tmp_path):
+    graph = CompactGraph.from_edges(4, [(0, 1), (2, 3)])
+    path = os.path.join(str(tmp_path), "counted.npz")
+    save_npz(graph, path)
+
+    before = telemetry.snapshot()
+    open_npz(path)
+    open_npz(path, mmap=False)
+    text_path = os.path.join(str(tmp_path), "counted.txt")
+    write_edge_list(graph, text_path)
+    read_edge_list_auto(text_path)
+    after = telemetry.snapshot()
+
+    def loads(snap, backend):
+        return telemetry.counter_value(
+            snap, "repro_graph_loads_total", backend=backend
+        )
+
+    assert loads(after, "memmap") - loads(before, "memmap") == 1.0
+    assert loads(after, "ram") - loads(before, "ram") == 2.0
