@@ -1,0 +1,151 @@
+"""E17 — Replayed-workload serving throughput on a Zipf-skewed mix.
+
+Acceptance benchmark for the workload-replay generator: a
+:class:`~repro.experiments.replay.ReplaySpec` over a hot/cold pair of
+``.npz`` graphs expands into a JSONL workload that a warm
+:class:`~repro.service.ReleaseSession` must serve at a minimum
+requests-per-second floor, while
+
+* the expansion itself is **byte-deterministic** (two expansions of the
+  same spec produce identical JSONL — the generator's whole contract),
+* re-serving the identical workload through a fresh session yields
+  **identical released values** (replayed requests carry explicit
+  per-request seeds), and
+* the Zipf skew materializes (the rank-0 hot graph receives strictly
+  more requests than the cold one).
+
+The workload shape mirrors what ``repro replay | repro serve-batch``
+produces in the dataset-smoke CI job: mixed estimators and epsilons over
+few graphs with a skewed hit distribution, which is exactly the regime
+the session's per-graph caches are built for.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+import time
+from collections import Counter
+
+import numpy as np
+
+from repro.experiments.replay import ReplaySpec, ReplayTarget, write_jsonl
+from repro.graphs.generators import erdos_renyi_compact
+from repro.graphs.store import save_npz
+from repro.service import ReleaseSession, serve_jsonl
+
+from ._util import emit_table, reset_results
+
+_N_HOT = int(os.environ.get("REPRO_BENCH_REPLAY_N", "50000"))
+_N_COLD = max(_N_HOT // 4, 100)
+_REQUESTS = int(os.environ.get("REPRO_BENCH_REPLAY_REQUESTS", "64"))
+_SEED = 20231303
+# Local acceptance bar; CI sets REPRO_BENCH_MIN_REPLAY_RPS lower
+# because shared runners add wall-clock jitter.
+_MIN_RPS = float(os.environ.get("REPRO_BENCH_MIN_REPLAY_RPS", "4.0"))
+
+
+def _build_spec(workdir: str) -> ReplaySpec:
+    hot = os.path.join(workdir, "hot.npz")
+    cold = os.path.join(workdir, "cold.npz")
+    save_npz(
+        erdos_renyi_compact(_N_HOT, 0.35 / _N_HOT, np.random.default_rng(1)),
+        hot,
+    )
+    save_npz(
+        erdos_renyi_compact(_N_COLD, 0.35 / _N_COLD, np.random.default_rng(2)),
+        cold,
+    )
+    return ReplaySpec(
+        name="bench-replay",
+        requests=_REQUESTS,
+        targets=(
+            ReplayTarget(graph=hot, estimators=("cc", "sf")),
+            ReplayTarget(graph=cold, estimators=("cc", "sf")),
+        ),
+        epsilons=(0.5, 1.0, 2.0),
+        zipf_s=1.1,
+        seed=_SEED,
+    )
+
+
+def _run_experiment() -> list[list]:
+    reset_results("E17")
+    with tempfile.TemporaryDirectory(prefix="bench-replay-") as workdir:
+        spec = _build_spec(workdir)
+
+        expand_start = time.perf_counter()
+        first = io.StringIO()
+        count = write_jsonl(spec, first)
+        expand_time = time.perf_counter() - expand_start
+        assert count == _REQUESTS
+
+        second = io.StringIO()
+        write_jsonl(spec, second)
+        assert first.getvalue() == second.getvalue(), (
+            "replay expansion is not byte-deterministic"
+        )
+
+        lines = first.getvalue().splitlines()
+        by_graph = Counter(json.loads(line)["graph"] for line in lines)
+        hot_share = by_graph[spec.targets[0].graph] / _REQUESTS
+        assert by_graph[spec.targets[0].graph] > by_graph[
+            spec.targets[1].graph
+        ], "Zipf rank-0 target did not dominate the workload"
+
+        serve_start = time.perf_counter()
+        responses = list(serve_jsonl(lines, ReleaseSession()))
+        serve_time = time.perf_counter() - serve_start
+        errors = [r for r in responses if "error" in r]
+        assert not errors, f"replayed workload hit errors: {errors[:3]}"
+
+        # Replayed requests pin their own seeds, so a fresh session
+        # re-serves the exact same floats.
+        replay_values = [r["value"] for r in serve_jsonl(lines, ReleaseSession())]
+        assert replay_values == [r["value"] for r in responses], (
+            "re-serving the replayed workload changed released values"
+        )
+
+    rps = _REQUESTS / serve_time
+    rows = [
+        [
+            _N_HOT,
+            _N_COLD,
+            _REQUESTS,
+            hot_share,
+            expand_time,
+            serve_time,
+            serve_time / _REQUESTS,
+            rps,
+        ]
+    ]
+    emit_table(
+        "E17",
+        [
+            "n hot",
+            "n cold",
+            "requests",
+            "hot share",
+            "expand s",
+            "serve s",
+            "s/req",
+            "req/s",
+        ],
+        rows,
+        f"Zipf(s={spec.zipf_s:g}) replay of {_REQUESTS} mixed cc/sf "
+        f"requests over 2 graphs served by one warm session "
+        f"(required >= {_MIN_RPS:g} req/s; expansion byte-deterministic, "
+        f"re-serve bit-identical)",
+    )
+
+    assert rps >= _MIN_RPS, (
+        f"replay serving throughput {rps:.1f} req/s below the "
+        f"{_MIN_RPS:g} req/s acceptance bar"
+    )
+    return rows
+
+
+def test_replay_serving_throughput(benchmark):
+    benchmark.pedantic(_run_experiment, rounds=1, iterations=1)

@@ -21,6 +21,12 @@ Subcommands
                  per-stage time breakdown (extension build, LP solves,
                  GEM selection, noise).
 ``stats``        Print exact (non-private) structural statistics.
+``datasets``     List the named dataset registry (``repro.data``) with
+                 per-entry cache status and content fingerprints;
+                 ``--fetch <name>`` runs the ingestion pipeline now.
+``replay``       Expand a declarative workload-replay spec (Zipf graph
+                 skew, mixed estimators and budgets, seeded) into the
+                 JSONL ``serve-batch`` consumes; byte-deterministic.
 ``generate``     Sample a graph from a built-in family and write it out.
 ``sweep``        Run a config-driven experiment sweep into a resumable
                  on-disk result store.
@@ -62,6 +68,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import signal
 import sys
 import time
@@ -70,6 +77,7 @@ import numpy as np
 
 from . import kernels, telemetry
 from .core.algorithm import PrivateConnectedComponents
+from .data import DatasetError
 from .estimators import create, get_spec, registry_specs
 from .experiments import cli as experiments_cli
 from .service import (
@@ -85,6 +93,25 @@ from .graphs.forests import approx_min_degree_spanning_forest
 from .graphs.io import read_edge_list_auto, write_edge_list
 from .graphs.stars import star_number_lower_bound, star_number_upper_bound
 
+_GRAPH_REF_HELP = (
+    "edge-list file (.gz ok), .npz store, or dataset:<name> from the "
+    "dataset registry (see 'repro datasets')"
+)
+
+
+def _load_graph_ref(ref: str):
+    """Load a CLI graph reference.
+
+    ``dataset:<name>`` resolves through the :mod:`repro.data` registry
+    and its content-addressed cache; anything else is a file path, read
+    with the string-label object-graph fallback intact.
+    """
+    if isinstance(ref, str) and ref.startswith("dataset:"):
+        from .data import resolve_graph_ref
+
+        return resolve_graph_ref(ref)
+    return read_edge_list_auto(ref)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -97,7 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
     count = subparsers.add_parser(
         "count", help="node-private estimate of the number of components"
     )
-    count.add_argument("--input", required=True, help="edge-list file (.gz ok)")
+    count.add_argument("--input", required=True, help=_GRAPH_REF_HELP)
     count.add_argument("--epsilon", type=float, default=1.0, help="privacy budget")
     count.add_argument("--seed", type=int, default=None, help="RNG seed")
     count.add_argument(
@@ -110,9 +137,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "estimate",
         help="run any registered estimator on an edge-list file",
     )
-    estimate.add_argument(
-        "input", nargs="?", help="edge-list file (.gz ok)"
-    )
+    estimate.add_argument("input", nargs="?", help=_GRAPH_REF_HELP)
     estimate.add_argument(
         "--estimator",
         default="cc",
@@ -155,7 +180,8 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--graph",
         default=None,
-        help="default edge-list served to requests that name no graph",
+        help="default graph served to requests that name no graph "
+        f"({_GRAPH_REF_HELP})",
     )
     serve.add_argument(
         "--total-epsilon",
@@ -256,7 +282,8 @@ def _build_parser() -> argparse.ArgumentParser:
     daemon.add_argument(
         "--graph",
         default=None,
-        help="default edge-list served to requests that name no graph",
+        help="default graph served to requests that name no graph "
+        f"({_GRAPH_REF_HELP})",
     )
     daemon.add_argument(
         "--max-graphs",
@@ -296,7 +323,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run one release under span tracing and print a per-stage "
         "time breakdown",
     )
-    profile.add_argument("input", help="edge-list file (.gz ok)")
+    profile.add_argument("input", help=_GRAPH_REF_HELP)
     profile.add_argument(
         "--estimator",
         default="cc",
@@ -313,7 +340,54 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     stats = subparsers.add_parser("stats", help="exact, non-private statistics")
-    stats.add_argument("--input", required=True, help="edge-list file (.gz ok)")
+    stats.add_argument("--input", required=True, help=_GRAPH_REF_HELP)
+
+    datasets = subparsers.add_parser(
+        "datasets",
+        help="list the dataset registry and its cache status",
+    )
+    datasets.add_argument(
+        "--fetch",
+        metavar="NAME",
+        default=None,
+        help="resolve NAME through the ingestion pipeline now "
+        "(downloading if its source is remote) and print the cache entry",
+    )
+    datasets.add_argument(
+        "--data-dir",
+        default=None,
+        help="dataset cache root (default: REPRO_DATA_DIR or "
+        "~/.cache/repro/datasets)",
+    )
+    datasets.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the listing as one JSON array instead of text",
+    )
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="expand a workload-replay spec into serve-batch JSONL "
+        "requests (deterministic: same spec, same bytes)",
+    )
+    replay.add_argument(
+        "--spec",
+        required=True,
+        help="replay spec JSON (name, requests, targets with estimator "
+        "pools, epsilons, zipf_s, seed)",
+    )
+    replay.add_argument(
+        "--output",
+        default="-",
+        help="where to write the JSONL workload ('-' = stdout, ready to "
+        "pipe into repro serve-batch --requests -)",
+    )
+    replay.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="override the spec's request count",
+    )
 
     generate = subparsers.add_parser("generate", help="sample a graph family")
     generate.add_argument(
@@ -371,7 +445,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
-    graph = read_edge_list_auto(args.input)
+    try:
+        graph = _load_graph_ref(args.input)
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if graph.number_of_vertices() == 0:
         print("error: graph has no vertices", file=sys.stderr)
         return 1
@@ -407,7 +485,11 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 1
-    graph = read_edge_list_auto(args.input)
+    try:
+        graph = _load_graph_ref(args.input)
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if graph.number_of_vertices() == 0:
         print("error: graph has no vertices", file=sys.stderr)
         return 1
@@ -476,7 +558,11 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             return 1
     default_graph = None
     if args.graph is not None:
-        default_graph = read_edge_list_auto(args.graph)
+        try:
+            default_graph = _load_graph_ref(args.graph)
+        except DatasetError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         if default_graph.number_of_vertices() == 0:
             print("error: default graph has no vertices", file=sys.stderr)
             return 1
@@ -625,6 +711,32 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             f"{memmap_loads:.0f} memmap, {ram_loads:.0f} ram",
             file=sys.stderr,
         )
+        # Dataset-registry activity (requests naming dataset:<name>
+        # refs); omitted when the batch touched no registry dataset.
+        dataset_loads = {
+            source: telemetry.counter_value(
+                snap, "repro_dataset_loads_total", source=source
+            )
+            for source in ("snap", "synthetic", "local")
+        }
+        if sum(dataset_loads.values()):
+            detail = ", ".join(
+                f"{count:.0f} {source}"
+                for source, count in dataset_loads.items()
+                if count
+            )
+            cache_hits = telemetry.counter_value(
+                snap, "repro_dataset_cache_total", result="hit"
+            )
+            cache_misses = telemetry.counter_value(
+                snap, "repro_dataset_cache_total", result="miss"
+            )
+            print(
+                f"dataset loads: {sum(dataset_loads.values()):.0f} "
+                f"({detail}); dataset cache: {cache_hits:.0f} hits, "
+                f"{cache_misses:.0f} misses (ingestions)",
+                file=sys.stderr,
+            )
         if telemetry_log is not None:
             telemetry_log.metrics_event(
                 snapshot=None if args.workers == 1 else result.metrics,
@@ -717,7 +829,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 1
-    graph = read_edge_list_auto(args.input)
+    try:
+        graph = _load_graph_ref(args.input)
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if graph.number_of_vertices() == 0:
         print("error: graph has no vertices", file=sys.stderr)
         return 1
@@ -781,7 +897,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    graph = read_edge_list_auto(args.input)
+    try:
+        graph = _load_graph_ref(args.input)
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     _, delta_upper = approx_min_degree_spanning_forest(graph)
     print(f"vertices:                 {graph.number_of_vertices()}")
     print(f"edges:                    {graph.number_of_edges()}")
@@ -791,6 +911,94 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"delta* upper bound:       {delta_upper}")
     print(f"star number lower bound:  {star_number_lower_bound(graph)}")
     print(f"star number upper bound:  {star_number_upper_bound(graph)}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .experiments import replay as replay_mod
+
+    try:
+        spec = replay_mod.load_spec(args.spec)
+        if args.requests is not None:
+            spec = replace(spec, requests=args.requests)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    output = sys.stdout if args.output == "-" else open(args.output, "w")
+    try:
+        count = replay_mod.write_jsonl(spec, output)
+    finally:
+        if output is not sys.stdout:
+            output.close()
+    print(
+        f"replay {spec.name!r}: wrote {count} requests over "
+        f"{len(spec.targets)} graphs (zipf_s={spec.zipf_s:g}, "
+        f"seed={spec.seed})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from . import data
+    from .data.datasets import cache_entry
+
+    if args.fetch is not None:
+        try:
+            spec = data.get_dataset(args.fetch)
+            graph = data.resolve(spec, data_dir=args.data_dir, fetch=True)
+        except data.DatasetError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        npz_path, _ = cache_entry(spec, args.data_dir)
+        print(
+            f"{spec.name}: {graph.number_of_vertices()} vertices, "
+            f"{graph.number_of_edges()} edges"
+        )
+        print(f"  cache:       {npz_path}")
+        print(f"  fingerprint: {graph.fingerprint()}")
+        return 0
+
+    cache_root = (
+        args.data_dir if args.data_dir is not None else data.dataset_cache_dir()
+    )
+    rows = []
+    for spec in data.registry_datasets():
+        npz_path, sidecar_path = cache_entry(spec, args.data_dir)
+        entry: dict = {
+            "name": spec.name,
+            "kind": spec.kind,
+            "cached": os.path.exists(npz_path),
+            "summary": spec.summary,
+            "spec_fingerprint": spec.spec_fingerprint(),
+        }
+        if entry["cached"] and os.path.exists(sidecar_path):
+            with open(sidecar_path, encoding="utf-8") as handle:
+                sidecar = json.load(handle)
+            entry["fingerprint"] = sidecar.get("fingerprint")
+            entry["vertices"] = sidecar.get("vertices")
+            entry["edges"] = sidecar.get("edges")
+            entry["normalization"] = sidecar.get("normalization")
+        rows.append(entry)
+    if args.json:
+        print(json.dumps(rows, sort_keys=True))
+        return 0
+    print(f"registered datasets (cache root: {cache_root}):")
+    for entry in rows:
+        if entry["cached"] and "fingerprint" in entry:
+            status = (
+                f"cached: {entry['vertices']} vertices / "
+                f"{entry['edges']} edges, "
+                f"fingerprint {str(entry['fingerprint'])[:12]}"
+            )
+        elif entry["cached"]:
+            status = "cached"
+        else:
+            status = "not cached (resolve with --fetch)"
+        print(f"  {entry['name']} ({entry['kind']}) — {status}")
+        print(f"      {entry['summary']}")
     return 0
 
 
@@ -900,6 +1108,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command in ("sweep", "resume"):

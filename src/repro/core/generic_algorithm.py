@@ -27,7 +27,6 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..graphs.compact import as_object_graph
 from ..graphs.graph import Graph
 from ..mechanisms.accountant import PrivacyAccountant
 from ..mechanisms.gem import (
@@ -36,10 +35,7 @@ from ..mechanisms.gem import (
     power_of_two_grid,
 )
 from ..mechanisms.laplace import laplace_noise
-from .down_sensitivity import (
-    down_sensitivity_brute_force,
-    generic_lipschitz_extension,
-)
+from .down_sensitivity import PosetTables
 
 __all__ = ["GenericRelease", "PrivateMonotoneStatistic"]
 
@@ -88,6 +84,21 @@ class PrivateMonotoneStatistic:
         Fraction of ε given to GEM (paper: 0.5).
     down_sensitivity:
         Optional fast ``DS_f`` evaluator; defaults to brute force.
+    delta_max_for:
+        Optional public ceiling on ``DS_f`` as a function of the vertex
+        count, used when ``delta_max`` is not given.  Statistics whose
+        down-sensitivity can exceed ``n`` (k-star counts) pass their
+        worst-case bound here so the GEM grid always covers the true
+        ``DS_f(G)``.
+
+    The estimator is representation-agnostic: the statistic and the
+    poset enumeration run on whatever graph is passed in — object
+    :class:`~repro.graphs.graph.Graph` or
+    :class:`~repro.graphs.compact.CompactGraph` (both expose
+    ``vertex_list`` / ``induced_subgraph``) — with no coercion, and the
+    two produce bit-identical releases for shared seeds because every
+    statistic, down-sensitivity, and extension value is an exact
+    integer in either representation.
     """
 
     statistic: Callable[[Graph], float]
@@ -96,6 +107,7 @@ class PrivateMonotoneStatistic:
     beta: float = 0.1
     select_fraction: float = 0.5
     down_sensitivity: Optional[Callable[[Graph], float]] = None
+    delta_max_for: Optional[Callable[[int], float]] = None
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -109,29 +121,34 @@ class PrivateMonotoneStatistic:
 
     def release(self, graph: Graph, rng: np.random.Generator) -> GenericRelease:
         """Release one private estimate of ``f(G)`` (small graphs only:
-        the extension enumerates all induced subgraphs).  Compact inputs
-        are converted to the reference representation."""
-        graph = as_object_graph(graph)
+        the extension enumerates all induced subgraphs).  Runs natively
+        on either graph representation."""
         n = graph.number_of_vertices()
         if n == 0:
             raise ValueError("graph must have at least one vertex")
         accountant = PrivacyAccountant(self.epsilon)
         epsilon_select = self.epsilon * self.select_fraction
         epsilon_noise = self.epsilon - epsilon_select
-        delta_max = self.delta_max if self.delta_max is not None else max(n, 1)
+        if self.delta_max is not None:
+            delta_max = self.delta_max
+        elif self.delta_max_for is not None:
+            delta_max = self.delta_max_for(n)
+        else:
+            delta_max = max(n, 1)
         candidates = power_of_two_grid(max(delta_max, 1))
 
         true_value = float(self.statistic(graph))
-        ds = self.down_sensitivity or (
-            lambda h: down_sensitivity_brute_force(h, self.statistic)
+        # One poset sweep serves every candidate Δ: the tables hold f
+        # and DS_f for all induced subgraphs, so each grid point costs
+        # one O(2^n) scan instead of its own enumeration.
+        tables = PosetTables(
+            graph, self.statistic, down_sensitivity=self.down_sensitivity
         )
         cache: dict[float, float] = {}
 
         def extension(delta: float) -> float:
             if delta not in cache:
-                cache[delta] = generic_lipschitz_extension(
-                    graph, self.statistic, delta, down_sensitivity=ds
-                )
+                cache[delta] = tables.extension(delta)
             return cache[delta]
 
         def q_function(delta: float) -> float:

@@ -1,0 +1,53 @@
+"""Unified dataset layer: one ingestion pipeline for every graph input.
+
+Every graph the system consumes — synthetic family samples, local edge
+lists, SNAP-format archives — enters through this package:
+
+* :mod:`repro.data.normalize` is the canonical edge-list normalization
+  (drop self-loops, dedupe parallel/reversed duplicates, relabel to
+  dense ints with the original labels kept) shared by the text parsers
+  in :mod:`repro.graphs.io` and the dataset pipeline alike;
+* :mod:`repro.data.datasets` is the named dataset registry.  A
+  :class:`DatasetSpec` declares *what* a dataset is (source, checksum,
+  normalization promise); :func:`resolve` materializes it once into a
+  content-addressed ``.npz`` cache (``REPRO_DATA_DIR``) and every later
+  load memmaps the cached CSR arrays.
+
+Consumers address graphs uniformly: a filesystem path, or
+``dataset:<name>`` for a registry entry (:func:`resolve_graph_ref`),
+which is what ``serve-batch``, the daemon, sweeps (``family:
+"dataset"`` grids) and the workload-replay generator use.
+"""
+
+from .datasets import (
+    DatasetError,
+    DatasetSpec,
+    builtin_fixture_path,
+    cache_entry,
+    dataset_cache_dir,
+    dataset_names,
+    get_dataset,
+    load_dataset,
+    register_dataset,
+    registry_datasets,
+    resolve,
+    resolve_graph_ref,
+)
+from .normalize import NormalizationReport, normalize_edge_arrays
+
+__all__ = [
+    "DatasetError",
+    "DatasetSpec",
+    "NormalizationReport",
+    "builtin_fixture_path",
+    "cache_entry",
+    "dataset_cache_dir",
+    "dataset_names",
+    "get_dataset",
+    "load_dataset",
+    "normalize_edge_arrays",
+    "register_dataset",
+    "registry_datasets",
+    "resolve",
+    "resolve_graph_ref",
+]

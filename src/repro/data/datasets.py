@@ -1,0 +1,476 @@
+"""Named dataset registry and the single graph-resolution pipeline.
+
+A :class:`DatasetSpec` declares one graph-valued dataset:
+
+* ``kind="synthetic"`` — a frozen coordinate of the shared family
+  sampler (:func:`repro.graphs.families.build_family`) plus a seed, so
+  sweeps and serving benchmarks can name reproducible random graphs;
+* ``kind="local"`` — an edge-list file shipped with the library or
+  sitting on disk (``.gz`` ok), checksum-pinned;
+* ``kind="snap"`` — a SNAP-format archive (tab-separated pairs,
+  ``#``/``%`` comments, each edge possibly listed in both orientations,
+  self-loops, sparse ids), fetched from ``url`` unless already local.
+
+:func:`resolve` is the one pipeline every consumer shares::
+
+    download-or-local -> decompress -> normalize -> fingerprint
+        -> persist (graphs.store.save_npz) into the dataset cache
+
+The cache (``REPRO_DATA_DIR``, default ``~/.cache/repro/datasets``) is
+content-addressed by the *spec*: a spec's identity hash names its
+``.npz``, so editing a spec (different seed, different checksum) can
+never serve stale bytes, while every later load memmaps the cached CSR
+arrays in O(1).  Checksum or format trouble raises a loud
+:class:`DatasetError` — never a silently different graph.
+
+Bundled offline fixtures (``repro/data/fixtures/``) give CI and tests
+real SNAP-format inputs without touching the network.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from importlib import resources
+from typing import Any, Optional
+
+import numpy as np
+
+from .. import telemetry
+from ..graphs.compact import CompactGraph, as_compact
+from ..graphs.families import KNOWN_FAMILIES, build_family
+from ..graphs.io import _open_text, read_edge_list_auto
+from ..graphs.store import open_npz, save_npz
+from .normalize import NormalizationReport, normalize_edge_arrays
+
+__all__ = [
+    "DatasetError",
+    "DatasetSpec",
+    "register_dataset",
+    "dataset_names",
+    "get_dataset",
+    "registry_datasets",
+    "dataset_cache_dir",
+    "builtin_fixture_path",
+    "resolve",
+    "load_dataset",
+    "resolve_graph_ref",
+    "cache_entry",
+]
+
+_KINDS = ("synthetic", "local", "snap")
+
+DATASET_LOADS = telemetry.counter(
+    "repro_dataset_loads_total",
+    "Dataset-registry graph loads, by source kind",
+    labels=("source",),
+)
+DATASET_CACHE = telemetry.counter(
+    "repro_dataset_cache_total",
+    "Dataset cache lookups, by result",
+    labels=("result",),
+)
+
+
+class DatasetError(Exception):
+    """A dataset could not be resolved: unknown name, checksum mismatch,
+    malformed input, or a fetch the caller did not allow."""
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Declaration of one named dataset.
+
+    ``sha256`` pins the *raw* source file bytes (compressed as stored);
+    ``None`` skips verification (trust-on-first-use — the ingested
+    graph's content fingerprint is still recorded in the cache sidecar).
+    ``url`` is only consulted when the source file is absent locally
+    and the caller allowed fetching.
+    """
+
+    name: str
+    kind: str
+    summary: str = ""
+    # synthetic sources
+    family: str = ""
+    n: int = 0
+    params: tuple[tuple[str, float], ...] = ()
+    seed: int = 0
+    # file-backed sources
+    path: str = ""
+    url: str = ""
+    sha256: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dataset spec needs a non-empty name")
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown dataset kind {self.kind!r}; known: {_KINDS}"
+            )
+        if self.kind == "synthetic":
+            if self.family not in KNOWN_FAMILIES:
+                raise ValueError(
+                    f"unknown graph family {self.family!r}; "
+                    f"known: {sorted(KNOWN_FAMILIES)}"
+                )
+            if self.n < 1:
+                raise ValueError(
+                    f"synthetic dataset needs n >= 1, got {self.n}"
+                )
+        elif not self.path and not self.url:
+            raise ValueError(
+                f"dataset {self.name!r} ({self.kind}) needs a path or url"
+            )
+        object.__setattr__(
+            self,
+            "params",
+            tuple(sorted((str(k), float(v)) for k, v in self.params)),
+        )
+
+    def identity(self) -> dict:
+        """The content a cache entry is addressed by (not the summary)."""
+        out: dict[str, Any] = {"name": self.name, "kind": self.kind}
+        if self.kind == "synthetic":
+            out.update(
+                family=self.family,
+                n=self.n,
+                params={k: v for k, v in self.params},
+                seed=self.seed,
+            )
+        else:
+            out.update(path=self.path, url=self.url, sha256=self.sha256)
+        return out
+
+    def spec_fingerprint(self) -> str:
+        blob = json.dumps(
+            self.identity(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+_REGISTRY: dict[str, DatasetSpec] = {}
+
+
+def register_dataset(spec: DatasetSpec) -> DatasetSpec:
+    """Add one dataset to the registry (names must be unique)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"dataset {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec (:class:`DatasetError` if unregistered)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registry_datasets() -> list[DatasetSpec]:
+    """All registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def dataset_cache_dir() -> str:
+    """The dataset cache root: ``REPRO_DATA_DIR`` or the user cache."""
+    configured = os.environ.get("REPRO_DATA_DIR")
+    if configured:
+        return configured
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "datasets"
+    )
+
+
+def builtin_fixture_path(filename: str) -> str:
+    """Filesystem path of a bundled fixture under ``repro/data/fixtures``."""
+    root = resources.files(__package__) / "fixtures" / filename
+    return os.fspath(root)
+
+
+def cache_entry(
+    spec: DatasetSpec, data_dir: Optional[str] = None
+) -> tuple[str, str]:
+    """Return ``(npz_path, sidecar_path)`` for a spec's cache slot."""
+    root = data_dir if data_dir is not None else dataset_cache_dir()
+    stem = f"{spec.name}-{spec.spec_fingerprint()[:12]}"
+    return (
+        os.path.join(root, f"{stem}.npz"),
+        os.path.join(root, f"{stem}.json"),
+    )
+
+
+def _sha256_of_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _source_file(spec: DatasetSpec, *, fetch: bool) -> str:
+    """Locate (or download) the raw source file, checksum-verified."""
+    path = spec.path
+    if path and not os.path.isabs(path) and not os.path.exists(path):
+        bundled = builtin_fixture_path(path)
+        if os.path.exists(bundled):
+            path = bundled
+    if path and os.path.exists(path):
+        local = path
+    elif spec.url:
+        if not fetch:
+            raise DatasetError(
+                f"dataset {spec.name!r} is not cached and its source is "
+                f"remote ({spec.url}); re-run with fetching enabled "
+                "(repro datasets --fetch)"
+            )
+        local = _download(spec)
+    else:
+        raise DatasetError(
+            f"dataset {spec.name!r}: source file {spec.path!r} not found"
+        )
+    if spec.sha256 is not None:
+        actual = _sha256_of_file(local)
+        if actual != spec.sha256:
+            raise DatasetError(
+                f"dataset {spec.name!r}: checksum mismatch for {local} "
+                f"(expected sha256 {spec.sha256}, got {actual}) — "
+                "refusing to ingest"
+            )
+    return local
+
+
+def _download(spec: DatasetSpec) -> str:
+    import urllib.request
+
+    target_dir = os.path.join(dataset_cache_dir(), "downloads")
+    os.makedirs(target_dir, exist_ok=True)
+    target = os.path.join(target_dir, os.path.basename(spec.url))
+    if os.path.exists(target):
+        return target
+    tmp = target + ".part"
+    with telemetry.span("dataset_download", dataset=spec.name):
+        urllib.request.urlretrieve(spec.url, tmp)  # noqa: S310
+        os.replace(tmp, target)
+    return target
+
+
+def _parse_snap_text(
+    spec: DatasetSpec, path: str
+) -> tuple[CompactGraph, NormalizationReport]:
+    """Parse a SNAP-format edge list and normalize it.
+
+    Streams integer tokens into endpoint arrays; comments start with
+    ``#`` or ``%``; single-token lines declare isolated vertices.  Any
+    non-integer token or over-long row is a :class:`DatasetError` — the
+    format promise is part of the spec.
+    """
+    edges_u: list[int] = []
+    edges_v: list[int] = []
+    isolated: list[int] = []
+    with _open_text(path, "r") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line[0] in "#%":
+                continue
+            tokens = line.split()
+            try:
+                if len(tokens) == 1:
+                    isolated.append(int(tokens[0]))
+                elif len(tokens) == 2:
+                    edges_u.append(int(tokens[0]))
+                    edges_v.append(int(tokens[1]))
+                else:
+                    raise ValueError(f"{len(tokens)} tokens")
+            except ValueError as exc:
+                raise DatasetError(
+                    f"dataset {spec.name!r}: malformed SNAP line "
+                    f"{line_number} in {path}: {line!r} ({exc})"
+                ) from None
+    return normalize_edge_arrays(
+        np.array(edges_u, dtype=np.int64),
+        np.array(edges_v, dtype=np.int64),
+        isolated,
+    )
+
+
+def _materialize(
+    spec: DatasetSpec, *, fetch: bool
+) -> tuple[CompactGraph, Optional[NormalizationReport], Optional[str]]:
+    """Build the canonical graph from the spec's source."""
+    if spec.kind == "synthetic":
+        rng = np.random.default_rng(spec.seed)
+        graph = as_compact(
+            build_family(spec.family, spec.n, dict(spec.params), rng)
+        )
+        return graph, None, None
+    source = _source_file(spec, fetch=fetch)
+    if spec.kind == "snap":
+        graph, report = _parse_snap_text(spec, source)
+        return graph, report, source
+    # kind == "local": the library's own edge-list/.npz formats, still
+    # normalized so dirty lists land on the same canonical graph.
+    loaded = as_compact(read_edge_list_auto(source))
+    u, v = loaded.edge_arrays()
+    labels = loaded.labels()
+    label_array = np.asarray(labels, dtype=object)
+    try:
+        lab = np.asarray(labels, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError):
+        raise DatasetError(
+            f"dataset {spec.name!r}: non-integer vertex labels in "
+            f"{source}; the dataset pipeline requires integer ids "
+            f"(got e.g. {label_array[0]!r})"
+        ) from None
+    degrees = loaded.degrees()
+    iso = lab[degrees == 0]
+    graph, report = normalize_edge_arrays(lab[u], lab[v], iso)
+    return graph, report, source
+
+
+def resolve(
+    spec: DatasetSpec,
+    *,
+    data_dir: Optional[str] = None,
+    fetch: bool = True,
+) -> CompactGraph:
+    """Resolve a spec to its canonical graph through the dataset cache.
+
+    A cache hit memmaps the stored ``.npz`` (O(1), shared OS page cache
+    across serve-batch workers); a miss runs the full ingestion
+    pipeline and persists atomically before returning.  ``fetch=False``
+    forbids network access — cached and local-file datasets still
+    resolve.
+    """
+    npz_path, sidecar_path = cache_entry(spec, data_dir)
+    if os.path.exists(npz_path):
+        graph = open_npz(npz_path)
+        DATASET_CACHE.inc(result="hit")
+        DATASET_LOADS.inc(source=spec.kind)
+        return graph
+    DATASET_CACHE.inc(result="miss")
+    with telemetry.span("dataset_ingest", dataset=spec.name, kind=spec.kind):
+        graph, report, source = _materialize(spec, fetch=fetch)
+        os.makedirs(os.path.dirname(npz_path) or ".", exist_ok=True)
+        save_npz(graph, npz_path)
+        sidecar = {
+            "spec": spec.identity(),
+            "fingerprint": graph.fingerprint(),
+            "vertices": graph.number_of_vertices(),
+            "edges": graph.number_of_edges(),
+            "source_file": source,
+            "normalization": report.to_dict() if report else None,
+        }
+        tmp = sidecar_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(sidecar, handle, sort_keys=True, indent=2)
+        os.replace(tmp, sidecar_path)
+    # Serve the persisted copy so first load and every later one share
+    # the memmap-backed representation (and its pickle-by-path story).
+    graph = open_npz(npz_path)
+    DATASET_LOADS.inc(source=spec.kind)
+    return graph
+
+
+def load_dataset(
+    name: str,
+    *,
+    data_dir: Optional[str] = None,
+    fetch: bool = True,
+) -> CompactGraph:
+    """Resolve a registered dataset by name (see :func:`resolve`)."""
+    return resolve(get_dataset(name), data_dir=data_dir, fetch=fetch)
+
+
+def resolve_graph_ref(
+    ref: str,
+    *,
+    data_dir: Optional[str] = None,
+    fetch: bool = True,
+) -> CompactGraph:
+    """Resolve a graph reference: ``dataset:<name>`` or a file path.
+
+    The uniform entry point for every path-valued graph field —
+    ``serve-batch`` requests, the daemon's default graph, CLI inputs —
+    so dataset names and raw files are interchangeable everywhere.
+    """
+    if ref.startswith("dataset:"):
+        return load_dataset(
+            ref[len("dataset:"):], data_dir=data_dir, fetch=fetch
+        )
+    return as_compact(read_edge_list_auto(ref))
+
+
+def _register_builtin() -> None:
+    register_dataset(
+        DatasetSpec(
+            name="ca-toy",
+            kind="snap",
+            summary="bundled 12-vertex SNAP-format collaboration toy "
+            "(dirty: both-orientation duplicates, self-loops, sparse "
+            "ids); small enough for every estimator incl. the generic "
+            "poset path",
+            path="ca_toy.txt.gz",
+            sha256=(
+                "2358775e221ba4e9470ecd51b6bc5925d7fe3eb851fff9a970bc7d9c34bd6f0b"
+            ),
+        )
+    )
+    register_dataset(
+        DatasetSpec(
+            name="road-toy",
+            kind="snap",
+            summary="bundled 40-vertex SNAP-format road-network toy "
+            "(clean grid-like lattice, sparse ids)",
+            path="road_toy.txt.gz",
+            sha256=(
+                "a956f1ef1b3adda8709a544e3d6822763b9beae1153d50e59aed6d05e6bcc0ed"
+            ),
+        )
+    )
+    register_dataset(
+        DatasetSpec(
+            name="er-1k",
+            kind="synthetic",
+            summary="Erdos-Renyi n=1000, c=2 (sparse regime), seed-pinned",
+            family="er",
+            n=1000,
+            params=(("c", 2.0),),
+            seed=1303,
+        )
+    )
+    register_dataset(
+        DatasetSpec(
+            name="sbm-4k",
+            kind="synthetic",
+            summary="4-block stochastic block model, n=4000, seed-pinned",
+            family="sbm",
+            n=4000,
+            params=(("blocks", 4.0), ("c_in", 3.0), ("c_out", 0.1)),
+            seed=1304,
+        )
+    )
+    register_dataset(
+        DatasetSpec(
+            name="ca-GrQc",
+            kind="snap",
+            summary="SNAP ca-GrQc collaboration network (arXiv GR-QC), "
+            "fetched on demand; trust-on-first-use (no pinned checksum)",
+            path="ca-GrQc.txt.gz",
+            url="https://snap.stanford.edu/data/ca-GrQc.txt.gz",
+            sha256=None,
+        )
+    )
+
+
+_register_builtin()

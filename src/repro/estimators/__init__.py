@@ -39,6 +39,13 @@ from .adapters import (
     SpanningForestEstimator,
     true_statistic_for,
 )
+from .generic import (
+    GENERIC_MAX_VERTICES,
+    GenericEstimatorSpec,
+    GenericStatisticEstimator,
+    register_generic,
+)
+from .statistics import StatisticSpec, register_statistic, statistic_names
 
 # Package-root alias: ``repro.create_estimator`` reads better than a
 # bare ``create`` at top level.
@@ -56,6 +63,13 @@ __all__ = [
     "canonical_name",
     "registry_specs",
     "true_statistic_for",
+    "StatisticSpec",
+    "register_statistic",
+    "statistic_names",
+    "GENERIC_MAX_VERTICES",
+    "GenericEstimatorSpec",
+    "GenericStatisticEstimator",
+    "register_generic",
     "SpanningForestEstimator",
     "ConnectedComponentsEstimator",
     "GenericSpanningForestEstimator",

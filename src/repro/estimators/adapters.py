@@ -17,7 +17,7 @@ whose per-graph cache supplies that extension automatically.
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -32,14 +32,14 @@ from ..core.baselines import (
     NaiveNodeDPConnectedComponents,
     NonPrivateBaseline,
 )
-from ..core.generic_algorithm import PrivateMonotoneStatistic
-from ..graphs.components import (
-    number_of_connected_components,
-    spanning_forest_size,
-)
 from ..mechanisms.accountant import PrivacyAccountant
 from .base import Release
+from .generic import (
+    GENERIC_MAX_VERTICES,
+    GenericSpanningForestEstimator,
+)
 from .registry import EstimatorSpec, register
+from .statistics import true_statistic_for
 
 __all__ = [
     "SpanningForestEstimator",
@@ -53,15 +53,6 @@ __all__ = [
     "GENERIC_MAX_VERTICES",
 ]
 
-# The generic Theorem A.2 construction enumerates the induced-subgraph
-# poset; beyond this size a single release stops being practical.
-GENERIC_MAX_VERTICES = 16
-
-_STATISTICS: dict[str, Callable] = {
-    "cc": number_of_connected_components,
-    "sf": spanning_forest_size,
-}
-
 # One bump per completed release, whatever the entry point (direct,
 # session, serve-batch worker, daemon executor).  The matching root
 # span makes ``repro profile``'s stage breakdown sum to the release
@@ -71,20 +62,6 @@ _RELEASES = telemetry.counter(
     "Completed releases, by estimator",
     labels=("estimator",),
 )
-
-
-def true_statistic_for(statistic: str) -> Callable:
-    """The exact (non-private) evaluator for a release statistic name.
-
-    Returns a module-level callable (picklable, so it can ride in a
-    :class:`~repro.analysis.trials.TrialConfig` across process pools).
-    """
-    try:
-        return _STATISTICS[statistic]
-    except KeyError:
-        raise ValueError(
-            f"unknown statistic {statistic!r}; known: {sorted(_STATISTICS)}"
-        ) from None
 
 
 class _SessionBound:
@@ -198,64 +175,6 @@ class ConnectedComponentsEstimator(_SessionBound):
                 "vertex_count_estimate": inner.vertex_count_estimate,
                 "epsilon_count": inner.epsilon_count,
                 "noise_scale": inner.spanning_forest.noise_scale,
-            },
-            detail=inner,
-        )
-
-
-class GenericSpanningForestEstimator:
-    """Registry adapter for Theorem A.2 applied to ``f_sf``.
-
-    The generic construction requires a monotone nondecreasing statistic
-    — ``f_sf`` qualifies (``f_cc`` does not: deleting a cut vertex can
-    *increase* the component count) — and enumerates induced subgraphs,
-    so :meth:`supports` caps the input size.
-    """
-
-    name = "generic_sf"
-    statistic = "sf"
-    uses_extension = False
-
-    def __init__(
-        self,
-        epsilon: float,
-        *,
-        max_vertices: int = GENERIC_MAX_VERTICES,
-        **options,
-    ) -> None:
-        self.epsilon = float(epsilon)
-        self.max_vertices = int(max_vertices)
-        self._inner = PrivateMonotoneStatistic(
-            spanning_forest_size, epsilon=epsilon, **options
-        )
-
-    def supports(self, graph) -> bool:
-        return 1 <= graph.number_of_vertices() <= self.max_vertices
-
-    def release(self, graph, rng: np.random.Generator) -> Release:
-        if graph.number_of_vertices() > self.max_vertices:
-            raise ValueError(
-                f"generic_sf enumerates induced subgraphs; refusing "
-                f"n={graph.number_of_vertices()} > {self.max_vertices} "
-                "(raise max_vertices explicitly to override)"
-            )
-        with telemetry.span("release", estimator=self.name):
-            start = time.perf_counter()
-            inner = self._inner.release(graph, rng)
-            elapsed = time.perf_counter() - start
-        _RELEASES.inc(estimator=self.name)
-        return Release(
-            estimator=self.name,
-            statistic=self.statistic,
-            value=inner.value,
-            epsilon=self.epsilon,
-            ledger=inner.ledger,
-            delta_hat=inner.delta_hat,
-            elapsed_seconds=elapsed,
-            true_value=float(inner.true_value),
-            metadata={
-                "extension_value": inner.extension_value,
-                "noise_scale": inner.noise_scale,
             },
             detail=inner,
         )
@@ -434,25 +353,6 @@ def _register_all() -> None:
                 "use_fast_paths",
                 "separation_tolerance",
                 "max_rounds",
-            ),
-        )
-    )
-    register(
-        EstimatorSpec(
-            name="generic_sf",
-            statistic="sf",
-            summary="Theorem A.2 generic monotone-statistic estimator on "
-            "f_sf (exponential time; small graphs only)",
-            factory=lambda eps, graph, opts: GenericSpanningForestEstimator(
-                eps, **opts
-            ),
-            aliases=("generic",),
-            options=(
-                "max_vertices",
-                "beta",
-                "select_fraction",
-                "delta_max",
-                "down_sensitivity",
             ),
         )
     )

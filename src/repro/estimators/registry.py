@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from .base import Estimator
+from .statistics import statistic_names
 
 __all__ = [
     "EstimatorSpec",
@@ -53,13 +54,20 @@ class EstimatorSpec:
     # The keyword options :func:`create` accepts for this estimator;
     # anything else is rejected up front with the valid names.
     options: tuple[str, ...] = field(default=())
+    # Hard input-size cap (None = unbounded): estimators that enumerate
+    # the induced-subgraph poset declare it here so spec validation
+    # (sweeps, replay workloads) can refuse oversized graphs up front
+    # instead of crashing mid-run.
+    max_graph_vertices: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("estimator spec needs a non-empty name")
-        if self.statistic not in ("cc", "sf"):
+        known = statistic_names()
+        if self.statistic not in known:
             raise ValueError(
-                f"statistic must be 'cc' or 'sf', got {self.statistic!r}"
+                f"unknown statistic {self.statistic!r}; known: {known} "
+                "(register it via repro.estimators.statistics first)"
             )
 
 

@@ -1,0 +1,129 @@
+"""Name-keyed registry of release statistics.
+
+Every :class:`~repro.estimators.registry.EstimatorSpec` names the
+statistic it releases; this module is the single table mapping those
+names to their exact (non-private) evaluators.  Keeping it separate
+from the estimator registry breaks the import cycle — ``registry``
+validates statistic names against this table, while ``adapters`` and
+the generic-estimator layer register evaluators into it — and makes
+adding a statistic a one-call affair:
+
+>>> from repro.estimators.statistics import true_statistic_for
+>>> true_statistic_for("kstar").__name__
+'kstar_count'
+
+Evaluators are polymorphic over both graph representations (object
+:class:`~repro.graphs.graph.Graph` and
+:class:`~repro.graphs.compact.CompactGraph`) and return exact values,
+so compact-native and object-graph releases agree bit-for-bit.
+
+``monotone`` marks statistics that are monotone nondecreasing under
+node insertion — the promise the Theorem A.2 generic construction
+requires.  The generic-estimator layer refuses to build on anything
+not marked monotone, so the flag is a declared proof obligation, not
+documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..graphs.components import (
+    number_of_connected_components,
+    spanning_forest_size,
+)
+from ..graphs.degree_stats import high_degree_count, kstar_count
+
+__all__ = [
+    "StatisticSpec",
+    "register_statistic",
+    "statistic_names",
+    "get_statistic",
+    "true_statistic_for",
+]
+
+
+@dataclass(frozen=True)
+class StatisticSpec:
+    """One statistic: name, exact evaluator, monotonicity promise."""
+
+    name: str
+    evaluator: Callable
+    summary: str
+    monotone: bool = False
+
+
+_STATISTICS: dict[str, StatisticSpec] = {}
+
+
+def register_statistic(spec: StatisticSpec) -> StatisticSpec:
+    """Add one statistic to the registry (names must be unique)."""
+    if not spec.name:
+        raise ValueError("statistic spec needs a non-empty name")
+    if spec.name in _STATISTICS:
+        raise ValueError(f"statistic {spec.name!r} already registered")
+    _STATISTICS[spec.name] = spec
+    return spec
+
+
+def statistic_names() -> list[str]:
+    """All registered statistic names, sorted."""
+    return sorted(_STATISTICS)
+
+
+def get_statistic(name: str) -> StatisticSpec:
+    """Look up a statistic spec by name (``ValueError`` with the known
+    names for anything unregistered)."""
+    try:
+        return _STATISTICS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown statistic {name!r}; known: {sorted(_STATISTICS)}"
+        ) from None
+
+
+def true_statistic_for(name: str) -> Callable:
+    """The exact (non-private) evaluator for a release statistic name.
+
+    Returns a module-level callable (picklable, so it can ride in a
+    :class:`~repro.analysis.trials.TrialConfig` across process pools).
+    """
+    return get_statistic(name).evaluator
+
+
+register_statistic(
+    StatisticSpec(
+        name="cc",
+        evaluator=number_of_connected_components,
+        summary="f_cc: number of connected components (Equation (1))",
+        # Removing a cut vertex can *increase* the component count, so
+        # f_cc is not monotone — Algorithm 1 reaches it via f_sf + n.
+        monotone=False,
+    )
+)
+register_statistic(
+    StatisticSpec(
+        name="sf",
+        evaluator=spanning_forest_size,
+        summary="f_sf: spanning-forest size |V| - f_cc",
+        monotone=True,
+    )
+)
+register_statistic(
+    StatisticSpec(
+        name="kstar",
+        evaluator=kstar_count,
+        summary="f_k*: number of k-stars, sum_v C(deg v, k) (k=2: wedges)",
+        monotone=True,
+    )
+)
+register_statistic(
+    StatisticSpec(
+        name="deg_hist",
+        evaluator=high_degree_count,
+        summary="f_>=t: vertices of degree >= t (cumulative degree "
+        "histogram coordinate)",
+        monotone=True,
+    )
+)

@@ -22,6 +22,7 @@ The CLI wraps the same machinery: ``repro sweep``, ``repro resume``,
 """
 
 from .config import GraphGrid, SweepCell, SweepSpec, load_sweep_spec
+from .replay import ReplaySpec, ReplayTarget, expand_replay, write_replay_jsonl
 from .runner import (
     CSV_HEADERS,
     CellResult,
@@ -49,4 +50,8 @@ __all__ = [
     "report_from_store",
     "materialize_graph",
     "build_mechanism",
+    "ReplaySpec",
+    "ReplayTarget",
+    "expand_replay",
+    "write_replay_jsonl",
 ]

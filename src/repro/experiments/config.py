@@ -39,30 +39,18 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from ..estimators.adapters import GENERIC_MAX_VERTICES
-from ..estimators.registry import canonical_name, estimator_names
+from ..estimators import canonical_name, estimator_names
+from ..estimators import get_spec as get_registry_spec
+from ..graphs.families import KNOWN_FAMILIES as BUILDER_FAMILIES
 
 __all__ = ["GraphGrid", "SweepCell", "SweepSpec", "load_sweep_spec"]
 
-# Families the runner knows how to materialize; kept here (as data) so a
-# spec fails at load time, not hours into a sweep.  "er", "grid", "path",
-# "geometric", "planted", "sbm" and "ba" are fully compact-native
-# (vectorized sampling straight into CompactGraph), covering every
-# Section 1.1.4 random model at n = 1e5..1e6.
-KNOWN_FAMILIES = frozenset(
-    {
-        "er",
-        "grid",
-        "path",
-        "tree",
-        "forest",
-        "geometric",
-        "planted",
-        "star",
-        "sbm",
-        "ba",
-    }
-)
+# Families the runner knows how to materialize — the shared builder set
+# (see repro.graphs.families) plus "dataset": a named entry of the
+# repro.data registry, resolved through the content-addressed dataset
+# cache at materialization time.  Kept as data so a spec fails at load
+# time, not hours into a sweep.
+KNOWN_FAMILIES = BUILDER_FAMILIES | {"dataset"}
 
 # Estimator validation is live against the registry (see
 # ``SweepSpec.__post_init__``): canonical names plus the legacy
@@ -92,11 +80,20 @@ def _content_seed(base_seed: int, namespace: str, payload: Mapping) -> int:
 
 @dataclass(frozen=True)
 class GraphGrid:
-    """One graph-family axis of the grid: a family, sizes, parameters."""
+    """One graph-family axis of the grid: a family, sizes, parameters.
+
+    The ``"dataset"`` family swaps the synthetic sampler for a named
+    entry of the :mod:`repro.data` registry: ``dataset`` names the
+    entry, ``sizes`` is fixed to the sentinel ``(0,)`` (the real vertex
+    count is the dataset's own, resolved at materialization), and the
+    graph seed is ignored — the same fingerprinted graph serves every
+    replicate.
+    """
 
     family: str
-    sizes: tuple[int, ...]
+    sizes: tuple[int, ...] = ()
     params: tuple[tuple[str, float], ...] = ()
+    dataset: str = ""
 
     def __post_init__(self) -> None:
         if self.family not in KNOWN_FAMILIES:
@@ -104,13 +101,31 @@ class GraphGrid:
                 f"unknown graph family {self.family!r}; "
                 f"known: {sorted(KNOWN_FAMILIES)}"
             )
-        if not self.sizes:
-            raise ValueError(f"family {self.family!r} lists no sizes")
-        for n in self.sizes:
-            if not isinstance(n, int) or n < 1:
+        if self.family == "dataset":
+            if not self.dataset:
                 raise ValueError(
-                    f"sizes must be positive ints, got {n!r} for {self.family!r}"
+                    "family 'dataset' needs a dataset name (the "
+                    "repro.data registry entry to resolve)"
                 )
+            if self.sizes not in ((), (0,)):
+                raise ValueError(
+                    "family 'dataset' takes no sizes — the dataset "
+                    "defines its own vertex count"
+                )
+            object.__setattr__(self, "sizes", (0,))
+        else:
+            if self.dataset:
+                raise ValueError(
+                    f"family {self.family!r} does not take a dataset name"
+                )
+            if not self.sizes:
+                raise ValueError(f"family {self.family!r} lists no sizes")
+            for n in self.sizes:
+                if not isinstance(n, int) or n < 1:
+                    raise ValueError(
+                        f"sizes must be positive ints, got {n!r} for "
+                        f"{self.family!r}"
+                    )
         # Normalize params so identity is independent of how the grid was
         # built: (("trees", 5),) constructed in code must hash/seed the
         # same as {"trees": 5.0} loaded from JSON.
@@ -122,24 +137,34 @@ class GraphGrid:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "GraphGrid":
-        unknown = set(data) - {"family", "sizes", "params"}
+        unknown = set(data) - {"family", "sizes", "params", "dataset"}
         if unknown:
             raise ValueError(f"unknown graph-grid keys: {sorted(unknown)}")
         params = data.get("params", {})
         if not isinstance(params, Mapping):
             raise ValueError(f"params must be a table/object, got {params!r}")
+        family = data.get("family", "")
+        dataset = str(data.get("dataset", ""))
+        # Naming a dataset implies the dataset family; a bare
+        # {"dataset": "x"} table reads naturally in specs.
+        if dataset and not family:
+            family = "dataset"
         return cls(
-            family=data.get("family", ""),
+            family=family,
             sizes=tuple(data.get("sizes", ())),
             params=tuple(sorted((str(k), float(v)) for k, v in params.items())),
+            dataset=dataset,
         )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "family": self.family,
             "sizes": list(self.sizes),
             "params": {k: v for k, v in self.params},
         }
+        if self.dataset:
+            out["dataset"] = self.dataset
+        return out
 
 
 @dataclass(frozen=True)
@@ -162,6 +187,7 @@ class SweepCell:
     n_trials: int
     graph_seed: int
     trial_seed: int
+    dataset: str = ""
 
     def key_dict(self) -> dict:
         """The cell's identity as a canonical plain dict.
@@ -169,8 +195,10 @@ class SweepCell:
         ``index`` is deliberately excluded: it is a position in one
         particular spec's enumeration, not part of what was computed, so
         reordering a spec's grid axes never invalidates stored cells.
+        ``dataset`` enters the identity only when set, so every cell
+        stored before the dataset family existed keeps its address.
         """
-        return {
+        key = {
             "family": self.family,
             "n": self.n,
             "params": {k: v for k, v in self.params},
@@ -181,11 +209,18 @@ class SweepCell:
             "graph_seed": self.graph_seed,
             "trial_seed": self.trial_seed,
         }
+        if self.dataset:
+            key["dataset"] = self.dataset
+        return key
 
     def label(self) -> str:
         """Compact human-readable tag for progress lines and tables."""
+        graph = (
+            f"dataset:{self.dataset}" if self.dataset
+            else f"{self.family}/n={self.n}"
+        )
         return (
-            f"{self.family}/n={self.n}/eps={self.epsilon:g}"
+            f"{graph}/eps={self.epsilon:g}"
             f"/{self.mechanism}/r={self.replicate}"
         )
 
@@ -237,19 +272,23 @@ class SweepSpec:
                     f"unknown mechanism/estimator {mech!r}; "
                     f"known: {sorted(known)}"
                 )
-        # generic_sf enumerates the induced-subgraph poset, so it can
-        # never release on graphs beyond its size cap; refuse the spec
-        # at load time instead of crashing hours into a sweep.
-        if any(canonical_name(m) == "generic_sf" for m in self.mechanisms):
+        # Estimators that enumerate the induced-subgraph poset declare a
+        # hard size cap in their registry spec; refuse the sweep at load
+        # time instead of crashing hours into a run.  Dataset cells list
+        # size 0 (resolved at materialization), so they are checked at
+        # run time instead.
+        for mech in self.mechanisms:
+            cap = get_registry_spec(mech).max_graph_vertices
+            if cap is None:
+                continue
             too_big = sorted(
-                {n for g in self.graphs for n in g.sizes
-                 if n > GENERIC_MAX_VERTICES}
+                {n for g in self.graphs for n in g.sizes if n > cap}
             )
             if too_big:
                 raise ValueError(
-                    f"estimator 'generic_sf' supports at most "
-                    f"{GENERIC_MAX_VERTICES} vertices (it enumerates "
-                    f"induced subgraphs); the spec lists sizes {too_big}"
+                    f"estimator {canonical_name(mech)!r} supports at most "
+                    f"{cap} vertices (it enumerates induced subgraphs); "
+                    f"the spec lists sizes {too_big}"
                 )
         if self.replicates < 1:
             raise ValueError(f"replicates must be >= 1, got {self.replicates}")
@@ -280,6 +319,8 @@ class SweepSpec:
                                 "params": {k: v for k, v in grid.params},
                                 "replicate": replicate,
                             }
+                            if grid.dataset:
+                                graph_coord["dataset"] = grid.dataset
                             # Graph seed is shared across epsilon and
                             # mechanism: one sampled graph per
                             # (family, size, params, replicate) coordinate.
@@ -307,6 +348,7 @@ class SweepSpec:
                                     n_trials=self.n_trials,
                                     graph_seed=graph_seed,
                                     trial_seed=trial_seed,
+                                    dataset=grid.dataset,
                                 )
                             )
                             index += 1

@@ -1,0 +1,233 @@
+"""Deterministic workload-replay generation for the serving paths.
+
+Real serving traffic is skewed: a few hot graphs absorb most requests
+(which is what the session's fingerprint cache and the sharded workers
+amortize), estimators are mixed, and privacy budgets vary per call.  A
+:class:`ReplaySpec` declares that shape declaratively —
+
+* **targets**: an ordered list of graph references (paths or
+  ``dataset:<name>`` registry entries), each with its own estimator
+  pool, so enumeration-bounded estimators (``kstar``, ``deg_hist``)
+  can be pointed at small graphs while ``cc``/``sf`` also hit larger
+  ones;
+* **hot/cold skew**: target popularity follows a Zipf law over list
+  rank (first target hottest), exponent ``zipf_s`` — ``0.0`` degrades
+  to uniform;
+* **mixed budgets**: each request draws its ``epsilon`` uniformly from
+  ``epsilons``;
+* **seeding**: the whole expansion is a pure function of the spec.
+  One ``default_rng(seed)`` stream drives target, estimator, and
+  epsilon choices and derives an explicit per-request seed, so the
+  emitted JSONL is byte-identical across runs, platforms, and Python
+  versions (pinned by a test) — and the *served releases* are in turn
+  reproducible because every request carries its seed.
+
+:func:`expand` yields ``repro serve-batch`` request dicts;
+:func:`write_jsonl` serializes them with sorted keys (byte-stable).
+The ``repro replay`` CLI subcommand wraps both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterator, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "ReplayTarget",
+    "ReplaySpec",
+    "expand",
+    "load_spec",
+    "write_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class ReplayTarget:
+    """One graph in the workload and the estimators that may query it."""
+
+    graph: str
+    estimators: tuple[str, ...] = ("cc",)
+
+    def __post_init__(self) -> None:
+        if not self.graph:
+            raise ValueError("replay target needs a graph reference")
+        if not self.estimators:
+            raise ValueError(
+                f"replay target {self.graph!r} needs at least one estimator"
+            )
+        object.__setattr__(self, "estimators", tuple(self.estimators))
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "ReplayTarget":
+        unknown = set(raw) - {"graph", "estimators"}
+        if unknown:
+            raise ValueError(
+                f"unknown replay target keys: {sorted(unknown)}"
+            )
+        return cls(
+            graph=raw.get("graph", ""),
+            estimators=tuple(raw.get("estimators", ("cc",))),
+        )
+
+    def to_dict(self) -> dict:
+        return {"graph": self.graph, "estimators": list(self.estimators)}
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """Declarative description of one synthetic serving workload."""
+
+    name: str
+    requests: int
+    targets: tuple[ReplayTarget, ...]
+    epsilons: tuple[float, ...] = (0.5, 1.0)
+    zipf_s: float = 1.1
+    seed: int = 0
+    # Per-estimator request options (e.g. {"kstar": {"k": 2}}), attached
+    # verbatim to every request naming that estimator.
+    options: tuple[tuple[str, tuple[tuple[str, float], ...]], ...] = field(
+        default=()
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("replay spec needs a non-empty name")
+        if self.requests < 1:
+            raise ValueError(
+                f"replay spec needs requests >= 1, got {self.requests}"
+            )
+        if not self.targets:
+            raise ValueError("replay spec needs at least one target")
+        if not self.epsilons:
+            raise ValueError("replay spec needs at least one epsilon")
+        if any(eps <= 0 for eps in self.epsilons):
+            raise ValueError(
+                f"replay epsilons must be positive, got {self.epsilons}"
+            )
+        if self.zipf_s < 0:
+            raise ValueError(
+                f"replay zipf_s must be >= 0, got {self.zipf_s}"
+            )
+        object.__setattr__(
+            self, "targets", tuple(self.targets)
+        )
+        object.__setattr__(
+            self, "epsilons", tuple(float(e) for e in self.epsilons)
+        )
+
+    def options_for(self, estimator: str) -> Optional[dict]:
+        for name, pairs in self.options:
+            if name == estimator:
+                return {k: v for k, v in pairs}
+        return None
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "ReplaySpec":
+        known = {
+            "name", "requests", "targets", "epsilons", "zipf_s", "seed",
+            "options",
+        }
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown replay spec keys: {sorted(unknown)}")
+        options = tuple(
+            (str(est), tuple(sorted((str(k), v) for k, v in opts.items())))
+            for est, opts in sorted(dict(raw.get("options", {})).items())
+        )
+        return cls(
+            name=raw.get("name", ""),
+            requests=int(raw.get("requests", 0)),
+            targets=tuple(
+                ReplayTarget.from_dict(t) for t in raw.get("targets", ())
+            ),
+            epsilons=tuple(raw.get("epsilons", (0.5, 1.0))),
+            zipf_s=float(raw.get("zipf_s", 1.1)),
+            seed=int(raw.get("seed", 0)),
+            options=options,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "requests": self.requests,
+            "targets": [t.to_dict() for t in self.targets],
+            "epsilons": list(self.epsilons),
+            "zipf_s": self.zipf_s,
+            "seed": self.seed,
+            "options": {
+                est: {k: v for k, v in pairs} for est, pairs in self.options
+            },
+        }
+
+    def target_probabilities(self) -> np.ndarray:
+        """Zipf popularity over target rank (list order; rank 1 hottest)."""
+        ranks = np.arange(1, len(self.targets) + 1, dtype=np.float64)
+        weights = ranks ** (-self.zipf_s)
+        return weights / weights.sum()
+
+
+def expand(spec: ReplaySpec) -> Iterator[dict]:
+    """Expand a spec into ``serve-batch`` request dicts, deterministically.
+
+    One seeded generator drives every choice in request order, and each
+    request carries a derived explicit ``seed``, so both this expansion
+    and the releases served from it are reproducible.
+    """
+    rng = np.random.default_rng(spec.seed)
+    probabilities = spec.target_probabilities()
+    width = max(len(str(spec.requests - 1)), 4)
+    for index in range(spec.requests):
+        target = spec.targets[
+            int(rng.choice(len(spec.targets), p=probabilities))
+        ]
+        estimator = target.estimators[
+            int(rng.integers(len(target.estimators)))
+        ]
+        request = {
+            "id": f"{spec.name}-{index:0{width}d}",
+            "estimator": estimator,
+            "epsilon": float(
+                spec.epsilons[int(rng.integers(len(spec.epsilons)))]
+            ),
+            "seed": int(rng.integers(2**31 - 1)),
+            "graph": target.graph,
+        }
+        options = spec.options_for(estimator)
+        if options:
+            request["options"] = options
+        yield request
+
+
+def write_jsonl(spec: ReplaySpec, handle: IO[str]) -> int:
+    """Write the expanded workload as JSONL; returns the request count.
+
+    Sorted keys and compact separators make the byte stream a pure
+    function of the spec (the determinism test pins a digest).
+    """
+    count = 0
+    for request in expand(spec):
+        handle.write(
+            json.dumps(request, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        count += 1
+    return count
+
+
+def load_spec(path_or_handle) -> ReplaySpec:
+    """Load a :class:`ReplaySpec` from a JSON file path or open handle."""
+    if hasattr(path_or_handle, "read"):
+        raw = json.load(path_or_handle)
+    else:
+        with open(path_or_handle, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    return ReplaySpec.from_dict(raw)
+
+
+# Names used by the repro.experiments package re-export, where the bare
+# verbs would be ambiguous next to the sweep machinery.
+expand_replay = expand
+write_replay_jsonl = write_jsonl
+load_replay_spec = load_spec

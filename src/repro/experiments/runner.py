@@ -15,7 +15,6 @@ split across several interrupted invocations.
 
 from __future__ import annotations
 
-import math
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from functools import partial
@@ -32,7 +31,7 @@ from ..analysis.trials import (
 )
 from ..estimators import create as _create_estimator
 from ..estimators import get_spec, true_statistic_for
-from ..graphs import generators
+from ..graphs.families import build_family
 from ..graphs.compact import CompactGraph
 from ..service import ReleaseSession
 from .config import SweepCell, SweepSpec
@@ -78,55 +77,17 @@ def materialize_graph(cell: SweepCell, rng: np.random.Generator):
     """Build the cell's graph (compact representation where available).
 
     Random families draw from ``rng``; deterministic families ignore it.
+    Synthetic families delegate to
+    :func:`repro.graphs.families.build_family`, the shared
+    materialization point for sweeps and the dataset layer; ``dataset``
+    cells resolve their named entry through the content-addressed
+    dataset cache (same fingerprinted graph for every replicate).
     """
-    params = dict(cell.params)
-    n = cell.n
-    family = cell.family
-    if family == "er":
-        # Accept either an absolute probability `p` or the sparse-regime
-        # average degree `c` (the paper's np = c parameterization).
-        p = params["p"] if "p" in params else params.get("c", 1.0) / max(n, 1)
-        return generators.erdos_renyi_compact(n, min(p, 1.0), rng)
-    if family == "grid":
-        side = max(int(round(math.sqrt(n))), 1)
-        return generators.grid_graph_compact(side, side)
-    if family == "path":
-        return generators.path_graph_compact(n)
-    if family == "tree":
-        return generators.random_tree(n, rng)
-    if family == "forest":
-        trees = int(params.get("trees", 5))
-        return generators.random_forest(n, min(trees, n), rng)
-    if family == "geometric":
-        return generators.random_geometric_graph_compact(
-            n, params.get("radius", 0.1), rng
-        )
-    if family == "planted":
-        k = max(int(params.get("components", 5)), 1)
-        sizes = [max(n // k, 1)] * k
-        return generators.planted_components_compact(
-            sizes, params.get("internal_p", 0.3), rng
-        )
-    if family == "sbm":
-        k = max(int(params.get("blocks", 4)), 1)
-        p_in = params.get("p_in", params.get("c_in", 2.0) / max(n, 1))
-        p_out = params.get("p_out", params.get("c_out", 0.1) / max(n, 1))
-        sizes = [max(n // k, 1)] * k
-        p_matrix = [
-            [min(p_in if a == b else p_out, 1.0) for b in range(k)]
-            for a in range(k)
-        ]
-        return generators.stochastic_block_model_compact(sizes, p_matrix, rng)
-    if family == "ba":
-        attach = max(int(params.get("m", 2)), 1)
-        if n < attach + 1:
-            raise ValueError(
-                f"family 'ba' needs n >= m + 1, got n={n}, m={attach}"
-            )
-        return generators.barabasi_albert_compact(n, attach, rng)
-    if family == "star":
-        return generators.star_graph(max(n - 1, 1))
-    raise ValueError(f"unknown graph family {family!r}")
+    if cell.family == "dataset":
+        from ..data import load_dataset
+
+        return load_dataset(cell.dataset)
+    return build_family(cell.family, cell.n, cell.params, rng)
 
 
 def build_mechanism(name: str, epsilon: float, graph):

@@ -433,6 +433,53 @@ class CompactGraph:
         """Iterate over vertex labels in index order."""
         return iter(self._label_iter())
 
+    def vertex_list(self) -> list[Vertex]:
+        """Return the vertex labels as a list (index order).
+
+        Mirrors :meth:`Graph.vertex_list` so poset enumeration
+        (:mod:`repro.graphs.distance`) runs on either representation.
+        """
+        return self.labels()
+
+    def induced_subgraph(self, vertex_subset) -> "CompactGraph":
+        """Return the compact subgraph induced by ``vertex_subset``.
+
+        ``vertex_subset`` holds vertex *labels*; labels not present in
+        the graph are ignored, mirroring :meth:`Graph.induced_subgraph`.
+        Kept vertices are reindexed densely in original index order, so
+        the result is deterministic regardless of subset iteration
+        order.  This is the poset walk ``H ⪯ G`` of Definition 1.4,
+        which lets the Theorem A.2 generic estimator run compact-native.
+        """
+        keep: set[int] = set()
+        for label in vertex_subset:
+            try:
+                keep.add(self.index_of(label))
+            except KeyError:
+                continue
+        keep_idx = np.array(sorted(keep), dtype=np.int64)
+        k = int(keep_idx.size)
+        u, v = self.edge_arrays()
+        mask = _in_sorted(u, keep_idx) & _in_sorted(v, keep_idx)
+        new_u = np.searchsorted(keep_idx, u[mask])
+        new_v = np.searchsorted(keep_idx, v[mask])
+        identity = self._labels is None and (
+            k == 0 or (keep_idx[0] == 0 and keep_idx[-1] == k - 1)
+        )
+        labels = (
+            None if identity else [self.label_of(int(i)) for i in keep_idx]
+        )
+        return CompactGraph.from_edge_arrays(k, new_u, new_v, labels=labels)
+
+    def without_vertex(self, v: Vertex) -> "CompactGraph":
+        """Return a copy with vertex label ``v`` removed (its edges too).
+
+        Equivalent to ``induced_subgraph(V - {v})``.
+        """
+        return self.induced_subgraph(
+            label for label in self._label_iter() if label != v
+        )
+
     def __len__(self) -> int:
         return self.number_of_vertices()
 

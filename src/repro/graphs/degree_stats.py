@@ -1,0 +1,155 @@
+"""Exact degree-based statistics: k-star counts and degree histograms.
+
+A *k-star* is a vertex together with ``k`` of its neighbors, so the
+number of k-stars in ``G`` is ``f_(k*)(G) = Σ_v C(deg(v), k)`` — for
+``k = 2`` this is the wedge (path-of-length-2) count, a standard
+subgraph statistic in the node-DP literature.  The degree-histogram
+coordinate ``f_(≥t)(G) = |{v : deg(v) ≥ t}|`` counts vertices of degree
+at least ``t``; the cumulative histogram is the vector of these counts.
+
+Both are **monotone nondecreasing** under node insertion (adding a
+vertex can only add stars and raise degrees), which is exactly the
+promise the Theorem A.2 generic estimator needs.  All values here are
+exact Python ints — ``math.comb`` on the distinct degrees, never
+floating point — so compact and object evaluations agree bit-for-bit
+(the generic-estimator differential tests rely on this).
+
+For k-stars the down-sensitivity (Definition 1.4) also has a fast exact
+form.  Removing ``v`` from ``H ⪯ G`` destroys the stars centered at
+``v`` and, for each neighbor ``u``, the stars centered at ``u`` that use
+the edge ``uv``:
+
+    loss_H(v) = C(d_H(v), k) + Σ_{u ∈ N_H(v)} C(d_H(u) − 1, k − 1)
+
+Every term is nondecreasing in ``H``'s degrees and neighborhoods, so the
+maximum over the poset ``H ⪯ G`` is attained at ``H = G`` itself:
+
+    DS_(k*)(G) = max_v loss_G(v)
+
+computed here in one pass — no poset enumeration.  (No such closed form
+is used for the histogram coordinate; its estimator falls back to the
+brute-force evaluator.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from .compact import CompactGraph
+from .graph import Graph
+
+__all__ = [
+    "degree_array",
+    "kstar_count",
+    "kstar_down_sensitivity",
+    "kstar_down_sensitivity_bound",
+    "high_degree_count",
+    "degree_histogram",
+]
+
+AnyGraph = Union[Graph, CompactGraph]
+
+
+def degree_array(graph: AnyGraph) -> np.ndarray:
+    """All vertex degrees as an int64 array (either representation)."""
+    if isinstance(graph, CompactGraph):
+        return graph.degrees()
+    return np.array(
+        [graph.degree(v) for v in graph.vertices()], dtype=np.int64
+    )
+
+
+def _comb_by_degree(degrees: np.ndarray, k: int) -> dict[int, int]:
+    """Map each distinct degree to ``C(d, k)`` as an exact Python int."""
+    return {int(d): math.comb(int(d), k) for d in np.unique(degrees)}
+
+
+def kstar_count(graph: AnyGraph, k: int = 2) -> int:
+    """Return ``f_(k*)(G) = Σ_v C(deg(v), k)``, exactly.
+
+    Grouping by distinct degree keeps this O(n + D log D) with Python-int
+    accumulation, so huge counts never overflow int64 or round in float.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    degrees, counts = np.unique(degree_array(graph), return_counts=True)
+    return sum(
+        math.comb(int(d), k) * int(c)
+        for d, c in zip(degrees.tolist(), counts.tolist())
+    )
+
+
+def kstar_down_sensitivity(graph: AnyGraph, k: int = 2) -> int:
+    """Return ``DS_(k*)(G)`` exactly via the max-at-top identity above.
+
+    One pass over the adjacency structure; validated against the
+    brute-force poset evaluator in tests.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    degrees = degree_array(graph)
+    if degrees.size == 0:
+        return 0
+    center = _comb_by_degree(degrees, k)
+    # A degree-0 vertex is never a neighbor, so its ray entry is unused;
+    # 0 keeps math.comb's domain happy.
+    ray = {
+        int(d): math.comb(int(d) - 1, k - 1) if d else 0
+        for d in np.unique(degrees)
+    }
+    best = 0
+    if isinstance(graph, CompactGraph):
+        deg_list = degrees.tolist()
+        indices = graph.indices
+        indptr = graph.indptr
+        for v, d in enumerate(deg_list):
+            loss = center[d] + sum(
+                ray[deg_list[int(u)]]
+                for u in indices[indptr[v] : indptr[v + 1]]
+            )
+            best = max(best, loss)
+        return best
+    for v in graph.vertices():
+        loss = center[graph.degree(v)] + sum(
+            ray[graph.degree(u)] for u in graph.neighbors(v)
+        )
+        best = max(best, loss)
+    return best
+
+
+def kstar_down_sensitivity_bound(n: int, k: int = 2) -> int:
+    """Data-independent ceiling on ``DS_(k*)`` over all ``n``-vertex
+    graphs: the loss of a hub in the complete graph,
+    ``C(n−1, k) + (n−1)·C(n−2, k−1)``.
+
+    Used as the public ``delta_max`` of the generic estimator's GEM grid.
+    """
+    if n < 2:
+        # A graph on <= 1 vertex has no k-stars to lose; 1 keeps the
+        # GEM grid non-degenerate.
+        return 1
+    return math.comb(n - 1, k) + (n - 1) * math.comb(n - 2, k - 1)
+
+
+def high_degree_count(graph: AnyGraph, min_degree: int = 1) -> int:
+    """Return ``f_(≥t)(G) = |{v : deg(v) ≥ min_degree}|``, one coordinate
+    of the cumulative degree histogram.
+
+    ``min_degree`` must be >= 1: the ``t = 0`` coordinate is just ``n``,
+    which the library treats as public.
+    """
+    if min_degree < 1:
+        raise ValueError(f"min_degree must be >= 1, got {min_degree}")
+    return int(np.count_nonzero(degree_array(graph) >= min_degree))
+
+
+def degree_histogram(graph: AnyGraph) -> np.ndarray:
+    """Exact (non-private) degree histogram: ``h[d]`` = number of
+    vertices of degree ``d``, length ``max_degree + 1``."""
+    degrees = degree_array(graph)
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees, minlength=1).astype(np.int64)

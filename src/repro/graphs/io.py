@@ -71,7 +71,11 @@ def _open_text(path: str | os.PathLike, mode: str) -> IO[str]:
 
 
 def parse_edge_list(lines: Iterable[str]) -> Graph:
-    """Parse an edge list from an iterable of lines."""
+    """Parse an edge list from an iterable of lines.
+
+    Normalization matches the compact pipeline: self-loop rows declare
+    the vertex but no edge (simple graphs), and duplicate rows merge.
+    """
     g = Graph()
     for line_number, raw in enumerate(lines, start=1):
         line = raw.strip()
@@ -81,7 +85,11 @@ def parse_edge_list(lines: Iterable[str]) -> Graph:
         if len(tokens) == 1:
             g.add_vertex(_parse_label(tokens[0]))
         elif len(tokens) == 2:
-            g.add_edge(_parse_label(tokens[0]), _parse_label(tokens[1]))
+            u, v = _parse_label(tokens[0]), _parse_label(tokens[1])
+            if u == v:
+                g.add_vertex(u)
+            else:
+                g.add_edge(u, v)
         else:
             raise ValueError(
                 f"line {line_number}: expected 1 or 2 tokens, got {len(tokens)}: {line!r}"
@@ -122,22 +130,20 @@ def _parse_compact_lines(lines: Iterable[str]) -> CompactGraph:
                 edges_v.append(int(tokens[1]))
         except ValueError:
             raise _NonIntegerLabel from None
-    u = np.array(edges_u, dtype=np.int64)
-    v = np.array(edges_v, dtype=np.int64)
-    iso = np.array(isolated, dtype=np.int64)
-    labels = np.unique(np.concatenate([u, v, iso]))
-    n = int(labels.size)
-    if n == 0:
-        return CompactGraph.from_edge_arrays(0, u, v)
-    # unique() is sorted, so identity labelling <=> endpoints 0 and n-1.
-    if labels[0] == 0 and labels[-1] == n - 1:
-        return CompactGraph.from_edge_arrays(n, u, v)
-    return CompactGraph.from_edge_arrays(
-        n,
-        np.searchsorted(labels, u),
-        np.searchsorted(labels, v),
-        labels=labels.tolist(),
+    # Canonical normalization (shared with the dataset-ingestion
+    # pipeline): drop self-loops, dedupe parallel/reversed duplicates,
+    # relabel to dense ints keeping the sorted original ids as labels.
+    # A dirty edge list and its clean twin therefore parse to the same
+    # graph — identical content fingerprint — whatever the entry point.
+    # (Lazy import: repro.data imports this module for file reading.)
+    from ..data.normalize import normalize_edge_arrays
+
+    graph, _report = normalize_edge_arrays(
+        np.array(edges_u, dtype=np.int64),
+        np.array(edges_v, dtype=np.int64),
+        isolated,
     )
+    return graph
 
 
 def parse_edge_list_auto(

@@ -9,10 +9,13 @@ JSON object:
 * ``estimator`` — registry name or alias (required);
 * ``epsilon`` — privacy budget (required unless the estimator is
   non-private);
-* ``graph`` — edge-list path (``.gz`` ok); optional when the server was
-  started with a default graph.  Paths are loaded once and then served
-  from the session's fingerprint cache, so many requests against one
-  hot graph amortize the extension work;
+* ``graph`` — a graph reference: an edge-list path (``.gz`` ok), an
+  ``.npz`` store file, or ``dataset:<name>`` naming an entry in the
+  :mod:`repro.data` registry (resolved through its content-addressed
+  cache).  Optional when the server was started with a default graph.
+  References are loaded once and then served from the session's
+  fingerprint cache, so many requests against one hot graph amortize
+  the extension work;
 * ``seed`` — per-request RNG seed; requests without one draw from
   independent ``SeedSequence(base_seed, spawn_key=(index,))`` streams,
   so re-serving the same file reproduces the same releases;
@@ -53,8 +56,8 @@ from typing import Iterable, Iterator, NamedTuple, Optional
 import numpy as np
 
 from .. import telemetry
+from ..data import resolve_graph_ref
 from ..graphs.compact import as_compact
-from ..graphs.io import read_edge_list_auto
 from ..mechanisms.accountant import BudgetExceededError
 from .session import ReleaseSession
 
@@ -167,7 +170,7 @@ class _RequestServer:
             ):
                 # First sight of this path, or the LRU evicted it:
                 # (re)load.
-                loaded = as_compact(read_edge_list_auto(path))
+                loaded = resolve_graph_ref(path)
                 fingerprint = loaded.fingerprint()
                 self._path_cache[path] = fingerprint
                 target = {"graph": loaded}
@@ -209,9 +212,7 @@ class _RequestServer:
 
     def _resolve_default_graph(self):
         if self._default_graph is None and self._default_graph_path is not None:
-            self._default_graph = as_compact(
-                read_edge_list_auto(self._default_graph_path)
-            )
+            self._default_graph = resolve_graph_ref(self._default_graph_path)
         return self._default_graph
 
 
@@ -347,7 +348,7 @@ class _FingerprintRouter:
     def _fingerprint_of(self, path: str) -> Optional[str]:
         if path not in self._fp_by_path:
             try:
-                graph = as_compact(read_edge_list_auto(path))
+                graph = resolve_graph_ref(path)
             except Exception:  # noqa: BLE001 - worker reports the error
                 self._fp_by_path[path] = None
             else:

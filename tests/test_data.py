@@ -1,0 +1,283 @@
+"""The unified dataset layer: normalization, registry, cache pipeline."""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import (
+    DatasetError,
+    DatasetSpec,
+    builtin_fixture_path,
+    cache_entry,
+    dataset_names,
+    get_dataset,
+    load_dataset,
+    normalize_edge_arrays,
+    resolve,
+    resolve_graph_ref,
+)
+from repro.graphs.compact import CompactGraph
+from repro.graphs.io import (
+    parse_edge_list,
+    parse_edge_list_auto,
+    read_edge_list_auto,
+)
+
+# Content fingerprint of the bundled ca-toy fixture after normalization;
+# a change here means the canonical normalization (or the fixture)
+# changed, which silently invalidates every content-addressed cache.
+CA_TOY_FINGERPRINT = (
+    "88e4b51c8c8a642f40b1c4e7321cd6f622567eb57d67e2cd74d116b480d4289b"
+)
+
+
+def edge_pairs():
+    return st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30
+    )
+
+
+# ---------------------------------------------------------------------------
+# normalization
+
+
+class TestNormalizeEdgeArrays:
+    def test_drops_self_loops_and_duplicates(self):
+        u = np.array([1, 1, 3, 3, 5])
+        v = np.array([3, 3, 1, 3, 5])
+        graph, report = normalize_edge_arrays(u, v)
+        assert graph.number_of_vertices() == 2
+        assert graph.number_of_edges() == 1
+        assert report.input_rows == 5
+        assert report.self_loops_dropped == 2
+        assert report.duplicates_merged == 2
+        assert report.relabeled is True
+        assert report.was_dirty
+
+    def test_clean_dense_input_is_untouched(self):
+        u = np.array([0, 1])
+        v = np.array([1, 2])
+        graph, report = normalize_edge_arrays(u, v)
+        assert graph.labels() == [0, 1, 2]
+        assert not report.was_dirty
+        assert report.relabeled is False
+
+    def test_isolated_vertices_survive(self):
+        graph, _ = normalize_edge_arrays(
+            np.array([7]), np.array([9]), isolated=[4]
+        )
+        assert graph.number_of_vertices() == 3
+        assert graph.labels() == [4, 7, 9]
+        assert graph.degree(graph.index_of(4)) == 0
+
+    def test_empty_input(self):
+        graph, report = normalize_edge_arrays(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert graph.number_of_vertices() == 0
+        assert report.input_rows == 0
+
+    @given(edge_pairs())
+    def test_dirty_and_clean_twins_share_a_fingerprint(self, pairs):
+        u = np.array([p[0] for p in pairs], dtype=np.int64)
+        v = np.array([p[1] for p in pairs], dtype=np.int64)
+        clean, _ = normalize_edge_arrays(u, v)
+        # Dirty twin: every edge again in both orientations plus a
+        # self-loop per touched vertex.
+        du = np.concatenate([u, v, u, u])
+        dv = np.concatenate([v, u, v, u])
+        dirty, report = normalize_edge_arrays(du, dv)
+        assert dirty.fingerprint() == clean.fingerprint()
+        if len(pairs):
+            assert report.was_dirty
+
+    @given(edge_pairs())
+    def test_idempotent(self, pairs):
+        u = np.array([p[0] for p in pairs], dtype=np.int64)
+        v = np.array([p[1] for p in pairs], dtype=np.int64)
+        once, _ = normalize_edge_arrays(u, v)
+        ou, ov = once.edge_arrays()
+        labels = np.asarray(once.labels(), dtype=np.int64)
+        degrees = once.degrees()
+        twice, report = normalize_edge_arrays(
+            labels[ou], labels[ov], isolated=labels[degrees == 0]
+        )
+        assert twice.fingerprint() == once.fingerprint()
+        assert not report.was_dirty
+
+
+class TestParserNormalization:
+    """Regression: the text parsers share the canonical normalization,
+    so a dirty edge list and its clean twin parse identically."""
+
+    DIRTY = [
+        "# comment",
+        "3 1",
+        "1 3",  # reversed duplicate
+        "1 1",  # self-loop: declares the vertex, no edge
+        "2 3",
+        "2 3",  # literal duplicate
+        "5",
+    ]
+    CLEAN = ["1 3", "2 3", "5"]
+
+    def test_compact_parser_fingerprints_match(self):
+        dirty = parse_edge_list_auto(self.DIRTY)
+        clean = parse_edge_list_auto(self.CLEAN)
+        assert isinstance(dirty, CompactGraph)
+        assert dirty.fingerprint() == clean.fingerprint()
+        assert dirty.labels() == [1, 2, 3, 5]
+        assert dirty.number_of_edges() == 2
+
+    def test_object_parser_agrees(self):
+        g = parse_edge_list(self.DIRTY)
+        assert sorted(g.vertices()) == [1, 2, 3, 5]
+        assert g.number_of_edges() == 2
+        assert g.degree(1) == 1  # the self-loop added no edge
+
+    def test_file_roundtrip(self, tmp_path):
+        dirty_path = tmp_path / "dirty.edges"
+        dirty_path.write_text("\n".join(self.DIRTY) + "\n")
+        clean_path = tmp_path / "clean.edges"
+        clean_path.write_text("\n".join(self.CLEAN) + "\n")
+        dirty = read_edge_list_auto(dirty_path)
+        clean = read_edge_list_auto(clean_path)
+        assert dirty.fingerprint() == clean.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# dataset registry and resolution pipeline
+
+
+class TestDatasetSpec:
+    def test_builtin_names_registered(self):
+        names = dataset_names()
+        for expected in ("ca-toy", "road-toy", "er-1k", "sbm-4k"):
+            assert expected in names
+
+    def test_unknown_name_is_loud(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            get_dataset("no-such-dataset")
+
+    def test_synthetic_needs_known_family(self):
+        with pytest.raises(ValueError, match="unknown graph family"):
+            DatasetSpec(name="x", kind="synthetic", family="nope", n=10)
+
+    def test_file_kind_needs_source(self):
+        with pytest.raises(ValueError, match="needs a path or url"):
+            DatasetSpec(name="x", kind="snap")
+
+    def test_spec_fingerprint_tracks_identity(self):
+        a = DatasetSpec(name="x", kind="synthetic", family="er", n=10, seed=1)
+        b = DatasetSpec(name="x", kind="synthetic", family="er", n=10, seed=2)
+        assert a.spec_fingerprint() != b.spec_fingerprint()
+        # ... but not presentation-only fields.
+        c = DatasetSpec(
+            name="x", kind="synthetic", family="er", n=10, seed=1,
+            summary="different words",
+        )
+        assert a.spec_fingerprint() == c.spec_fingerprint()
+
+
+class TestResolve:
+    def test_ca_toy_ingests_and_caches(self, tmp_path):
+        data_dir = str(tmp_path)
+        spec = get_dataset("ca-toy")
+        graph = resolve(spec, data_dir=data_dir)
+        assert graph.number_of_vertices() == 12
+        assert graph.number_of_edges() == 14
+        assert graph.fingerprint() == CA_TOY_FINGERPRINT
+
+        npz_path, sidecar_path = cache_entry(spec, data_dir)
+        assert os.path.exists(npz_path)
+        with open(sidecar_path, encoding="utf-8") as handle:
+            sidecar = json.load(handle)
+        assert sidecar["fingerprint"] == CA_TOY_FINGERPRINT
+        assert sidecar["normalization"]["self_loops_dropped"] == 2
+        assert sidecar["normalization"]["duplicates_merged"] == 2
+        assert sidecar["normalization"]["relabeled"] is True
+
+        # Second load is a cache hit with identical content — even with
+        # fetching forbidden.
+        again = resolve(spec, data_dir=data_dir, fetch=False)
+        assert again.fingerprint() == CA_TOY_FINGERPRINT
+
+    def test_synthetic_dataset_is_seed_pinned(self, tmp_path):
+        first = load_dataset("er-1k", data_dir=str(tmp_path / "a"))
+        second = load_dataset("er-1k", data_dir=str(tmp_path / "b"))
+        assert first.number_of_vertices() == 1000
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_checksum_mismatch_refuses(self, tmp_path):
+        spec = DatasetSpec(
+            name="t-bad-checksum",
+            kind="snap",
+            path=builtin_fixture_path("ca_toy.txt.gz"),
+            sha256="0" * 64,
+        )
+        with pytest.raises(DatasetError, match="checksum mismatch"):
+            resolve(spec, data_dir=str(tmp_path))
+        assert not os.path.exists(cache_entry(spec, str(tmp_path))[0])
+
+    def test_remote_source_respects_fetch_false(self, tmp_path):
+        spec = DatasetSpec(
+            name="t-remote-only",
+            kind="snap",
+            url="https://example.invalid/never-fetched.txt.gz",
+        )
+        with pytest.raises(DatasetError, match="--fetch"):
+            resolve(spec, data_dir=str(tmp_path), fetch=False)
+
+    def test_missing_local_source_is_loud(self, tmp_path):
+        spec = DatasetSpec(
+            name="t-missing", kind="local", path="does/not/exist.edges"
+        )
+        with pytest.raises(DatasetError, match="not found"):
+            resolve(spec, data_dir=str(tmp_path))
+
+    def test_malformed_snap_line_is_loud(self, tmp_path):
+        source = tmp_path / "bad.txt"
+        source.write_text("# ok\n1 2\nfoo bar\n")
+        spec = DatasetSpec(name="t-malformed", kind="snap", path=str(source))
+        with pytest.raises(DatasetError, match="malformed SNAP line 3"):
+            resolve(spec, data_dir=str(tmp_path))
+
+    def test_local_kind_normalizes_dirty_lists(self, tmp_path):
+        dirty = tmp_path / "dirty.edges"
+        dirty.write_text("3 1\n1 3\n2 3\n2 3\n5\n")
+        spec = DatasetSpec(name="t-local-dirty", kind="local", path=str(dirty))
+        graph = resolve(spec, data_dir=str(tmp_path / "cache"))
+        clean = parse_edge_list_auto(["1 3", "2 3", "5"])
+        assert graph.fingerprint() == clean.fingerprint()
+
+    def test_gzipped_snap_source(self, tmp_path):
+        source = tmp_path / "tiny.txt.gz"
+        with gzip.open(source, "wt") as handle:
+            handle.write("% comment\n10\t20\n20\t10\n")
+        spec = DatasetSpec(name="t-gz", kind="snap", path=str(source))
+        graph = resolve(spec, data_dir=str(tmp_path / "cache"))
+        assert graph.number_of_vertices() == 2
+        assert graph.number_of_edges() == 1
+
+
+class TestResolveGraphRef:
+    def test_dataset_ref(self, tmp_path):
+        graph = resolve_graph_ref("dataset:ca-toy", data_dir=str(tmp_path))
+        assert graph.fingerprint() == CA_TOY_FINGERPRINT
+
+    def test_path_ref(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 2\n")
+        graph = resolve_graph_ref(str(path))
+        assert graph.number_of_edges() == 2
+
+    def test_unknown_dataset_ref(self, tmp_path):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            resolve_graph_ref("dataset:nope", data_dir=str(tmp_path))

@@ -1,0 +1,201 @@
+"""Registry-declared generic estimators: kstar, deg_hist, and the
+statistic/poset machinery behind them.
+
+The load-bearing property is *bit-identity*: a registry estimator must
+release exactly the same value on a :class:`CompactGraph` as on the
+object-graph reference for a shared seed (every statistic, DS, and
+extension value is an exact integer in either representation, so the
+RNG consumption matches step for step).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.down_sensitivity import (
+    PosetTables,
+    down_sensitivity_brute_force,
+    generic_lipschitz_extension,
+)
+from repro.estimators import create, estimator_names, get_spec
+from repro.graphs.compact import as_compact, forbid_object_coercion
+from repro.graphs.degree_stats import (
+    degree_histogram,
+    high_degree_count,
+    kstar_count,
+    kstar_down_sensitivity,
+    kstar_down_sensitivity_bound,
+)
+from repro.graphs import generators
+
+from .strategies import deterministic_corpus, small_graphs
+
+CORPUS = deterministic_corpus()
+
+
+# ---------------------------------------------------------------------------
+# degree statistics
+
+
+class TestKstar:
+    @pytest.mark.parametrize("name,graph", CORPUS, ids=[n for n, _ in CORPUS])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_count_matches_definition(self, name, graph, k):
+        expected = sum(
+            math.comb(graph.degree(v), k) for v in graph.vertices()
+        )
+        assert kstar_count(graph, k=k) == expected
+        assert kstar_count(as_compact(graph), k=k) == expected
+
+    @pytest.mark.parametrize("name,graph", CORPUS, ids=[n for n, _ in CORPUS])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_fast_down_sensitivity_matches_brute_force(self, name, graph, k):
+        if graph.number_of_vertices() > 10:
+            pytest.skip("brute force too large")
+        fast = kstar_down_sensitivity(graph, k=k)
+        brute = down_sensitivity_brute_force(
+            graph, lambda h: kstar_count(h, k=k)
+        )
+        assert fast == brute
+        assert kstar_down_sensitivity(as_compact(graph), k=k) == fast
+
+    @given(small_graphs())
+    @settings(max_examples=30)
+    def test_fast_down_sensitivity_matches_brute_force_random(self, graph):
+        fast = kstar_down_sensitivity(graph, k=2)
+        brute = down_sensitivity_brute_force(
+            graph, lambda h: kstar_count(h, k=2)
+        )
+        assert fast == brute
+
+    def test_worst_case_bound_dominates(self):
+        for n in range(1, 9):
+            clique = generators.complete_graph(n)
+            assert (
+                kstar_down_sensitivity(clique, k=2)
+                <= kstar_down_sensitivity_bound(n, k=2)
+            )
+
+
+class TestDegreeHistogram:
+    def test_high_degree_count(self):
+        star = generators.star_graph(4)  # center degree 4, leaves 1
+        assert high_degree_count(star, min_degree=1) == 5
+        assert high_degree_count(star, min_degree=2) == 1
+        assert high_degree_count(star, min_degree=5) == 0
+
+    def test_min_degree_validation(self):
+        star = generators.star_graph(3)
+        with pytest.raises(ValueError, match="min_degree"):
+            high_degree_count(star, min_degree=0)
+
+    def test_histogram_is_cumulative_count_difference(self):
+        graph = generators.grid_graph(3, 3)
+        hist = degree_histogram(graph)
+        n = graph.number_of_vertices()
+        assert int(hist.sum()) == n
+        for t in range(1, hist.size):
+            assert high_degree_count(graph, min_degree=t) == int(
+                hist[t:].sum()
+            )
+
+
+# ---------------------------------------------------------------------------
+# poset tables
+
+
+class TestPosetTables:
+    @pytest.mark.parametrize(
+        "name,graph",
+        [(n, g) for n, g in CORPUS if g.number_of_vertices() <= 7],
+        ids=[n for n, g in CORPUS if g.number_of_vertices() <= 7],
+    )
+    def test_ds_table_matches_per_subgraph_brute_force(self, name, graph):
+        statistic = lambda h: high_degree_count(h, min_degree=1)  # noqa: E731
+        tables = PosetTables(graph, statistic)
+        for subset, table_value in tables.ds.items():
+            sub = graph.induced_subgraph(subset)
+            assert table_value == down_sensitivity_brute_force(sub, statistic)
+
+    def test_extension_matches_explicit_ds_path(self):
+        graph = generators.double_star_graph(3, 2)
+        statistic = lambda h: kstar_count(h, k=2)  # noqa: E731
+        for delta in (1.0, 2.0, 4.0, 8.0):
+            via_tables = generic_lipschitz_extension(graph, statistic, delta)
+            via_fast_ds = generic_lipschitz_extension(
+                graph,
+                statistic,
+                delta,
+                down_sensitivity=lambda h: kstar_down_sensitivity(h, k=2),
+            )
+            assert via_tables == via_fast_ds
+
+
+# ---------------------------------------------------------------------------
+# registry estimators
+
+
+BIT_IDENTICAL_ESTIMATORS = ["generic_sf", "kstar", "deg_hist"]
+
+
+class TestRegisteredGenericEstimators:
+    def test_registered(self):
+        names = estimator_names()
+        for name in BIT_IDENTICAL_ESTIMATORS:
+            assert name in names
+        assert get_spec("kstar").max_graph_vertices == 16
+        assert get_spec("deg_hist").max_graph_vertices == 16
+
+    @pytest.mark.parametrize("estimator", BIT_IDENTICAL_ESTIMATORS)
+    @pytest.mark.parametrize(
+        "name,graph",
+        [(n, g) for n, g in CORPUS if 1 <= g.number_of_vertices() <= 9],
+        ids=[n for n, g in CORPUS if 1 <= g.number_of_vertices() <= 9],
+    )
+    def test_bit_identical_across_representations(
+        self, estimator, name, graph
+    ):
+        compact = as_compact(graph)
+        object_release = create(estimator, epsilon=1.0).release(
+            graph, np.random.default_rng(7)
+        )
+        with forbid_object_coercion():
+            compact_release = create(estimator, epsilon=1.0).release(
+                compact, np.random.default_rng(7)
+            )
+        assert compact_release.value == object_release.value
+        assert compact_release.delta_hat == object_release.delta_hat
+        assert compact_release.metadata == object_release.metadata
+
+    def test_options_flow_through(self):
+        graph = generators.star_graph(4)
+        release = create("kstar", epsilon=1.0, k=3).release(
+            graph, np.random.default_rng(3)
+        )
+        assert release.metadata["k"] == 3
+        release = create("deg_hist", epsilon=1.0, min_degree=2).release(
+            graph, np.random.default_rng(3)
+        )
+        assert release.metadata["min_degree"] == 2
+
+    def test_size_guard_is_loud_and_overridable(self):
+        big = generators.path_graph(20)
+        estimator = create("kstar", epsilon=1.0)
+        assert not estimator.supports(big)
+        with pytest.raises(ValueError, match="max_vertices"):
+            estimator.release(big, np.random.default_rng(0))
+
+    def test_true_value_matches_statistic(self):
+        graph = generators.complete_graph(5)
+        release = create("kstar", epsilon=1.0).release(
+            graph, np.random.default_rng(11)
+        )
+        assert release.true_value == kstar_count(graph, k=2)
+        release = create("deg_hist", epsilon=1.0).release(
+            graph, np.random.default_rng(11)
+        )
+        assert release.true_value == high_degree_count(graph, min_degree=1)
